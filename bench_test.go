@@ -1,0 +1,266 @@
+// Package repro's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper, so `go test -bench=. -benchmem` regenerates the
+// whole evaluation in miniature. The dlrmbench command produces the full
+// formatted tables; these benches give the per-operation timings and
+// allocation profiles behind them.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/gemm"
+	"repro/internal/par"
+	"repro/internal/perfmodel"
+	"repro/internal/tensor"
+)
+
+// --- Table I / Table II ----------------------------------------------------
+
+// BenchmarkTable2Characteristics times the analytic Table II computation
+// (Eqs. 1-2) — trivially fast, included for completeness of the per-table
+// index.
+func BenchmarkTable2Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, c := range core.Configs {
+			_ = c.TableBytes()
+			_ = c.AllreduceBytes()
+			_ = c.AlltoallBytes(c.GlobalMB)
+		}
+	}
+}
+
+// --- Fig. 5: MLP kernels ----------------------------------------------------
+
+func fig5Data(n, ck int) (*tensor.Acts, *tensor.Weights, *tensor.Acts, *tensor.Dense, *tensor.Dense, *tensor.Dense) {
+	rng := rand.New(rand.NewSource(1))
+	xD := tensor.NewDense(n, ck)
+	xD.Randomize(rng, 1)
+	wD := tensor.NewDense(ck, ck)
+	wD.Randomize(rng, 1)
+	x := tensor.PackActs(xD, 16, 32)
+	w := tensor.PackWeights(wD, 32, 32)
+	y := tensor.NewActs(n, ck, 16, 32)
+	yD := tensor.NewDense(n, ck)
+	return x, w, y, xD, wD, yD
+}
+
+func BenchmarkFig5BlockedFWD(b *testing.B) {
+	x, w, y, _, _, _ := fig5Data(256, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gemm.Forward(par.Default, w, x, y)
+	}
+	reportGFLOPS(b, 256, 512)
+}
+
+func BenchmarkFig5FBStyleFWD(b *testing.B) {
+	_, _, _, xD, wD, yD := fig5Data(256, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gemm.FBStyleNT(par.Default, xD, wD, yD)
+	}
+	reportGFLOPS(b, 256, 512)
+}
+
+func BenchmarkFig5MKLStyleFWD(b *testing.B) {
+	_, _, _, xD, wD, yD := fig5Data(256, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gemm.MKLStyleNT(par.Default, xD, wD, yD)
+	}
+	reportGFLOPS(b, 256, 512)
+}
+
+func BenchmarkFig5BlockedBWDW(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n, ck := 256, 512
+	dyD := tensor.NewDense(n, ck)
+	dyD.Randomize(rng, 1)
+	xD := tensor.NewDense(n, ck)
+	xD.Randomize(rng, 1)
+	dy := tensor.PackActs(dyD, 16, 32)
+	x := tensor.PackActs(xD, 16, 32)
+	dw := tensor.NewWeights(ck, ck, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gemm.BackwardWeights(par.Default, dy, x, dw)
+	}
+	reportGFLOPS(b, n, ck)
+}
+
+func reportGFLOPS(b *testing.B, n, ck int) {
+	flops := 2 * float64(n) * float64(ck) * float64(ck)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+// --- Fig. 2/6: communication overlap ----------------------------------------
+
+func BenchmarkFig6OverlapSimulation(b *testing.B) {
+	o := experiments.DefaultFig6Opts()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunFig6(o)
+	}
+}
+
+// --- Fig. 7/8: single-socket DLRM per update strategy -----------------------
+
+// benchFig7 runs one full training iteration of a scaled Small config.
+func benchFig7(b *testing.B, strat embedding.Strategy) {
+	cfg := core.Small.Scaled(1.0 / 64)
+	ds := &data.Random{Seed: 1, D: cfg.DenseIn, Tables: cfg.Tables,
+		Rows: cfg.Rows[0], Lookups: cfg.Lookups}
+	m := core.NewModel(cfg, 16, 1)
+	tr := core.NewTrainer(m, par.Default, strat, 0.1, core.FP32)
+	mb := ds.Batch(0, 128)
+	tr.Step(mb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(mb)
+	}
+}
+
+func BenchmarkFig7Reference(b *testing.B)  { benchFig7(b, embedding.Reference) }
+func BenchmarkFig7AtomicXchg(b *testing.B) { benchFig7(b, embedding.AtomicXchg) }
+func BenchmarkFig7RTM(b *testing.B)        { benchFig7(b, embedding.RTMStyle) }
+func BenchmarkFig7RaceFree(b *testing.B)   { benchFig7(b, embedding.RaceFree) }
+
+// BenchmarkFig8EmbeddingPhase isolates the embedding sweep that Fig. 8's
+// breakdown attributes (forward + backward + race-free update).
+func BenchmarkFig8EmbeddingPhase(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tab := embedding.NewTable(100_000, 64, rng, 0.01)
+	batch := embedding.MakeBatch(rng, embedding.Zipf{S: 1.05}, 2048, 50, tab.M)
+	out := make([]float32, 2048*64)
+	dW := make([]float32, batch.NumLookups()*64)
+	b.SetBytes(int64(perfmodel.EmbeddingFwdBytes(1, 2048, 50, 64)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Forward(par.Default, batch, out)
+		tab.Backward(par.Default, batch, out, dW)
+		tab.Update(par.Default, embedding.RaceFree, batch, dW, 1e-6)
+	}
+}
+
+// --- Figs. 9-14: simulated cluster scaling ----------------------------------
+
+func benchDist(b *testing.B, cfg core.Config, ranks int, v core.Variant, weak bool) {
+	gn := cfg.GlobalMB
+	if weak {
+		gn = cfg.LocalMB * ranks
+	}
+	gn -= gn % ranks
+	dc := core.DistConfig{
+		Cfg: cfg, Ranks: ranks, GlobalN: gn, Iters: 1,
+		Variant: v,
+		Topo:    fabric.NewPrunedFatTree(ranks, 12.5e9),
+		Socket:  perfmodel.CLX8280,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.RunDistributed(dc)
+		b.ReportMetric(res.IterSeconds*1e3, "virtual-ms/iter")
+	}
+}
+
+func BenchmarkFig9StrongScaling64R(b *testing.B) {
+	benchDist(b, core.Large, 64, core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend}, false)
+}
+
+func BenchmarkFig10BreakdownMPI(b *testing.B) {
+	benchDist(b, core.Large, 16, core.Variant{Strategy: core.Alltoall, Backend: cluster.MPIBackend}, false)
+}
+
+func BenchmarkFig11ScatterList(b *testing.B) {
+	benchDist(b, core.MLPerf, 8, core.Variant{Strategy: core.ScatterList, Backend: cluster.MPIBackend}, false)
+}
+
+func BenchmarkFig12WeakScaling64R(b *testing.B) {
+	benchDist(b, core.Large, 64, core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend}, true)
+}
+
+func BenchmarkFig13WeakBreakdownCCL(b *testing.B) {
+	benchDist(b, core.MLPerf, 16, core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend}, true)
+}
+
+func BenchmarkFig14WeakCommDetail(b *testing.B) {
+	benchDist(b, core.MLPerf, 26, core.Variant{Strategy: core.Alltoall, Backend: cluster.MPIBackend}, true)
+}
+
+// BenchmarkFig15TwistedHypercube runs the 8-socket shared-memory node.
+func BenchmarkFig15TwistedHypercube(b *testing.B) {
+	dc := core.DistConfig{
+		Cfg: core.MLPerf, Ranks: 8, GlobalN: core.MLPerf.GlobalMB, Iters: 1,
+		Variant:  core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
+		Blocking: true,
+		Topo:     fabric.NewTwistedHypercube(22e9),
+		Socket:   perfmodel.SKX8180,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.RunDistributed(dc)
+		b.ReportMetric(res.WaitPerIter["alltoall"]*1e3, "alltoall-ms")
+	}
+}
+
+// --- Fig. 16: mixed-precision training --------------------------------------
+
+func benchFig16(b *testing.B, prec core.Precision) {
+	rows := data.ScaleRows(data.CriteoTBRows, 1.0/16384)
+	cfg := core.Config{
+		Name: "MLPerf-mini", MB: 128, GlobalMB: 128, LocalMB: 128,
+		Lookups: 1, Tables: 26, EmbDim: 16, Rows: rows,
+		DenseIn: 13, BotHidden: []int{32}, TopHidden: []int{64, 32},
+	}
+	ds := data.NewClickLog(1, cfg.DenseIn, cfg.Rows, cfg.Lookups)
+	m := core.NewModel(cfg, 16, 1)
+	tr := core.NewTrainer(m, par.Default, embedding.RaceFree, 0.5, prec)
+	mb := ds.Batch(0, cfg.MB)
+	tr.Step(mb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(mb)
+	}
+}
+
+func BenchmarkFig16FP32(b *testing.B)      { benchFig16(b, core.FP32) }
+func BenchmarkFig16BF16Split(b *testing.B) { benchFig16(b, core.BF16Split) }
+func BenchmarkFig16FP24(b *testing.B)      { benchFig16(b, core.FP24) }
+
+// --- §III-A: fused embedding backward+update --------------------------------
+
+func BenchmarkEmbeddingFusedUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tab := embedding.NewTable(500_000, 64, rng, 0.01)
+	batch := embedding.MakeBatch(rng, embedding.Uniform{}, 2048, 50, tab.M)
+	dOut := make([]float32, 2048*64)
+	for i := range dOut {
+		dOut[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.FusedBackwardUpdate(par.Default, batch, dOut, 1e-6)
+	}
+}
+
+func BenchmarkEmbeddingTwoStepUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tab := embedding.NewTable(500_000, 64, rng, 0.01)
+	batch := embedding.MakeBatch(rng, embedding.Uniform{}, 2048, 50, tab.M)
+	dOut := make([]float32, 2048*64)
+	for i := range dOut {
+		dOut[i] = rng.Float32()
+	}
+	dW := make([]float32, batch.NumLookups()*64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Backward(par.Default, batch, dOut, dW)
+		tab.Update(par.Default, embedding.RaceFree, batch, dW, 1e-6)
+	}
+}

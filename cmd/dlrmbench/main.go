@@ -1,0 +1,91 @@
+// Command dlrmbench regenerates every table and figure of the paper's
+// evaluation. Single-socket experiments (Figs. 5, 7, 8, 16) execute the
+// real kernels on this host; multi-socket experiments (Figs. 2/6, 9-15)
+// replay the paper-scale runs on the simulated UPI/OPA cluster.
+//
+// Usage:
+//
+//	dlrmbench -exp table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|all
+//	dlrmbench -exp fig16 -iters 800        # more training iterations
+//	dlrmbench -exp fig7 -quick             # skip the slow Reference runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig5..fig16, all)")
+	iters := flag.Int("iters", 0, "override iteration count where applicable")
+	quick := flag.Bool("quick", false, "reduce sizes for a fast smoke run")
+	flag.Parse()
+
+	run := func(name string, fn func() fmt.Stringer) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Println(fn().String())
+	}
+
+	scale := experiments.DefaultScalingOpts()
+	if *iters > 0 {
+		scale.Iters = *iters
+	}
+
+	run("table1", func() fmt.Stringer { return experiments.Table1() })
+	run("table2", func() fmt.Stringer { return experiments.Table2() })
+	run("fig5", func() fmt.Stringer {
+		o := experiments.DefaultFig5Opts()
+		if *quick {
+			o = experiments.Fig5Opts{N: 64, Sizes: []int{128, 256}, Repeats: 2}
+		}
+		return experiments.RunFig5(o)
+	})
+	run("fig6", func() fmt.Stringer { return experiments.RunFig6(experiments.DefaultFig6Opts()) })
+	fig78 := func() *experiments.Fig78Result {
+		o := experiments.DefaultFig7Opts()
+		if *quick {
+			o = experiments.Fig7Opts{Iters: 1, MB: 64, RowScale: 1.0 / 64}
+		}
+		if *iters > 0 {
+			o.Iters = *iters
+		}
+		return experiments.RunFig78(o)
+	}
+	run("fig7", func() fmt.Stringer { return fig78().Fig7 })
+	run("fig8", func() fmt.Stringer { return fig78().Fig8 })
+	run("fig9", func() fmt.Stringer { return experiments.RunFig9(scale) })
+	run("fig10", func() fmt.Stringer { return experiments.RunFig10(scale) })
+	run("fig11", func() fmt.Stringer { return experiments.RunFig11(scale) })
+	run("fig12", func() fmt.Stringer { return experiments.RunFig12(scale) })
+	run("fig13", func() fmt.Stringer { return experiments.RunFig13(scale) })
+	run("fig14", func() fmt.Stringer { return experiments.RunFig14(scale) })
+	run("fig15", func() fmt.Stringer { return experiments.RunFig15(scale) })
+	run("fig16", func() fmt.Stringer {
+		o := experiments.DefaultFig16Opts()
+		if *quick {
+			o.Iters, o.EvalN = 100, 2048
+		}
+		if *iters > 0 {
+			o.Iters = *iters
+		}
+		o.Include8LSB = true
+		return experiments.RunFig16(o)
+	})
+	run("ablation-allreduce", func() fmt.Stringer { return experiments.AblationAllreduce() })
+	run("ablation-commcores", func() fmt.Stringer { return experiments.AblationCommCores(16, scale.Iters) })
+	run("ablation-capacity", func() fmt.Stringer { return experiments.AblationCapacity() })
+	run("ablation-fused", func() fmt.Stringer { return experiments.AblationFusedEmbedding(3) })
+
+	known := "table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 " +
+		"ablation-allreduce ablation-commcores ablation-capacity ablation-fused all"
+	if *exp != "all" && !strings.Contains(known, *exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: %s\n", *exp, known)
+		os.Exit(2)
+	}
+}

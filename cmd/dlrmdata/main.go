@@ -1,0 +1,57 @@
+// Command dlrmdata generates synthetic click-log dataset files in the
+// binary record format — the stand-in for downloading Criteo Terabyte day
+// files. The output can be consumed by data.OpenFileDataset (see
+// examples/file_dataset).
+//
+// Usage:
+//
+//	dlrmdata -out train.clog -samples 100000 -tables 26 -rows 10000 -dense 13
+//	dlrmdata -out tiny.clog -samples 1000 -tables 4 -rows 500 -lookups 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/data"
+)
+
+func main() {
+	out := flag.String("out", "train.clog", "output file")
+	samples := flag.Int("samples", 100_000, "number of samples to generate")
+	dense := flag.Int("dense", 13, "dense feature count")
+	tables := flag.Int("tables", 26, "embedding table count")
+	rows := flag.Int("rows", 100_000, "rows per table (0 = scaled Criteo TB cardinalities)")
+	lookups := flag.Int("lookups", 1, "lookups per table per sample")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	var rowCounts []int
+	if *rows == 0 {
+		rowCounts = data.ScaleRows(data.CriteoTBRows, 1.0/1024)
+		*tables = len(rowCounts)
+	} else {
+		rowCounts = make([]int, *tables)
+		for i := range rowCounts {
+			rowCounts[i] = *rows
+		}
+	}
+	ds := data.NewClickLog(*seed, *dense, rowCounts, *lookups)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := data.WriteDataset(f, ds, *samples, 4096, *lookups); err != nil {
+		log.Fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d samples, %d dense features, %d tables × %d lookups (%.1f MB)\n",
+		*out, *samples, *dense, *tables, *lookups, float64(info.Size())/1e6)
+}

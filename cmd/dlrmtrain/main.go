@@ -1,0 +1,130 @@
+// Command dlrmtrain trains a DLRM end to end: single-socket for real on
+// this host, or hybrid-parallel on the simulated multi-socket cluster.
+//
+// Usage:
+//
+//	dlrmtrain -config small -iters 100 -strategy racefree
+//	dlrmtrain -config mlperf -precision bf16split -iters 400 -eval 50
+//	dlrmtrain -config large -ranks 16 -dist -iters 5       # simulated cluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/fabric"
+	"repro/internal/par"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	configName := flag.String("config", "small", "model config: small, large, mlperf, tiny")
+	iters := flag.Int("iters", 50, "training iterations")
+	mb := flag.Int("mb", 0, "minibatch (0 = config default)")
+	lr := flag.Float64("lr", 0.5, "learning rate")
+	rowScale := flag.Float64("rowscale", 1.0/64, "embedding-table row scaling to fit host memory")
+	stratName := flag.String("strategy", "racefree", "embedding update: reference, atomic, rtm, racefree")
+	precName := flag.String("precision", "fp32", "numerics: fp32, bf16split, bf16split8, fp24")
+	evalEvery := flag.Int("eval", 0, "evaluate ROC AUC every N iterations (0 = off)")
+	dist := flag.Bool("dist", false, "run on the simulated multi-socket cluster")
+	ranks := flag.Int("ranks", 8, "simulated rank count (with -dist)")
+	flag.Parse()
+
+	cfg, ok := map[string]core.Config{
+		"small":  core.Small,
+		"large":  core.Large,
+		"mlperf": core.MLPerf,
+		"tiny": {
+			Name: "Tiny", MB: 128, GlobalMB: 256, LocalMB: 64,
+			Lookups: 4, Tables: 8, EmbDim: 32,
+			Rows:    []int{5000, 5000, 5000, 5000, 5000, 5000, 5000, 5000},
+			DenseIn: 16, BotHidden: []int{64}, TopHidden: []int{128, 64},
+		},
+	}[strings.ToLower(*configName)]
+	if !ok {
+		log.Fatalf("unknown config %q", *configName)
+	}
+
+	if *dist {
+		runDistributed(cfg, *ranks, *iters)
+		return
+	}
+
+	strat, ok := map[string]embedding.Strategy{
+		"reference": embedding.Reference,
+		"atomic":    embedding.AtomicXchg,
+		"rtm":       embedding.RTMStyle,
+		"racefree":  embedding.RaceFree,
+	}[strings.ToLower(*stratName)]
+	if !ok {
+		log.Fatalf("unknown strategy %q", *stratName)
+	}
+	prec, ok := map[string]core.Precision{
+		"fp32":       core.FP32,
+		"bf16split":  core.BF16Split,
+		"bf16split8": core.BF16Split8LSB,
+		"fp24":       core.FP24,
+	}[strings.ToLower(*precName)]
+	if !ok {
+		log.Fatalf("unknown precision %q", *precName)
+	}
+
+	scaled := cfg.Scaled(*rowScale)
+	batch := *mb
+	if batch == 0 {
+		batch = scaled.MB
+	}
+	if batch == 0 {
+		batch = 512
+	}
+	ds := data.NewClickLog(7, scaled.DenseIn, scaled.Rows, scaled.Lookups)
+	model := core.NewModel(scaled, 16, 1)
+	tr := core.NewTrainer(model, par.Default, strat, float32(*lr), prec)
+	eval := ds.Batch(1<<20, 4096)
+
+	fmt.Printf("training %s (rows x%.3g), MB=%d, %s, %s, lr=%g\n",
+		scaled.Name, *rowScale, batch, strat, prec, *lr)
+	start := time.Now()
+	for i := 0; i < *iters; i++ {
+		l := tr.Step(ds.Batch(i, batch))
+		if *evalEvery > 0 && (i+1)%*evalEvery == 0 {
+			fmt.Printf("iter %4d  loss %.4f  auc %.4f\n", i+1, l, tr.EvalAUC(eval))
+		} else if (i+1)%10 == 0 {
+			fmt.Printf("iter %4d  loss %.4f\n", i+1, l)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("done: %d iters in %v (%.1f ms/iter), final AUC %.4f\n",
+		*iters, elapsed.Round(time.Millisecond),
+		elapsed.Seconds()*1e3/float64(*iters), tr.EvalAUC(eval))
+}
+
+func runDistributed(cfg core.Config, ranks, iters int) {
+	if ranks > cfg.MaxRanks() {
+		log.Fatalf("%s supports at most %d ranks (one table per rank minimum)", cfg.Name, cfg.MaxRanks())
+	}
+	gn := cfg.GlobalMB - cfg.GlobalMB%ranks
+	fmt.Printf("simulating %s on %d sockets (OPA cluster), GN=%d, CCL-Alltoall\n", cfg.Name, ranks, gn)
+	res := core.RunDistributed(core.DistConfig{
+		Cfg:     cfg,
+		Ranks:   ranks,
+		GlobalN: gn,
+		Iters:   iters,
+		Variant: core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
+		Topo:    fabric.NewPrunedFatTree(ranks, 12.5e9),
+		Socket:  perfmodel.CLX8280,
+	})
+	fmt.Printf("virtual time per iteration: %.2f ms\n", res.IterSeconds*1e3)
+	fmt.Printf("  compute: %.2f ms\n", res.ComputePerIter*1e3)
+	for _, k := range []string{"alltoall", "allreduce"} {
+		fmt.Printf("  %s: busy %.2f ms, exposed %.2f ms\n",
+			k, res.BusyPerIter[k]*1e3, res.WaitPerIter[k]*1e3)
+	}
+}

@@ -1,0 +1,59 @@
+// BF16-convergence: the §VII experiment in miniature. Trains the same
+// MLPerf-shaped DLRM under four numerics — FP32, Split-SGD-BF16, the
+// 8-LSB-only split, and FP24 (1-8-15) — and prints ROC AUC through one
+// epoch. Expected shape (Fig. 16): the BF16 split tracks FP32 to within
+// noise because its optimizer state restores exact FP32 updates, FP24
+// trails (it loses low-order update bits every step), and the 8-LSB split
+// is not enough.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/par"
+)
+
+func main() {
+	rows := data.ScaleRows(data.CriteoTBRows, 1.0/4096)
+	cfg := core.Config{
+		Name: "MLPerf-mini", MB: 128, GlobalMB: 128, LocalMB: 128,
+		Lookups: 1, Tables: 26, EmbDim: 16, Rows: rows,
+		DenseIn: 13, BotHidden: []int{32}, TopHidden: []int{64, 32},
+	}
+	ds := data.NewClickLog(1234, cfg.DenseIn, cfg.Rows, cfg.Lookups)
+	eval := ds.Batch(1<<20, 4096)
+
+	precisions := []core.Precision{core.FP32, core.BF16Split, core.BF16Split8LSB, core.FP24}
+	const iters, checkpoints = 300, 10
+
+	aucs := make([][]float64, len(precisions))
+	for pi, prec := range precisions {
+		m := core.NewModel(cfg, 16, 77)
+		tr := core.NewTrainer(m, par.Default, embedding.RaceFree, 0.5, prec)
+		for i := 0; i < iters; i++ {
+			tr.Step(ds.Batch(i, cfg.MB))
+			if (i+1)%(iters/checkpoints) == 0 {
+				aucs[pi] = append(aucs[pi], tr.EvalAUC(eval))
+			}
+		}
+		fmt.Printf("trained %s\n", prec)
+	}
+
+	fmt.Printf("\n%-10s", "% epoch")
+	for _, p := range precisions {
+		fmt.Printf("  %-22s", p)
+	}
+	fmt.Println()
+	for cp := 0; cp < checkpoints; cp++ {
+		fmt.Printf("%-10d", (cp+1)*100/checkpoints)
+		for pi := range precisions {
+			fmt.Printf("  %-22.4f", aucs[pi][cp])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper (full Criteo TB): FP32 0.8027, BF16 SplitSGD 0.8027, FP24 0.7947;")
+	fmt.Println("8 extra LSBs are not enough to reach reference accuracy (§VII).")
+}

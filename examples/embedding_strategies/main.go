@@ -1,0 +1,77 @@
+// Embedding-strategies: the §III-A story in isolation. Compares the four
+// sparse-update strategies (Reference dense-gradient, Atomic-XCHG,
+// RTM-style locks, Race-Free partitioning) plus the fused backward+update
+// under uniform and Zipf-skewed indices, printing ms per update sweep.
+//
+// On a multi-core host the Zipf column shows Atomic/RTM degrading from hot
+// cache-line contention while Race-Free holds steady (Fig. 7's 10×); on a
+// single core the gap compresses to the pure instruction overheads.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/embedding"
+	"repro/internal/par"
+)
+
+func main() {
+	const (
+		rows    = 500_000
+		embDim  = 64
+		bags    = 2048
+		lookups = 50
+		iters   = 5
+	)
+	rng := rand.New(rand.NewSource(1))
+	pool := par.Default
+	fmt.Printf("table: %d rows × %d, batch: %d bags × %d lookups, %d workers\n\n",
+		rows, embDim, bags, lookups, pool.NumWorkers())
+
+	dists := []embedding.IndexDist{embedding.Uniform{}, embedding.Zipf{S: 1.05}}
+	fmt.Printf("%-22s  %-12s  %-12s\n", "strategy", "uniform", "zipf(1.05)")
+	fmt.Printf("%-22s  %-12s  %-12s\n", "--------", "-------", "----------")
+
+	timeOf := map[string][2]float64{}
+	for di, dist := range dists {
+		batch := embedding.MakeBatch(rng, dist, bags, lookups, rows)
+		dOut := make([]float32, bags*embDim)
+		for i := range dOut {
+			dOut[i] = rng.Float32() - 0.5
+		}
+		dW := make([]float32, batch.NumLookups()*embDim)
+
+		for _, strat := range embedding.Strategies {
+			tab := embedding.NewTable(rows, embDim, rng, 0.01)
+			tab.Backward(pool, batch, dOut, dW)
+			tab.Update(pool, strat, batch, dW, 1e-6) // warm-up
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				tab.Update(pool, strat, batch, dW, 1e-6)
+			}
+			v := timeOf[strat.String()]
+			v[di] = time.Since(start).Seconds() * 1e3 / iters
+			timeOf[strat.String()] = v
+		}
+
+		// The fused backward+update (§III-A, up to 1.6× standalone).
+		tab := embedding.NewTable(rows, embDim, rng, 0.01)
+		tab.FusedBackwardUpdate(pool, batch, dOut, 1e-6)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			tab.FusedBackwardUpdate(pool, batch, dOut, 1e-6)
+		}
+		v := timeOf["Fused bwd+upd"]
+		v[di] = time.Since(start).Seconds() * 1e3 / iters
+		timeOf["Fused bwd+upd"] = v
+	}
+
+	order := []string{"Reference", "Atomic XCHG", "RTM", "Race Free", "Fused bwd+upd"}
+	for _, name := range order {
+		v := timeOf[name]
+		fmt.Printf("%-22s  %8.2f ms   %8.2f ms\n", name, v[0], v[1])
+	}
+	fmt.Println("\nReference scales with table rows; the others with batch lookups.")
+}

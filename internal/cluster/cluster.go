@@ -1,0 +1,364 @@
+// Package cluster is the multi-socket execution substrate: every rank (one
+// per socket, as in the paper's runs) is a goroutine, collectives move real
+// data between ranks, and *time* is virtual — charged from the perfmodel
+// and fabric cost models. This is the substitution that lets the paper's 8-
+// and 64-socket experiments regenerate on any machine: functional behaviour
+// is executed, hardware speed is simulated.
+//
+// Each rank owns a compute stream (its virtual clock, advanced by Compute)
+// and one or more communication channels (advanced by collectives). The two
+// progress semantics of §IV-C/§VI-D are modeled:
+//
+//   - MPIBackend: a single communication channel processed FIFO, so a wait
+//     on operation k implicitly waits for everything enqueued before it (the
+//     in-order-completion artifact that surfaces allreduce cost at the
+//     alltoall wait), and compute issued while communication is in flight is
+//     inflated by an interference factor (the unpinned progress thread
+//     stealing cycles from compute threads).
+//   - CCLBackend: several channels driven by dedicated, pinned cores; no
+//     compute interference, out-of-order waits — but CommCores cores are
+//     excluded from compute.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/perfmodel"
+)
+
+// Backend selects the communication-progress semantics.
+type Backend int
+
+const (
+	// MPIBackend models PyTorch's MPI process group (§IV-C).
+	MPIBackend Backend = iota
+	// CCLBackend models the oneCCL integration (§IV-C).
+	CCLBackend
+)
+
+// String returns the paper's label for the backend.
+func (b Backend) String() string {
+	if b == CCLBackend {
+		return "CCL Backend"
+	}
+	return "MPI Backend"
+}
+
+// Config describes a simulated machine and software stack.
+type Config struct {
+	Ranks  int
+	Topo   fabric.Topology
+	Socket perfmodel.Socket
+
+	Backend  Backend
+	Blocking bool // wait immediately after every collective (the instrumented "blocking" runs)
+
+	// CommCores is the number of cores dedicated to communication. For CCL
+	// these are pinned and excluded from compute; for MPI the progress
+	// thread is unpinned, so CommCores is 0 and Interference applies.
+	CommCores int
+	// CCLChannels is the number of parallel communication channels for the
+	// CCL backend (oneCCL workers). MPI always has exactly one.
+	CCLChannels int
+	// Interference inflates compute issued while MPI communication is in
+	// flight (≥ 1). Ignored for CCL.
+	Interference float64
+	// CallOverhead is the per-collective framework cost in seconds (enqueue,
+	// flat-buffer bookkeeping); the "Framework" component of Figs. 11/14.
+	CallOverhead float64
+}
+
+// commSlowdown returns the factor by which collective durations stretch
+// because the backend cannot saturate the fabric: the MPI backend drives
+// communication from a single progress thread (§VI-D1 observes its pure
+// communication cost exceeds CCL's), while the CCL backend saturates at
+// about 4 dedicated workers (§IV-C: "we need multiple threads to saturate
+// the full communication bandwidth").
+func (c Config) commSlowdown() float64 {
+	if c.Backend == MPIBackend {
+		return 1.5
+	}
+	workers := c.CommCores
+	if workers < 1 {
+		workers = 1
+	}
+	if workers >= 4 {
+		return 1
+	}
+	return 4 / float64(workers)
+}
+
+// WithDefaults fills unset tuning fields with the values used throughout the
+// experiments: 4 CCL channels/comm cores, 30% MPI interference, 25 µs per
+// framework call.
+func (c Config) WithDefaults() Config {
+	if c.CCLChannels == 0 {
+		c.CCLChannels = 4
+	}
+	if c.Backend == CCLBackend && c.CommCores == 0 {
+		c.CommCores = 4
+	}
+	if c.Interference == 0 {
+		c.Interference = 1.3
+	}
+	if c.CallOverhead == 0 {
+		c.CallOverhead = 25e-6
+	}
+	return c
+}
+
+// Stats accumulates per-rank virtual-time accounting, keyed by the labels
+// the trainer passes (e.g. "alltoall", "allreduce").
+type Stats struct {
+	Compute  float64            // seconds in compute (after any inflation)
+	Wait     map[string]float64 // exposed wait per collective label
+	CommBusy map[string]float64 // raw collective durations (busy time)
+	Prep     map[string]float64 // framework pre/post processing per label
+}
+
+func newStats() Stats {
+	return Stats{
+		Wait:     map[string]float64{},
+		CommBusy: map[string]float64{},
+		Prep:     map[string]float64{},
+	}
+}
+
+// TotalWait sums exposed waits over all labels.
+func (s *Stats) TotalWait() float64 {
+	var t float64
+	for _, v := range s.Wait {
+		t += v
+	}
+	return t
+}
+
+// Engine coordinates the rank goroutines of one simulated job.
+type Engine struct {
+	Cfg Config
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	slots map[int64]*slot
+}
+
+type slot struct {
+	payloads []any
+	ready    []float64
+	arrived  int
+	done     bool
+	results  []any
+	finish   float64
+	dur      float64
+}
+
+// LeaderFunc computes a collective's per-rank results and its duration from
+// the gathered per-rank payloads. It runs exactly once per collective, on
+// the last-arriving rank.
+type LeaderFunc func(payloads []any, start float64) (results []any, dur float64)
+
+// Rank is the per-goroutine handle: virtual clocks plus statistics.
+type Rank struct {
+	ID  int
+	Eng *Engine
+
+	now      float64
+	commFree []float64
+	seq      int64
+	Stats    Stats
+}
+
+// Handle identifies an in-flight collective for a later Wait.
+type Handle struct {
+	Label  string
+	finish float64
+}
+
+// Run executes body on Ranks goroutines and returns the per-rank statistics
+// once all complete. Bodies must be SPMD: every rank issues the same
+// sequence of collectives.
+func Run(cfg Config, body func(r *Rank)) []Stats {
+	cfg = cfg.WithDefaults()
+	if cfg.Ranks < 1 {
+		panic(fmt.Sprintf("cluster: Ranks=%d", cfg.Ranks))
+	}
+	if cfg.Topo != nil && cfg.Topo.NumSockets() < cfg.Ranks {
+		panic(fmt.Sprintf("cluster: topology has %d sockets for %d ranks", cfg.Topo.NumSockets(), cfg.Ranks))
+	}
+	e := &Engine{Cfg: cfg, slots: map[int64]*slot{}}
+	e.cond = sync.NewCond(&e.mu)
+	channels := 1
+	if cfg.Backend == CCLBackend {
+		channels = cfg.CCLChannels
+	}
+	stats := make([]Stats, cfg.Ranks)
+	var wg sync.WaitGroup
+	wg.Add(cfg.Ranks)
+	for id := 0; id < cfg.Ranks; id++ {
+		go func(id int) {
+			defer wg.Done()
+			r := &Rank{ID: id, Eng: e, commFree: make([]float64, channels), Stats: newStats()}
+			body(r)
+			stats[id] = r.Stats
+		}(id)
+	}
+	wg.Wait()
+	return stats
+}
+
+// Now returns the rank's current compute-stream virtual time.
+func (r *Rank) Now() float64 { return r.now }
+
+// ComputeCores returns the cores available to compute kernels: all of them
+// under MPI (the progress thread is not reserved — hence interference) and
+// Cores−CommCores under CCL.
+func (r *Rank) ComputeCores() int {
+	if r.Eng.Cfg.Backend == CCLBackend {
+		return r.Eng.Cfg.Socket.Cores - r.Eng.Cfg.CommCores
+	}
+	return r.Eng.Cfg.Socket.Cores
+}
+
+// Compute advances the rank's clock by seconds of kernel time. Under the
+// MPI backend, compute that overlaps in-flight communication is inflated by
+// the interference factor.
+func (r *Rank) Compute(seconds float64) {
+	if seconds < 0 {
+		panic("cluster: negative compute time")
+	}
+	if r.Eng.Cfg.Backend == MPIBackend && r.Eng.Cfg.Interference > 1 {
+		busy := false
+		for _, f := range r.commFree {
+			if f > r.now {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			seconds *= r.Eng.Cfg.Interference
+		}
+	}
+	r.now += seconds
+	r.Stats.Compute += seconds
+}
+
+// Prep charges framework pre/post-processing (flat-buffer packing, gradient
+// averaging) to compute time, attributed to the given label.
+func (r *Rank) Prep(label string, seconds float64) {
+	r.now += seconds
+	r.Stats.Prep[label] += seconds
+}
+
+// Collective issues one collective operation. payload carries this rank's
+// contribution (real data); lead computes everyone's results and the
+// operation's virtual duration once all ranks have arrived. The call
+// returns this rank's result and a Handle for Wait. Under Blocking configs
+// the wait happens before returning.
+//
+// Channel selection: MPI has one FIFO channel; CCL spreads labels across
+// its channels so independent collectives progress concurrently.
+func (r *Rank) Collective(label string, payload any, lead LeaderFunc) (any, *Handle) {
+	cfg := r.Eng.Cfg
+	r.now += cfg.CallOverhead
+	r.Stats.Prep[label] += cfg.CallOverhead
+
+	ch := 0
+	if cfg.Backend == CCLBackend {
+		ch = hashLabel(label) % len(r.commFree)
+	}
+	ready := r.now
+	if r.commFree[ch] > ready {
+		ready = r.commFree[ch]
+	}
+	seq := r.seq
+	r.seq++
+	res, finish, dur := r.Eng.exchange(seq, r.ID, payload, ready, lead)
+	r.commFree[ch] = finish
+	r.Stats.CommBusy[label] += dur
+	h := &Handle{Label: label, finish: finish}
+	if cfg.Blocking {
+		r.Wait(h)
+	}
+	return res, h
+}
+
+// Wait blocks the compute stream until the collective completes, recording
+// the exposed wait time under the handle's label.
+func (r *Rank) Wait(h *Handle) {
+	if h == nil {
+		return
+	}
+	if h.finish > r.now {
+		r.Stats.Wait[h.Label] += h.finish - r.now
+		r.now = h.finish
+	}
+}
+
+// Barrier synchronizes all ranks' compute clocks (zero-duration collective)
+// and waits immediately.
+func (r *Rank) Barrier() {
+	_, h := r.Collective("barrier", nil, func(_ []any, start float64) ([]any, float64) {
+		return nil, 0
+	})
+	r.Wait(h)
+}
+
+// exchange is the rendezvous: gathers payloads and ready times from all
+// ranks, runs the leader once, and releases everyone with their result.
+func (e *Engine) exchange(seq int64, rank int, payload any, ready float64, lead LeaderFunc) (any, float64, float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.slots[seq]
+	if !ok {
+		s = &slot{
+			payloads: make([]any, e.Cfg.Ranks),
+			ready:    make([]float64, e.Cfg.Ranks),
+		}
+		e.slots[seq] = s
+	}
+	s.payloads[rank] = payload
+	s.ready[rank] = ready
+	s.arrived++
+	if s.arrived == e.Cfg.Ranks {
+		start := s.ready[0]
+		for _, t := range s.ready[1:] {
+			if t > start {
+				start = t
+			}
+		}
+		results, dur := lead(s.payloads, start)
+		dur *= e.Cfg.commSlowdown()
+		s.results = results
+		s.dur = dur
+		s.finish = start + dur
+		s.done = true
+		e.cond.Broadcast()
+	} else {
+		for !s.done {
+			e.cond.Wait()
+		}
+	}
+	var res any
+	if s.results != nil {
+		res = s.results[rank]
+	}
+	// Last rank out cleans up the slot.
+	s.arrived--
+	if s.arrived == 0 {
+		delete(e.slots, seq)
+	}
+	return res, s.finish, s.dur
+}
+
+func hashLabel(s string) int {
+	h := 0
+	for i := 0; i < len(s); i++ {
+		h = h*31 + int(s[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/perfmodel"
+)
+
+func testCfg(ranks int, b Backend) Config {
+	return Config{
+		Ranks:        ranks,
+		Topo:         fabric.NewPrunedFatTree(max(ranks, 1), 12.5e9),
+		Socket:       perfmodel.CLX8280,
+		Backend:      b,
+		CallOverhead: 1e-9, // negligible for the logic tests
+		Interference: 1.3,
+	}
+}
+
+// fixedDur returns a leader that sums float64 payloads and takes dur.
+func sumLeader(dur float64) LeaderFunc {
+	return func(payloads []any, start float64) ([]any, float64) {
+		var sum float64
+		for _, p := range payloads {
+			sum += p.(float64)
+		}
+		out := make([]any, len(payloads))
+		for i := range out {
+			out[i] = sum
+		}
+		return out, dur
+	}
+}
+
+func TestCollectiveMovesData(t *testing.T) {
+	stats := Run(testCfg(4, MPIBackend), func(r *Rank) {
+		res, h := r.Collective("sum", float64(r.ID+1), sumLeader(0.001))
+		r.Wait(h)
+		if res.(float64) != 10 { // 1+2+3+4
+			t.Errorf("rank %d got %v want 10", r.ID, res)
+		}
+	})
+	if len(stats) != 4 {
+		t.Fatalf("expected 4 stats, got %d", len(stats))
+	}
+}
+
+func TestVirtualTimeAdvances(t *testing.T) {
+	// CCL with 4 comm cores has no comm slowdown, so durations are exact.
+	stats := Run(testCfg(2, CCLBackend), func(r *Rank) {
+		r.Compute(0.5)
+		_, h := r.Collective("op", float64(0), sumLeader(0.25))
+		r.Wait(h)
+		if got := r.Now(); math.Abs(got-0.75) > 1e-6 {
+			t.Errorf("rank %d time %g want 0.75", r.ID, got)
+		}
+	})
+	for _, s := range stats {
+		if math.Abs(s.Compute-0.5) > 1e-9 {
+			t.Fatalf("compute time %g want 0.5", s.Compute)
+		}
+		if math.Abs(s.Wait["op"]-0.25) > 1e-6 {
+			t.Fatalf("wait %g want 0.25", s.Wait["op"])
+		}
+	}
+}
+
+func TestCollectiveStartsAtSlowestRank(t *testing.T) {
+	Run(testCfg(3, CCLBackend), func(r *Rank) {
+		r.Compute(float64(r.ID) * 0.1) // rank 2 arrives at 0.2
+		_, h := r.Collective("op", float64(0), sumLeader(0.05))
+		r.Wait(h)
+		want := 0.25
+		if math.Abs(r.Now()-want) > 1e-6 {
+			t.Errorf("rank %d finishes at %g want %g", r.ID, r.Now(), want)
+		}
+	})
+}
+
+func TestOverlapHidesCommunication(t *testing.T) {
+	// Enqueue a 0.2s collective, compute 0.3s, then wait: exposed wait ≈ 0.
+	stats := Run(testCfg(2, CCLBackend), func(r *Rank) {
+		_, h := r.Collective("ar", float64(0), sumLeader(0.2))
+		r.Compute(0.3)
+		r.Wait(h)
+	})
+	for _, s := range stats {
+		if s.Wait["ar"] > 1e-6 {
+			t.Fatalf("overlapped wait should be ~0, got %g", s.Wait["ar"])
+		}
+	}
+	// Blocking config exposes the full communication.
+	cfg := testCfg(2, CCLBackend)
+	cfg.Blocking = true
+	stats = Run(cfg, func(r *Rank) {
+		_, h := r.Collective("ar", float64(0), sumLeader(0.2))
+		r.Compute(0.3)
+		r.Wait(h) // no-op: already waited at enqueue
+	})
+	for _, s := range stats {
+		if math.Abs(s.Wait["ar"]-0.2) > 1e-6 {
+			t.Fatalf("blocking wait %g want 0.2", s.Wait["ar"])
+		}
+	}
+}
+
+func TestMPIFIFOInOrderCompletion(t *testing.T) {
+	// Under MPI, a wait on the second collective (alltoall) pays for the
+	// first (allreduce) queued before it — §VI-D's in-order artifact.
+	stats := Run(testCfg(2, MPIBackend), func(r *Rank) {
+		_, h1 := r.Collective("allreduce", float64(0), sumLeader(0.4))
+		_, h2 := r.Collective("alltoall", float64(0), sumLeader(0.1))
+		r.Wait(h2) // only waits the alltoall handle
+		r.Wait(h1)
+	})
+	for _, s := range stats {
+		// With the MPI single-progress-thread slowdown (1.5×), the alltoall
+		// finishes at 0.6 + 0.15 = 0.75, all exposed at the alltoall wait.
+		if math.Abs(s.Wait["alltoall"]-0.75) > 1e-3 {
+			t.Fatalf("MPI in-order: alltoall wait %g want ≈0.75", s.Wait["alltoall"])
+		}
+		if s.Wait["allreduce"] > 1e-6 {
+			t.Fatalf("allreduce wait should be absorbed, got %g", s.Wait["allreduce"])
+		}
+	}
+}
+
+func TestCCLChannelsOverlapIndependentOps(t *testing.T) {
+	// Under CCL, differently-labeled collectives use different channels and
+	// proceed concurrently.
+	cfg := testCfg(2, CCLBackend)
+	cfg.CCLChannels = 4
+	stats := Run(cfg, func(r *Rank) {
+		_, h1 := r.Collective("allreduce", float64(0), sumLeader(0.4))
+		_, h2 := r.Collective("alltoall", float64(0), sumLeader(0.1))
+		r.Wait(h2)
+		r.Wait(h1)
+	})
+	for _, s := range stats {
+		// alltoall finishes at ~0.1 — not after the allreduce.
+		if s.Wait["alltoall"] > 0.11 {
+			t.Fatalf("CCL alltoall wait %g, want ≈0.1 (concurrent channels)", s.Wait["alltoall"])
+		}
+	}
+}
+
+func TestMPIInterferenceInflatesOverlappedCompute(t *testing.T) {
+	stats := Run(testCfg(2, MPIBackend), func(r *Rank) {
+		_, h := r.Collective("ar", float64(0), sumLeader(1.0))
+		r.Compute(0.5) // overlaps the in-flight allreduce → inflated 1.3×
+		r.Wait(h)
+	})
+	for _, s := range stats {
+		if math.Abs(s.Compute-0.65) > 1e-6 {
+			t.Fatalf("MPI overlapped compute %g want 0.65", s.Compute)
+		}
+	}
+	// CCL does not inflate.
+	stats = Run(testCfg(2, CCLBackend), func(r *Rank) {
+		_, h := r.Collective("ar", float64(0), sumLeader(1.0))
+		r.Compute(0.5)
+		r.Wait(h)
+	})
+	for _, s := range stats {
+		if math.Abs(s.Compute-0.5) > 1e-6 {
+			t.Fatalf("CCL overlapped compute %g want 0.5", s.Compute)
+		}
+	}
+}
+
+func TestComputeCores(t *testing.T) {
+	Run(testCfg(1, MPIBackend), func(r *Rank) {
+		if r.ComputeCores() != perfmodel.CLX8280.Cores {
+			t.Errorf("MPI compute cores %d want all %d", r.ComputeCores(), perfmodel.CLX8280.Cores)
+		}
+	})
+	cfg := testCfg(1, CCLBackend)
+	Run(cfg, func(r *Rank) {
+		if r.ComputeCores() != perfmodel.CLX8280.Cores-4 {
+			t.Errorf("CCL compute cores %d want %d", r.ComputeCores(), perfmodel.CLX8280.Cores-4)
+		}
+	})
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	Run(testCfg(4, MPIBackend), func(r *Rank) {
+		r.Compute(float64(r.ID) * 0.1)
+		r.Barrier()
+		if math.Abs(r.Now()-0.3) > 1e-6 {
+			t.Errorf("rank %d after barrier at %g want 0.3", r.ID, r.Now())
+		}
+	})
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []Stats {
+		return Run(testCfg(8, CCLBackend), func(r *Rank) {
+			for i := 0; i < 5; i++ {
+				r.Compute(0.01 * float64(r.ID+1))
+				_, h := r.Collective("a2a", float64(r.ID), sumLeader(0.02))
+				r.Compute(0.005)
+				r.Wait(h)
+			}
+		})
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Compute != b[i].Compute || a[i].TotalWait() != b[i].TotalWait() {
+			t.Fatalf("simulation not deterministic at rank %d", i)
+		}
+	}
+}
+
+func TestLeaderRunsExactlyOnce(t *testing.T) {
+	var calls int32
+	Run(testCfg(6, MPIBackend), func(r *Rank) {
+		_, h := r.Collective("x", nil, func(p []any, start float64) ([]any, float64) {
+			atomic.AddInt32(&calls, 1)
+			return nil, 0.001
+		})
+		r.Wait(h)
+	})
+	if calls != 1 {
+		t.Fatalf("leader ran %d times, want 1", calls)
+	}
+}
+
+func TestPrepAccounting(t *testing.T) {
+	stats := Run(testCfg(1, MPIBackend), func(r *Rank) {
+		r.Prep("alltoall", 0.002)
+	})
+	if math.Abs(stats[0].Prep["alltoall"]-0.002) > 1e-12 {
+		t.Fatal("prep not recorded")
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	Run(testCfg(1, CCLBackend), func(r *Rank) {
+		res, h := r.Collective("solo", float64(7), sumLeader(0.01))
+		r.Wait(h)
+		if res.(float64) != 7 {
+			t.Fatalf("single-rank collective result %v", res)
+		}
+	})
+}
+
+func TestConfigValidationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 ranks")
+		}
+	}()
+	Run(Config{Ranks: 0}, func(r *Rank) {})
+}

@@ -1,0 +1,97 @@
+package comm
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/fabric"
+)
+
+// AllreduceAlgo selects the allreduce algorithm for the cost model. The
+// paper (§II) calls for "the best possible allreduce algorithm"; which one
+// that is depends on message size and scale, so the ablation harness sweeps
+// these.
+type AllreduceAlgo int
+
+const (
+	// RingRSAG is the bandwidth-optimal ring reduce-scatter + all-gather
+	// the trainer uses by default: 2(R−1) neighbour phases of bytes/R.
+	RingRSAG AllreduceAlgo = iota
+	// RecursiveHalving is the latency-optimal recursive halving/doubling:
+	// 2·log2(R) phases with geometrically shrinking volumes. Wins for small
+	// messages where the ring's 2(R−1) latencies dominate.
+	RecursiveHalving
+	// FlatTree is the naive gather-to-root + broadcast: the root's link
+	// carries (R−1)·bytes in each direction. The baseline a framework uses
+	// when nobody tuned it.
+	FlatTree
+)
+
+// String returns the algorithm name.
+func (a AllreduceAlgo) String() string {
+	switch a {
+	case RingRSAG:
+		return "ring RS+AG"
+	case RecursiveHalving:
+		return "recursive halving"
+	case FlatTree:
+		return "flat tree"
+	default:
+		return "unknown"
+	}
+}
+
+// AllreduceAlgos lists the modeled algorithms.
+var AllreduceAlgos = []AllreduceAlgo{RingRSAG, RecursiveHalving, FlatTree}
+
+// AllreduceTimeAlgo returns the modeled duration of an allreduce of bytes
+// per rank under the chosen algorithm.
+func (c *Comm) AllreduceTimeAlgo(algo AllreduceAlgo, bytes float64) float64 {
+	r := c.size
+	if r == 1 {
+		return 0
+	}
+	switch algo {
+	case RecursiveHalving:
+		// Reduce-scatter by recursive halving then all-gather by recursive
+		// doubling: at step k the partner distance is 2^k and the volume
+		// halves; 2·ceil(log2 R) phases in total. For non-powers of two we
+		// charge the power-of-two envelope (standard practice).
+		steps := bits.Len(uint(r - 1))
+		var total float64
+		vol := bytes / 2
+		for k := 0; k < steps; k++ {
+			dist := 1 << k
+			flows := make([]fabric.Flow, 0, r)
+			for i := 0; i < r; i++ {
+				flows = append(flows, fabric.Flow{Src: i, Dst: (i + dist) % r, Bytes: vol})
+			}
+			total += 2 * fabric.PhaseTime(c.Topo, flows) // RS phase + mirrored AG phase
+			vol /= 2
+		}
+		return total
+	case FlatTree:
+		in := make([]fabric.Flow, 0, r-1)
+		out := make([]fabric.Flow, 0, r-1)
+		for i := 1; i < r; i++ {
+			in = append(in, fabric.Flow{Src: i, Dst: 0, Bytes: bytes})
+			out = append(out, fabric.Flow{Src: 0, Dst: i, Bytes: bytes})
+		}
+		return fabric.PhaseTime(c.Topo, in) + fabric.PhaseTime(c.Topo, out)
+	default:
+		return c.AllreduceTime(bytes)
+	}
+}
+
+// BestAllreduceAlgo returns the fastest modeled algorithm and its time for
+// the given volume — what a tuned communication library would pick.
+func (c *Comm) BestAllreduceAlgo(bytes float64) (AllreduceAlgo, float64) {
+	best := RingRSAG
+	bestT := math.Inf(1)
+	for _, a := range AllreduceAlgos {
+		if t := c.AllreduceTimeAlgo(a, bytes); t < bestT {
+			best, bestT = a, t
+		}
+	}
+	return best, bestT
+}

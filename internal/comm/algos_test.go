@@ -1,0 +1,85 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/perfmodel"
+)
+
+func commAt(ranks int) (*Comm, func()) {
+	topo := fabric.NewPrunedFatTree(ranks, 12.5e9)
+	done := make(chan *Comm, 1)
+	release := make(chan struct{})
+	go cluster.Run(cluster.Config{Ranks: ranks, Topo: topo, Socket: perfmodel.CLX8280, CallOverhead: 1e-9},
+		func(r *cluster.Rank) {
+			if r.ID == 0 {
+				done <- New(r, topo)
+				<-release
+			} else {
+				<-release
+			}
+		})
+	return <-done, func() { close(release) }
+}
+
+func TestAllreduceAlgoLargeMessageRingWins(t *testing.T) {
+	c, release := commAt(16)
+	defer release()
+	const bytes = 1e9 // 1 GB: bandwidth-dominated
+	ring := c.AllreduceTimeAlgo(RingRSAG, bytes)
+	rh := c.AllreduceTimeAlgo(RecursiveHalving, bytes)
+	flat := c.AllreduceTimeAlgo(FlatTree, bytes)
+	if ring > rh*1.05 {
+		t.Fatalf("ring (%g) should not lose to recursive halving (%g) at 1 GB", ring, rh)
+	}
+	if flat < 2*ring {
+		t.Fatalf("flat tree (%g) must be far worse than ring (%g): root link serializes", flat, ring)
+	}
+}
+
+func TestAllreduceAlgoSmallMessageLatencyMatters(t *testing.T) {
+	c, release := commAt(32)
+	defer release()
+	const bytes = 4e3 // 4 KB: latency-dominated
+	ring := c.AllreduceTimeAlgo(RingRSAG, bytes)
+	rh := c.AllreduceTimeAlgo(RecursiveHalving, bytes)
+	// Ring pays 2(R−1)=62 latencies; recursive halving 2·log2(32)=10.
+	if rh > ring {
+		t.Fatalf("recursive halving (%g) should beat ring (%g) for tiny messages", rh, ring)
+	}
+}
+
+func TestBestAllreduceAlgoPicksMinimum(t *testing.T) {
+	c, release := commAt(16)
+	defer release()
+	for _, bytes := range []float64{1e3, 1e6, 1e9} {
+		algo, best := c.BestAllreduceAlgo(bytes)
+		for _, a := range AllreduceAlgos {
+			if tt := c.AllreduceTimeAlgo(a, bytes); tt < best-1e-15 {
+				t.Fatalf("BestAllreduceAlgo(%g) picked %v (%g) but %v is faster (%g)",
+					bytes, algo, best, a, tt)
+			}
+		}
+	}
+}
+
+func TestAllreduceAlgoSingleRankFree(t *testing.T) {
+	c, release := commAt(1)
+	defer release()
+	for _, a := range AllreduceAlgos {
+		if c.AllreduceTimeAlgo(a, 1e9) != 0 {
+			t.Fatalf("%v: single-rank allreduce must be free", a)
+		}
+	}
+}
+
+func TestAllreduceAlgoNames(t *testing.T) {
+	if RingRSAG.String() == "" || RecursiveHalving.String() == "" || FlatTree.String() == "" {
+		t.Fatal("names missing")
+	}
+	if AllreduceAlgo(99).String() != "unknown" {
+		t.Fatal("unknown algo name")
+	}
+}

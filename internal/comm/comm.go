@@ -1,0 +1,230 @@
+// Package comm implements the communication primitives DLRM's hybrid
+// parallelism needs (§II, §IV): allreduce (materialized as reduce-scatter +
+// all-gather, the way the paper overlaps the SGD with backward GEMMs),
+// alltoall for the model→data parallelism switch at the interaction op, and
+// the scatter used by the ScatterList/FusedScatter variants.
+//
+// Every collective moves real data between the rank goroutines (tests check
+// numerical correctness) while its duration is charged from the fabric
+// topology: flows are placed on routes and the bottleneck link paces the
+// phase. A scatter's root serialization, ring allreduce's 2(R−1)/R volume,
+// pairwise alltoall's hop contention on the twisted hypercube — all fall
+// out of the flow model rather than hand-tuned constants.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+)
+
+// Comm binds a rank to a topology, providing collectives.
+type Comm struct {
+	R    *cluster.Rank
+	Topo fabric.Topology
+	size int
+}
+
+// New returns the communicator for rank r over topo.
+func New(r *cluster.Rank, topo fabric.Topology) *Comm {
+	return &Comm{R: r, Topo: topo, size: r.Eng.Cfg.Ranks}
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.R.ID }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// ringFlows returns the neighbour-exchange flows of one ring phase.
+func ringFlows(r int, bytes float64) []fabric.Flow {
+	flows := make([]fabric.Flow, r)
+	for i := 0; i < r; i++ {
+		flows[i] = fabric.Flow{Src: i, Dst: (i + 1) % r, Bytes: bytes}
+	}
+	return flows
+}
+
+// AllreduceTime returns the modeled duration of a ring reduce-scatter +
+// all-gather allreduce of bytes per rank: 2(R−1) neighbour phases moving
+// bytes/R each.
+func (c *Comm) AllreduceTime(bytes float64) float64 {
+	r := c.size
+	if r == 1 {
+		return 0
+	}
+	per := bytes / float64(r)
+	return 2 * float64(r-1) * fabric.PhaseTime(c.Topo, ringFlows(r, per))
+}
+
+// ReduceScatterTime and AllgatherTime are each half of the allreduce, used
+// by the per-layer overlap schedule of Fig. 2.
+func (c *Comm) ReduceScatterTime(bytes float64) float64 { return c.AllreduceTime(bytes) / 2 }
+
+// AllgatherTime returns the modeled all-gather duration (see ReduceScatterTime).
+func (c *Comm) AllgatherTime(bytes float64) float64 { return c.AllreduceTime(bytes) / 2 }
+
+// AlltoallTime returns the modeled duration of a pairwise-exchange alltoall
+// where every rank sends blockBytes to every other rank: R−1 phases, phase k
+// pairing i with (i+k) mod R. Multi-hop partners load shared links, which is
+// what keeps the 8-socket twisted hypercube from improving alltoall from 4
+// to 8 sockets (Fig. 15).
+func (c *Comm) AlltoallTime(blockBytes float64) float64 {
+	r := c.size
+	if r == 1 || blockBytes <= 0 {
+		return 0
+	}
+	var total float64
+	flows := make([]fabric.Flow, r)
+	for k := 1; k < r; k++ {
+		for i := 0; i < r; i++ {
+			flows[i] = fabric.Flow{Src: i, Dst: (i + k) % r, Bytes: blockBytes}
+		}
+		total += fabric.PhaseTime(c.Topo, flows)
+	}
+	return total
+}
+
+// ScatterTime returns the modeled duration of one scatter: the root sends
+// blockBytes to every other rank; the root's injection link is the
+// bottleneck, so cost ≈ (R−1)·blockBytes / root bandwidth.
+func (c *Comm) ScatterTime(root int, blockBytes float64) float64 {
+	r := c.size
+	if r == 1 || blockBytes <= 0 {
+		return 0
+	}
+	flows := make([]fabric.Flow, 0, r-1)
+	for j := 0; j < r; j++ {
+		if j != root {
+			flows = append(flows, fabric.Flow{Src: root, Dst: j, Bytes: blockBytes})
+		}
+	}
+	return fabric.PhaseTime(c.Topo, flows)
+}
+
+// Allreduce sums buf elementwise across all ranks (in place) and returns a
+// handle; the buffer contents are valid after Wait. If avg is true the
+// result is divided by the rank count (DDP gradient averaging).
+func (c *Comm) Allreduce(label string, buf []float32, avg bool) *cluster.Handle {
+	bytes := float64(4 * len(buf))
+	res, h := c.R.Collective(label, buf, func(payloads []any, start float64) ([]any, float64) {
+		sum := make([]float32, len(buf))
+		for _, p := range payloads {
+			v := p.([]float32)
+			if len(v) != len(sum) {
+				panic(fmt.Sprintf("comm: allreduce size mismatch %d vs %d", len(v), len(sum)))
+			}
+			for i, x := range v {
+				sum[i] += x
+			}
+		}
+		if avg {
+			inv := 1 / float32(len(payloads))
+			for i := range sum {
+				sum[i] *= inv
+			}
+		}
+		results := make([]any, len(payloads))
+		for i := range results {
+			results[i] = sum
+		}
+		return results, c.AllreduceTime(bytes)
+	})
+	copy(buf, res.([]float32))
+	return h
+}
+
+// Alltoall performs the personalized all-to-all: send holds Size()
+// contiguous blocks of blockLen float32s (block j destined to rank j); the
+// returned slice holds Size() blocks where block j came from rank j. The
+// data is valid after Wait.
+func (c *Comm) Alltoall(label string, send []float32, blockLen int) ([]float32, *cluster.Handle) {
+	r := c.size
+	if len(send) != r*blockLen {
+		panic(fmt.Sprintf("comm: alltoall send len %d want %d", len(send), r*blockLen))
+	}
+	blockBytes := float64(4 * blockLen)
+	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
+		results := make([]any, r)
+		for dst := 0; dst < r; dst++ {
+			recv := make([]float32, r*blockLen)
+			for src := 0; src < r; src++ {
+				sb := payloads[src].([]float32)
+				copy(recv[src*blockLen:(src+1)*blockLen], sb[dst*blockLen:(dst+1)*blockLen])
+			}
+			results[dst] = recv
+		}
+		return results, c.AlltoallTime(blockBytes)
+	})
+	return res.([]float32), h
+}
+
+// Scatter distributes root's send buffer (Size() blocks of blockLen) so
+// that rank j receives block j. Non-root ranks pass send=nil. The returned
+// slice is valid after Wait.
+func (c *Comm) Scatter(label string, root int, send []float32, blockLen int) ([]float32, *cluster.Handle) {
+	r := c.size
+	if c.Rank() == root && len(send) != r*blockLen {
+		panic(fmt.Sprintf("comm: scatter send len %d want %d", len(send), r*blockLen))
+	}
+	blockBytes := float64(4 * blockLen)
+	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
+		buf := payloads[root].([]float32)
+		results := make([]any, r)
+		for j := 0; j < r; j++ {
+			blk := make([]float32, blockLen)
+			copy(blk, buf[j*blockLen:(j+1)*blockLen])
+			results[j] = blk
+		}
+		return results, c.ScatterTime(root, blockBytes)
+	})
+	return res.([]float32), h
+}
+
+// Allgather concatenates every rank's send block; rank j's data lands at
+// block j of the result. Valid after Wait.
+func (c *Comm) Allgather(label string, send []float32) ([]float32, *cluster.Handle) {
+	r := c.size
+	blockLen := len(send)
+	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
+		out := make([]float32, r*blockLen)
+		for j := 0; j < r; j++ {
+			sb := payloads[j].([]float32)
+			if len(sb) != blockLen {
+				panic("comm: allgather irregular block sizes")
+			}
+			copy(out[j*blockLen:(j+1)*blockLen], sb)
+		}
+		results := make([]any, r)
+		for i := range results {
+			results[i] = out
+		}
+		return results, c.AllgatherTime(float64(4 * r * blockLen))
+	})
+	return res.([]float32), h
+}
+
+// Broadcast copies root's buffer to every rank (in place on buf), valid
+// after Wait. Used to replicate initial MLP weights so data-parallel ranks
+// start identical.
+func (c *Comm) Broadcast(label string, root int, buf []float32) *cluster.Handle {
+	res, h := c.R.Collective(label, buf, func(payloads []any, start float64) ([]any, float64) {
+		src := payloads[root].([]float32)
+		results := make([]any, len(payloads))
+		for i := range results {
+			results[i] = src
+		}
+		// Tree broadcast ≈ log2(R) phases of root-link transfers.
+		bytes := float64(4 * len(src))
+		var dur float64
+		for n := 1; n < c.size; n *= 2 {
+			dur += fabric.PhaseTime(c.Topo, []fabric.Flow{{Src: 0, Dst: c.size - 1, Bytes: bytes}})
+		}
+		return results, dur
+	})
+	if c.Rank() != root {
+		copy(buf, res.([]float32))
+	}
+	return h
+}

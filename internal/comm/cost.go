@@ -1,0 +1,125 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+)
+
+// The *Cost variants of the collectives decouple the modeled volume from the
+// actual payload size. The distributed trainer runs in two regimes: the
+// functional regime moves real (scaled-down) tensors to validate numerics,
+// while the timing regime replays the paper-scale experiment with empty
+// payloads and explicit byte counts from Table II. Both regimes issue the
+// identical collective sequence, so the timing structure is exercised by the
+// functional tests.
+
+// AllreduceCost is Allreduce with an explicit modeled volume in bytes.
+func (c *Comm) AllreduceCost(label string, buf []float32, avg bool, bytes float64) *cluster.Handle {
+	res, h := c.R.Collective(label, buf, func(payloads []any, start float64) ([]any, float64) {
+		sum := make([]float32, len(buf))
+		for _, p := range payloads {
+			v := p.([]float32)
+			if len(v) != len(sum) {
+				panic(fmt.Sprintf("comm: allreduce size mismatch %d vs %d", len(v), len(sum)))
+			}
+			for i, x := range v {
+				sum[i] += x
+			}
+		}
+		if avg {
+			inv := 1 / float32(len(payloads))
+			for i := range sum {
+				sum[i] *= inv
+			}
+		}
+		results := make([]any, len(payloads))
+		for i := range results {
+			results[i] = sum
+		}
+		return results, c.AllreduceTime(bytes)
+	})
+	copy(buf, res.([]float32))
+	return h
+}
+
+// AlltoallCost is Alltoall with an explicit modeled per-block volume.
+func (c *Comm) AlltoallCost(label string, send []float32, blockLen int, blockBytes float64) ([]float32, *cluster.Handle) {
+	r := c.size
+	if len(send) != r*blockLen {
+		panic(fmt.Sprintf("comm: alltoall send len %d want %d", len(send), r*blockLen))
+	}
+	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
+		results := make([]any, r)
+		for dst := 0; dst < r; dst++ {
+			recv := make([]float32, r*blockLen)
+			for src := 0; src < r; src++ {
+				sb := payloads[src].([]float32)
+				copy(recv[src*blockLen:(src+1)*blockLen], sb[dst*blockLen:(dst+1)*blockLen])
+			}
+			results[dst] = recv
+		}
+		return results, c.AlltoallTime(blockBytes)
+	})
+	return res.([]float32), h
+}
+
+// ScatterCost is Scatter with an explicit modeled per-block volume.
+func (c *Comm) ScatterCost(label string, root int, send []float32, blockLen int, blockBytes float64) ([]float32, *cluster.Handle) {
+	r := c.size
+	if c.Rank() == root && len(send) != r*blockLen {
+		panic(fmt.Sprintf("comm: scatter send len %d want %d", len(send), r*blockLen))
+	}
+	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
+		buf, _ := payloads[root].([]float32)
+		results := make([]any, r)
+		for j := 0; j < r; j++ {
+			blk := make([]float32, blockLen)
+			if buf != nil {
+				copy(blk, buf[j*blockLen:(j+1)*blockLen])
+			}
+			results[j] = blk
+		}
+		return results, c.ScatterTime(root, blockBytes)
+	})
+	return res.([]float32), h
+}
+
+// GatherTime returns the modeled duration of a gather: every rank sends
+// blockBytes to the root, whose receive link is the bottleneck (the mirror
+// image of ScatterTime).
+func (c *Comm) GatherTime(root int, blockBytes float64) float64 {
+	r := c.size
+	if r == 1 || blockBytes <= 0 {
+		return 0
+	}
+	flows := make([]fabric.Flow, 0, r-1)
+	for j := 0; j < r; j++ {
+		if j != root {
+			flows = append(flows, fabric.Flow{Src: j, Dst: root, Bytes: blockBytes})
+		}
+	}
+	return fabric.PhaseTime(c.Topo, flows)
+}
+
+// GatherCost collects every rank's send block at root (concatenated in rank
+// order); non-root ranks receive nil. Valid after Wait.
+func (c *Comm) GatherCost(label string, root int, send []float32, blockBytes float64) ([]float32, *cluster.Handle) {
+	r := c.size
+	blockLen := len(send)
+	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
+		out := make([]float32, r*blockLen)
+		for j := 0; j < r; j++ {
+			sb := payloads[j].([]float32)
+			copy(out[j*blockLen:(j+1)*blockLen], sb)
+		}
+		results := make([]any, r)
+		results[root] = out
+		return results, c.GatherTime(root, blockBytes)
+	})
+	if c.Rank() == root {
+		return res.([]float32), h
+	}
+	return nil, h
+}

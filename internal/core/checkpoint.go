@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Checkpoint format: a little-endian binary stream with a magic header,
+// the config dimensions (for validation), every MLP parameter tensor in
+// VisitParams order, every owned embedding table, and a trailing CRC32 of
+// all payload bytes. Unowned tables (distributed shards) are written as
+// empty and skipped on load, so shard checkpoints compose.
+
+const ckptMagic = 0x444C524D // "DLRM"
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// Save serializes the model (MLP weights and owned embedding tables) to w.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	hdr := []uint32{ckptMagic, uint32(m.Cfg.Tables), uint32(m.Cfg.EmbDim),
+		uint32(m.Cfg.DenseIn), uint32(m.BN)}
+	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	writeTensor := func(p []float32) error {
+		if err := binary.Write(cw, binary.LittleEndian, uint64(len(p))); err != nil {
+			return err
+		}
+		return binary.Write(cw, binary.LittleEndian, p)
+	}
+	var err error
+	for _, mlpNet := range []interface {
+		VisitParams(func(string, []float32))
+	}{m.Bot, m.Top} {
+		mlpNet.VisitParams(func(_ string, p []float32) {
+			if err == nil {
+				err = writeTensor(p)
+			}
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("core: checkpoint MLP: %w", err)
+	}
+	for _, tab := range m.Tables {
+		if tab == nil {
+			if err := binary.Write(cw, binary.LittleEndian, uint64(0)); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writeTensor(tab.W); err != nil {
+			return fmt.Errorf("core: checkpoint table: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load restores a model previously saved with Save into m; the model must
+// have been constructed with the same config. Table slots that are empty in
+// the checkpoint (unowned shards) are left untouched.
+func (m *Model) Load(r io.Reader) error {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	var hdr [5]uint32
+	if err := binary.Read(cr, binary.LittleEndian, &hdr); err != nil {
+		return fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	if hdr[0] != ckptMagic {
+		return fmt.Errorf("core: not a DLRM checkpoint (magic %08x)", hdr[0])
+	}
+	if int(hdr[1]) != m.Cfg.Tables || int(hdr[2]) != m.Cfg.EmbDim || int(hdr[3]) != m.Cfg.DenseIn {
+		return fmt.Errorf("core: checkpoint config mismatch: S=%d E=%d D=%d vs model S=%d E=%d D=%d",
+			hdr[1], hdr[2], hdr[3], m.Cfg.Tables, m.Cfg.EmbDim, m.Cfg.DenseIn)
+	}
+	readTensor := func(p []float32) error {
+		var n uint64
+		if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if int(n) != len(p) {
+			return fmt.Errorf("core: tensor length %d, model expects %d", n, len(p))
+		}
+		return binary.Read(cr, binary.LittleEndian, p)
+	}
+	var err error
+	for _, mlpNet := range []interface {
+		VisitParams(func(string, []float32))
+	}{m.Bot, m.Top} {
+		mlpNet.VisitParams(func(_ string, p []float32) {
+			if err == nil {
+				err = readTensor(p)
+			}
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("core: checkpoint MLP: %w", err)
+	}
+	m.Bot.InvalidateTransposes()
+	m.Top.InvalidateTransposes()
+	for ti, tab := range m.Tables {
+		var n uint64
+		if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if n == 0 {
+			continue
+		}
+		if tab == nil {
+			// Skip an unowned table's payload.
+			if _, err := io.CopyN(io.Discard, cr, int64(n)*4); err != nil {
+				return err
+			}
+			continue
+		}
+		if int(n) != len(tab.W) {
+			return fmt.Errorf("core: table %d length %d, model expects %d", ti, n, len(tab.W))
+		}
+		if err := binary.Read(cr, binary.LittleEndian, tab.W); err != nil {
+			return err
+		}
+	}
+	want := cr.crc
+	var got uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &got); err != nil {
+		return fmt.Errorf("core: checkpoint CRC: %w", err)
+	}
+	if got != want {
+		return fmt.Errorf("core: checkpoint corrupt: crc %08x want %08x", got, want)
+	}
+	return m.validateFinite()
+}
+
+// validateFinite rejects checkpoints holding NaN/Inf weights.
+func (m *Model) validateFinite() error {
+	bad := false
+	check := func(p []float32) {
+		for _, v := range p {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				bad = true
+				return
+			}
+		}
+	}
+	m.Bot.VisitParams(func(_ string, p []float32) { check(p) })
+	m.Top.VisitParams(func(_ string, p []float32) { check(p) })
+	for _, tab := range m.Tables {
+		if tab != nil {
+			check(tab.W)
+		}
+	}
+	if bad {
+		return fmt.Errorf("core: checkpoint contains non-finite weights")
+	}
+	return nil
+}

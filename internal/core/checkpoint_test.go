@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/par"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	ds := tinyDataset(cfg)
+	m := NewModel(cfg, 16, 1)
+	tr := NewTrainer(m, par.NewPool(2), embedding.RaceFree, 0.5, FP32)
+	for i := 0; i < 3; i++ {
+		tr.Step(ds.Batch(i, cfg.MB))
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewModel(cfg, 16, 999) // different init
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Weights must match bit for bit.
+	var a, b [][]float32
+	m.Bot.VisitParams(func(_ string, p []float32) { a = append(a, p) })
+	m.Top.VisitParams(func(_ string, p []float32) { a = append(a, p) })
+	restored.Bot.VisitParams(func(_ string, p []float32) { b = append(b, p) })
+	restored.Top.VisitParams(func(_ string, p []float32) { b = append(b, p) })
+	for pi := range a {
+		for i := range a[pi] {
+			if a[pi][i] != b[pi][i] {
+				t.Fatalf("MLP param %d differs after restore", pi)
+			}
+		}
+	}
+	for ti := range m.Tables {
+		for i := range m.Tables[ti].W {
+			if m.Tables[ti].W[i] != restored.Tables[ti].W[i] {
+				t.Fatalf("table %d differs after restore", ti)
+			}
+		}
+	}
+	// And the restored model must produce identical predictions.
+	mb := ds.Batch(100, cfg.MB)
+	trR := NewTrainer(restored, par.NewPool(2), embedding.RaceFree, 0.5, FP32)
+	pa := tr.Predict(mb)
+	pb := trR.Predict(mb)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("prediction %d differs after restore", i)
+		}
+	}
+}
+
+func TestCheckpointShardComposition(t *testing.T) {
+	// Shard checkpoints hold only owned tables; loading one into a full
+	// model must update exactly those tables.
+	cfg := tinyConfig()
+	sh := NewModelShard(cfg, 16, 5, 1, 2)
+	for _, tab := range sh.Tables {
+		if tab != nil {
+			tab.W[0] = 42
+		}
+	}
+	var buf bytes.Buffer
+	if err := sh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := NewModel(cfg, 16, 5)
+	if err := full.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for ti, tab := range full.Tables {
+		if TableOwner(ti, 2) == 1 {
+			if tab.W[0] != 42 {
+				t.Fatalf("owned table %d not restored", ti)
+			}
+		} else if tab.W[0] == 42 {
+			t.Fatalf("unowned table %d overwritten", ti)
+		}
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	cfg := tinyConfig()
+	m := NewModel(cfg, 16, 1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0xFF // flip a payload byte
+	if err := NewModel(cfg, 16, 1).Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+}
+
+func TestCheckpointConfigMismatchRejected(t *testing.T) {
+	m := NewModel(tinyConfig(), 16, 1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := tinyConfig()
+	other.EmbDim = 32
+	other.BotHidden = []int{32}
+	wrong := NewModel(other, 16, 1)
+	err := wrong.Load(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("config mismatch not rejected: %v", err)
+	}
+}
+
+func TestCheckpointRejectsNonFinite(t *testing.T) {
+	cfg := tinyConfig()
+	m := NewModel(cfg, 16, 1)
+	m.Tables[0].W[3] = float32(math.NaN())
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewModel(cfg, 16, 1).Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("NaN weights accepted")
+	}
+}
+
+func TestCheckpointGarbageRejected(t *testing.T) {
+	if err := NewModel(tinyConfig(), 16, 1).Load(bytes.NewReader([]byte("not a checkpoint at all........"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	_ = data.CriteoTBRows // keep import for symmetry with other tests
+}

@@ -1,0 +1,9 @@
+// Package core assembles the paper's primary contribution: the optimized
+// DLRM training system. It combines the substrate packages — blocked-GEMM
+// MLPs, EmbeddingBag with the four update strategies, the dot interaction,
+// and the communication stack — into (a) the single-socket trainer whose
+// optimization story is Figs. 7/8, (b) the hybrid-parallel distributed
+// trainer (data-parallel MLPs, model-parallel embeddings) whose scaling
+// story is Figs. 9–15, and (c) the mixed-precision training modes of §VII
+// (Fig. 16).
+package core

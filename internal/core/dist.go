@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/fabric"
+	"repro/internal/loss"
+	"repro/internal/par"
+	"repro/internal/perfmodel"
+)
+
+// CommStrategy selects how embedding outputs switch from model to data
+// parallelism at the interaction op (§IV-B).
+type CommStrategy int
+
+const (
+	// ScatterList issues one scatter per embedding table — the original
+	// multi-device DLRM pattern, many small backend calls.
+	ScatterList CommStrategy = iota
+	// FusedScatter coalesces each rank's local tables into one buffer and
+	// issues one scatter per rank.
+	FusedScatter
+	// Alltoall uses the single native all-to-all collective.
+	Alltoall
+)
+
+// String returns the paper's label.
+func (s CommStrategy) String() string {
+	switch s {
+	case ScatterList:
+		return "ScatterList"
+	case FusedScatter:
+		return "Fused Scatter"
+	case Alltoall:
+		return "Alltoall"
+	default:
+		return fmt.Sprintf("CommStrategy(%d)", int(s))
+	}
+}
+
+// Variant couples a communication strategy with a backend — the four lines
+// of Figs. 9/12.
+type Variant struct {
+	Strategy CommStrategy
+	Backend  cluster.Backend
+}
+
+// Name returns the figure legend label (e.g. "CCL Alltoall").
+func (v Variant) Name() string {
+	prefix := "MPI"
+	if v.Backend == cluster.CCLBackend {
+		prefix = "CCL"
+	}
+	return prefix + " " + v.Strategy.String()
+}
+
+// Variants lists the four evaluated combinations in figure order.
+var Variants = []Variant{
+	{ScatterList, cluster.MPIBackend},
+	{FusedScatter, cluster.MPIBackend},
+	{Alltoall, cluster.MPIBackend},
+	{Alltoall, cluster.CCLBackend},
+}
+
+// loaderPerSample is the per-sample cost of the framework data loader that
+// reads the full global minibatch on every rank (§VI-D2's weak-scaling
+// artifact), calibrated so 26 ranks × LN=2048 adds ≈20 ms as in Fig. 13.
+const loaderPerSample = 400e-9
+
+// DistConfig describes one distributed DLRM run.
+type DistConfig struct {
+	Cfg     Config // paper-scale config: drives all modeled times/volumes
+	Ranks   int
+	GlobalN int
+	Iters   int
+
+	Variant  Variant
+	Blocking bool
+	Topo     fabric.Topology
+	Socket   perfmodel.Socket
+	// CommCores overrides the number of cores dedicated to communication
+	// (0 = backend default: 4 for CCL, none for MPI). The §IV-A tuning knob S.
+	CommCores int
+	// LoaderGlobalMB charges the data-loader artifact (each rank reads the
+	// full global minibatch); the paper's MLPerf runs have it.
+	LoaderGlobalMB bool
+
+	// Functional execution: when RunCfg is non-nil, every rank instantiates
+	// a scaled model shard and really trains on Dataset (used by the
+	// equivalence tests). Timing-only runs leave it nil.
+	RunCfg  *Config
+	Dataset data.Dataset
+	Seed    int64
+	LR      float32
+	Pool    *par.Pool
+}
+
+// DistResult aggregates a run: virtual-time metrics (always) and the
+// trained per-rank models (functional mode).
+type DistResult struct {
+	IterSeconds float64 // max over ranks of total virtual time / iters
+
+	// Per-iteration averages over ranks, in seconds.
+	ComputePerIter float64
+	WaitPerIter    map[string]float64
+	BusyPerIter    map[string]float64
+	PrepPerIter    map[string]float64
+
+	Stats  []cluster.Stats
+	Models []*Model    // rank models (functional mode only)
+	Losses [][]float64 // [rank][iter] local losses (functional mode only)
+}
+
+// TotalCommPerIter returns the exposed communication time per iteration.
+func (r *DistResult) TotalCommPerIter() float64 {
+	var t float64
+	for _, v := range r.WaitPerIter {
+		t += v
+	}
+	return t
+}
+
+// funcState holds the real-execution state of one rank.
+type funcState struct {
+	model  *Model
+	pool   *par.Pool
+	cfg    Config // scaled config
+	shardN int
+	// flat gradient buffers for the two allreduces
+	botGrad, topGrad []float32
+}
+
+// RunDistributed executes the hybrid-parallel DLRM training loop on the
+// simulated cluster and returns timing (and, in functional mode, models).
+func RunDistributed(dc DistConfig) *DistResult {
+	if dc.GlobalN%dc.Ranks != 0 {
+		panic(fmt.Sprintf("core: global minibatch %d not divisible by %d ranks", dc.GlobalN, dc.Ranks))
+	}
+	if dc.Ranks > dc.Cfg.MaxRanks() {
+		panic(fmt.Sprintf("core: %d ranks exceeds max %d for %s", dc.Ranks, dc.Cfg.MaxRanks(), dc.Cfg.Name))
+	}
+	res := &DistResult{
+		WaitPerIter: map[string]float64{},
+		BusyPerIter: map[string]float64{},
+		PrepPerIter: map[string]float64{},
+		Models:      make([]*Model, dc.Ranks),
+		Losses:      make([][]float64, dc.Ranks),
+	}
+	ccfg := cluster.Config{
+		Ranks:     dc.Ranks,
+		Topo:      dc.Topo,
+		Socket:    dc.Socket,
+		Backend:   dc.Variant.Backend,
+		Blocking:  dc.Blocking,
+		CommCores: dc.CommCores,
+	}
+	stats := cluster.Run(ccfg, func(r *cluster.Rank) {
+		dc.rankBody(r, res)
+	})
+	res.Stats = stats
+	iters := float64(dc.Iters)
+	var maxNow float64
+	for _, s := range stats {
+		now := s.Compute + s.TotalWait()
+		for _, v := range s.Prep {
+			now += v
+		}
+		if now > maxNow {
+			maxNow = now
+		}
+		res.ComputePerIter += s.Compute / iters / float64(dc.Ranks)
+		for k, v := range s.Wait {
+			res.WaitPerIter[k] += v / iters / float64(dc.Ranks)
+		}
+		for k, v := range s.CommBusy {
+			res.BusyPerIter[k] += v / iters / float64(dc.Ranks)
+		}
+		for k, v := range s.Prep {
+			res.PrepPerIter[k] += v / iters / float64(dc.Ranks)
+		}
+	}
+	res.IterSeconds = maxNow / iters
+	return res
+}
+
+// rankBody is the SPMD program every rank executes.
+func (dc DistConfig) rankBody(r *cluster.Rank, res *DistResult) {
+	cm := comm.New(r, dc.Topo)
+	cfg := dc.Cfg
+	ranks := dc.Ranks
+	shardN := dc.GlobalN / ranks
+	locT := LocalTables(cfg, r.ID, ranks)
+	maxLoc := MaxLocalTables(cfg, ranks)
+	cores := r.ComputeCores()
+	sock := dc.Socket
+
+	var fn *funcState
+	if dc.RunCfg != nil {
+		pool := dc.Pool
+		if pool == nil {
+			pool = par.NewPool(2)
+		}
+		m := NewModelShard(*dc.RunCfg, mlpBlockFor(shardN), dc.Seed, r.ID, ranks)
+		fn = &funcState{
+			model:   m,
+			pool:    pool,
+			cfg:     *dc.RunCfg,
+			shardN:  shardN,
+			botGrad: make([]float32, mlpGradLen(m.Bot)),
+			topGrad: make([]float32, mlpGradLen(m.Top)),
+		}
+		res.Models[r.ID] = m
+	}
+
+	// Modeled per-pass times from the paper-scale config.
+	botFwd := sock.GemmTime(perfmodel.MLPPassFlops(cfg.BotSizes(), shardN),
+		perfmodel.MLPPassBytes(cfg.BotSizes(), shardN), cores)
+	topFwd := sock.GemmTime(perfmodel.MLPPassFlops(cfg.TopSizes(), shardN),
+		perfmodel.MLPPassBytes(cfg.TopSizes(), shardN), cores)
+	interFwd := sock.GemmTime(
+		2*float64(shardN)*float64(cfg.InterDim()-cfg.EmbDim)*float64(cfg.EmbDim),
+		8*float64(shardN)*float64(cfg.Tables+1)*float64(cfg.EmbDim), cores)
+	embFwd := sock.StreamTime(perfmodel.EmbeddingFwdBytes(len(locT), dc.GlobalN, cfg.Lookups, cfg.EmbDim), cores)
+	embUpd := sock.StreamTime(perfmodel.EmbeddingUpdBytes(len(locT), dc.GlobalN, cfg.Lookups, cfg.EmbDim), cores)
+	sgdTime := sock.StreamTime(3*cfg.AllreduceBytes(), cores)
+
+	// Modeled communication volumes (Table II / Eqs. 1-2).
+	a2aBlockBytes := float64(maxLoc) * float64(shardN) * float64(cfg.EmbDim) * 4
+	scatterBlockBytes := float64(shardN) * float64(cfg.EmbDim) * 4
+	arBytesBot, arBytesTop := mlpParamBytes(cfg.BotSizes()), mlpParamBytes(cfg.TopSizes())
+
+	for it := 0; it < dc.Iters; it++ {
+		// (0) framework data loader: reads the FULL global minibatch on
+		// every rank (§VI-D2).
+		if dc.LoaderGlobalMB {
+			r.Prep("loader", loaderPerSample*float64(dc.GlobalN))
+		}
+		var gmb, lmb *data.MiniBatch
+		if fn != nil {
+			gmb = dc.Dataset.Batch(it, dc.GlobalN)
+			lmb = gmb.Shard(r.ID, ranks)
+		}
+
+		// (1) Embedding forward for LOCAL tables over the GLOBAL minibatch
+		// (model parallelism).
+		r.Compute(embFwd)
+		var embFull map[int][]float32
+		if fn != nil {
+			embFull = map[int][]float32{}
+			for _, t := range locT {
+				out := make([]float32, dc.GlobalN*fn.cfg.EmbDim)
+				fn.model.Tables[t].Forward(fn.pool, gmb.Sparse[t], out)
+				embFull[t] = out
+			}
+		}
+
+		// (2) Redistribute embedding outputs (model → data parallel).
+		embOut, embHandles := dc.forwardRedistribute(cm, r, fn, locT, maxLoc, shardN, embFull, a2aBlockBytes, scatterBlockBytes)
+
+		// (3) Bottom MLP forward on the local shard (overlaps the alltoall:
+		// the only compute that can hide it, §VI-D).
+		r.Compute(botFwd)
+
+		// (4) Consume embedding outputs: wait for the redistribution.
+		for _, h := range embHandles {
+			r.Wait(h)
+		}
+
+		// (5) Interaction + top MLP forward + loss.
+		r.Compute(interFwd + topFwd)
+		var dz []float32
+		if fn != nil {
+			logits := fn.model.ForwardDense(fn.pool, lmb.Dense, embOut)
+			dz = make([]float32, shardN)
+			l := loss.BCEWithLogits(logits, lmb.Labels, dz)
+			res.Losses[r.ID] = append(res.Losses[r.ID], l)
+			// Rescale from 1/localN to 1/globalN so the allreduce SUM of
+			// MLP grads equals the single-socket global-batch gradient.
+			scale := float32(shardN) / float32(dc.GlobalN)
+			for i := range dz {
+				dz[i] *= scale
+			}
+		}
+
+		// (6) Top MLP backward, then enqueue its gradient allreduce so it
+		// overlaps the remaining backward work (§IV-A).
+		r.Compute(2 * topFwd)
+		var dEmb [][]float32
+		if fn != nil {
+			dEmb = fn.model.BackwardDense(fn.pool, dz)
+			flattenGrads(fn.model.Top, fn.topGrad)
+		}
+		r.Prep("allreduce", sock.StreamTime(2*arBytesTop, cores))
+		hTop := cm.AllreduceCost("allreduce", grad(fn, true), false, arBytesTop)
+
+		// (7) Interaction backward + bottom MLP backward, enqueue its
+		// allreduce.
+		r.Compute(interFwd + 2*botFwd)
+		if fn != nil {
+			flattenGrads(fn.model.Bot, fn.botGrad)
+		}
+		r.Prep("allreduce", sock.StreamTime(2*arBytesBot, cores))
+		hBot := cm.AllreduceCost("allreduce", grad(fn, false), false, arBytesBot)
+
+		// (8) Redistribute embedding gradients back to their owners
+		// (data → model parallel) and update the local tables.
+		dOutFull := dc.backwardRedistribute(cm, r, fn, locT, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes)
+		r.Compute(embUpd)
+		if fn != nil {
+			for _, t := range locT {
+				tab := fn.model.Tables[t]
+				dW := make([]float32, gmb.Sparse[t].NumLookups()*tab.E)
+				tab.Backward(fn.pool, gmb.Sparse[t], dOutFull[t], dW)
+				tab.Update(fn.pool, embedding.RaceFree, gmb.Sparse[t], dW, dc.LR)
+			}
+		}
+
+		// (9) Wait for the gradient allreduces and run the MLP SGD.
+		r.Wait(hTop)
+		r.Wait(hBot)
+		r.Compute(sgdTime)
+		if fn != nil {
+			unflattenGradsAndStep(fn.model.Top, fn.topGrad, dc.LR)
+			unflattenGradsAndStep(fn.model.Bot, fn.botGrad, dc.LR)
+		}
+	}
+}
+
+// grad returns the flat gradient buffer for the allreduce (empty in
+// timing-only mode).
+func grad(fn *funcState, top bool) []float32 {
+	if fn == nil {
+		return nil
+	}
+	if top {
+		return fn.topGrad
+	}
+	return fn.botGrad
+}
+
+func mlpParamBytes(sizes []int) float64 {
+	var n float64
+	for i := 0; i+1 < len(sizes); i++ {
+		n += float64(sizes[i]*sizes[i+1] + sizes[i+1])
+	}
+	return 4 * n
+}
+
+// mlpBlockFor picks a minibatch block size dividing the shard size.
+func mlpBlockFor(n int) int {
+	for _, b := range []int{16, 8, 4, 2, 1} {
+		if n%b == 0 {
+			return b
+		}
+	}
+	return 1
+}

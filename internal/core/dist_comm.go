@@ -1,0 +1,238 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/mlp"
+)
+
+// forwardRedistribute switches the embedding outputs from model to data
+// parallelism using the configured strategy. In functional mode it returns
+// one shardN×E row-major slice per table (valid after the handles complete);
+// in timing mode it returns nil outputs but the identical collective
+// sequence.
+func (dc DistConfig) forwardRedistribute(
+	cm *comm.Comm, r *cluster.Rank, fn *funcState,
+	locT []int, maxLoc, shardN int, embFull map[int][]float32,
+	a2aBlockBytes, scatterBlockBytes float64,
+) ([][]float32, []*cluster.Handle) {
+	cfg := dc.Cfg
+	ranks := dc.Ranks
+	var embOut [][]float32
+	if fn != nil {
+		embOut = make([][]float32, cfg.Tables)
+	}
+	var handles []*cluster.Handle
+
+	switch dc.Variant.Strategy {
+	case Alltoall:
+		blockLen := 0
+		var send []float32
+		if fn != nil {
+			e := fn.cfg.EmbDim
+			rowBytes := shardN * e
+			blockLen = maxLoc * rowBytes
+			send = make([]float32, ranks*blockLen)
+			for dst := 0; dst < ranks; dst++ {
+				for li, t := range locT {
+					copy(send[dst*blockLen+li*rowBytes:dst*blockLen+(li+1)*rowBytes],
+						embFull[t][dst*rowBytes:(dst+1)*rowBytes])
+				}
+			}
+		}
+		r.Prep("alltoall", dc.Socket.StreamTime(2*a2aBlockBytes*float64(ranks), r.ComputeCores()))
+		recv, h := cm.AlltoallCost("alltoall", send, blockLen, a2aBlockBytes)
+		handles = append(handles, h)
+		if fn != nil {
+			e := fn.cfg.EmbDim
+			rowBytes := shardN * e
+			for src := 0; src < ranks; src++ {
+				for li, t := range LocalTables(cfg, src, ranks) {
+					embOut[t] = recv[src*blockLen+li*rowBytes : src*blockLen+(li+1)*rowBytes]
+				}
+			}
+		}
+
+	case ScatterList:
+		for t := 0; t < cfg.Tables; t++ {
+			root := TableOwner(t, ranks)
+			blockLen := 0
+			var send []float32
+			if fn != nil {
+				blockLen = shardN * fn.cfg.EmbDim
+				if r.ID == root {
+					send = embFull[t]
+				}
+			}
+			blk, h := cm.ScatterCost("alltoall", root, send, blockLen, scatterBlockBytes)
+			handles = append(handles, h)
+			if fn != nil {
+				embOut[t] = blk
+			}
+		}
+
+	case FusedScatter:
+		for root := 0; root < ranks; root++ {
+			tabs := LocalTables(cfg, root, ranks)
+			if len(tabs) == 0 {
+				continue
+			}
+			blockLen := 0
+			var send []float32
+			if fn != nil {
+				e := fn.cfg.EmbDim
+				rowBytes := shardN * e
+				blockLen = len(tabs) * rowBytes
+				if r.ID == root {
+					// Coalesce the local tables into one buffer (the copy
+					// the paper charges as framework time).
+					send = make([]float32, ranks*blockLen)
+					for dst := 0; dst < ranks; dst++ {
+						for li, t := range tabs {
+							copy(send[dst*blockLen+li*rowBytes:dst*blockLen+(li+1)*rowBytes],
+								embFull[t][dst*rowBytes:(dst+1)*rowBytes])
+						}
+					}
+				}
+			}
+			if r.ID == root {
+				r.Prep("alltoall", dc.Socket.StreamTime(
+					2*float64(len(tabs))*scatterBlockBytes*float64(ranks), r.ComputeCores()))
+			}
+			blk, h := cm.ScatterCost("alltoall", root, send, blockLen,
+				float64(len(tabs))*scatterBlockBytes)
+			handles = append(handles, h)
+			if fn != nil {
+				e := fn.cfg.EmbDim
+				rowBytes := shardN * e
+				for li, t := range tabs {
+					embOut[t] = blk[li*rowBytes : (li+1)*rowBytes]
+				}
+			}
+		}
+	}
+	return embOut, handles
+}
+
+// backwardRedistribute sends each table's output gradients back to the
+// owning rank (data → model parallel) and returns, for owned tables, the
+// assembled full-global-minibatch gradient rows.
+func (dc DistConfig) backwardRedistribute(
+	cm *comm.Comm, r *cluster.Rank, fn *funcState,
+	locT []int, maxLoc, shardN int, dEmb [][]float32,
+	a2aBlockBytes, scatterBlockBytes float64,
+) map[int][]float32 {
+	cfg := dc.Cfg
+	ranks := dc.Ranks
+	var dOutFull map[int][]float32
+	if fn != nil {
+		dOutFull = map[int][]float32{}
+	}
+
+	switch dc.Variant.Strategy {
+	case Alltoall:
+		blockLen := 0
+		var send []float32
+		if fn != nil {
+			e := fn.cfg.EmbDim
+			rowBytes := shardN * e
+			blockLen = maxLoc * rowBytes
+			send = make([]float32, ranks*blockLen)
+			for dst := 0; dst < ranks; dst++ {
+				for li, t := range LocalTables(cfg, dst, ranks) {
+					copy(send[dst*blockLen+li*rowBytes:dst*blockLen+(li+1)*rowBytes], dEmb[t])
+				}
+			}
+		}
+		r.Prep("alltoall", dc.Socket.StreamTime(2*a2aBlockBytes*float64(ranks), r.ComputeCores()))
+		recv, h := cm.AlltoallCost("alltoall", send, blockLen, a2aBlockBytes)
+		r.Wait(h)
+		if fn != nil {
+			e := fn.cfg.EmbDim
+			rowBytes := shardN * e
+			for li, t := range locT {
+				full := make([]float32, dc.GlobalN*e)
+				for src := 0; src < ranks; src++ {
+					copy(full[src*rowBytes:(src+1)*rowBytes],
+						recv[src*blockLen+li*rowBytes:src*blockLen+(li+1)*rowBytes])
+				}
+				dOutFull[t] = full
+			}
+		}
+
+	case ScatterList:
+		for t := 0; t < cfg.Tables; t++ {
+			root := TableOwner(t, ranks)
+			var send []float32
+			if fn != nil {
+				send = dEmb[t]
+			}
+			full, h := cm.GatherCost("alltoall", root, send, scatterBlockBytes)
+			r.Wait(h)
+			if fn != nil && r.ID == root {
+				dOutFull[t] = full
+			}
+		}
+
+	case FusedScatter:
+		for root := 0; root < ranks; root++ {
+			tabs := LocalTables(cfg, root, ranks)
+			if len(tabs) == 0 {
+				continue
+			}
+			var send []float32
+			if fn != nil {
+				e := fn.cfg.EmbDim
+				rowBytes := shardN * e
+				send = make([]float32, len(tabs)*rowBytes)
+				for li, t := range tabs {
+					copy(send[li*rowBytes:(li+1)*rowBytes], dEmb[t])
+				}
+			}
+			full, h := cm.GatherCost("alltoall", root, send,
+				float64(len(tabs))*scatterBlockBytes)
+			r.Wait(h)
+			if fn != nil && r.ID == root {
+				e := fn.cfg.EmbDim
+				rowBytes := shardN * e
+				blockLen := len(tabs) * rowBytes
+				for li, t := range tabs {
+					fullT := make([]float32, dc.GlobalN*e)
+					for src := 0; src < ranks; src++ {
+						copy(fullT[src*rowBytes:(src+1)*rowBytes],
+							full[src*blockLen+li*rowBytes:src*blockLen+(li+1)*rowBytes])
+					}
+					dOutFull[t] = fullT
+				}
+			}
+		}
+	}
+	return dOutFull
+}
+
+// mlpGradLen returns the flat length of all gradient tensors of m.
+func mlpGradLen(m *mlp.MLP) int {
+	n := 0
+	m.VisitGrads(func(_ string, g []float32) { n += len(g) })
+	return n
+}
+
+// flattenGrads copies every gradient tensor of m into buf sequentially.
+func flattenGrads(m *mlp.MLP, buf []float32) {
+	off := 0
+	m.VisitGrads(func(_ string, g []float32) {
+		copy(buf[off:off+len(g)], g)
+		off += len(g)
+	})
+}
+
+// unflattenGradsAndStep writes the (reduced) flat gradients back into m and
+// applies one SGD step.
+func unflattenGradsAndStep(m *mlp.MLP, buf []float32, lr float32) {
+	off := 0
+	m.VisitGrads(func(_ string, g []float32) {
+		copy(g, buf[off:off+len(g)])
+		off += len(g)
+	})
+	m.Step(lr)
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/fabric"
+	"repro/internal/par"
+	"repro/internal/perfmodel"
+)
+
+func distTestConfig(cfg Config, ranks, globalN, iters int, v Variant, functional bool) DistConfig {
+	dc := DistConfig{
+		Cfg:     cfg,
+		Ranks:   ranks,
+		GlobalN: globalN,
+		Iters:   iters,
+		Variant: v,
+		Topo:    fabric.NewPrunedFatTree(ranks, 12.5e9),
+		Socket:  perfmodel.CLX8280,
+		Seed:    17,
+		LR:      0.5,
+		Pool:    par.NewPool(2),
+	}
+	if functional {
+		run := cfg
+		dc.RunCfg = &run
+		dc.Dataset = data.NewClickLog(42, cfg.DenseIn, cfg.Rows, cfg.Lookups)
+	}
+	return dc
+}
+
+// trainSingle runs the single-socket trainer for comparison.
+func trainSingle(cfg Config, globalN, iters int, seed int64, lr float32) *Model {
+	m := NewModel(cfg, mlpBlockFor(globalN), seed)
+	tr := NewTrainer(m, par.NewPool(2), embedding.RaceFree, lr, FP32)
+	ds := data.NewClickLog(42, cfg.DenseIn, cfg.Rows, cfg.Lookups)
+	for i := 0; i < iters; i++ {
+		tr.Step(ds.Batch(i, globalN))
+	}
+	return m
+}
+
+// TestDistributedMatchesSingleSocket is the core hybrid-parallelism
+// correctness check: R ranks training on shards of the same global batches
+// must produce (nearly) the same model as one socket training on the full
+// batches, for every communication strategy.
+func TestDistributedMatchesSingleSocket(t *testing.T) {
+	cfg := tinyConfig()
+	const globalN, iters = 64, 3
+	ref := trainSingle(cfg, globalN, iters, 17, 0.5)
+
+	for _, v := range Variants {
+		for _, ranks := range []int{2, 4} {
+			dc := distTestConfig(cfg, ranks, globalN, iters, v, true)
+			res := RunDistributed(dc)
+
+			// MLP replicas must agree across ranks and with the reference.
+			for rk := 0; rk < ranks; rk++ {
+				m := res.Models[rk]
+				checkMLPClose(t, v.Name(), m, ref, 2e-3)
+			}
+			// Each owned table must match the reference's table.
+			for rk := 0; rk < ranks; rk++ {
+				m := res.Models[rk]
+				for ti, tab := range m.Tables {
+					if tab == nil {
+						continue
+					}
+					for i := range tab.W {
+						d := math.Abs(float64(tab.W[i] - ref.Tables[ti].W[i]))
+						if d > 2e-3 {
+							t.Fatalf("%s R=%d: table %d diverged by %g", v.Name(), ranks, ti, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkMLPClose(t *testing.T, label string, got, want *Model, tol float64) {
+	t.Helper()
+	var gotP, wantP [][]float32
+	got.Bot.VisitParams(func(_ string, p []float32) { gotP = append(gotP, p) })
+	got.Top.VisitParams(func(_ string, p []float32) { gotP = append(gotP, p) })
+	want.Bot.VisitParams(func(_ string, p []float32) { wantP = append(wantP, p) })
+	want.Top.VisitParams(func(_ string, p []float32) { wantP = append(wantP, p) })
+	for pi := range gotP {
+		for i := range gotP[pi] {
+			d := math.Abs(float64(gotP[pi][i] - wantP[pi][i]))
+			if d > tol {
+				t.Fatalf("%s: MLP param %d diverged by %g", label, pi, d)
+				return
+			}
+		}
+	}
+}
+
+func TestDistributedRanksStayInSync(t *testing.T) {
+	// Data-parallel MLP replicas must be identical across ranks after
+	// training (they see the same reduced gradients).
+	cfg := tinyConfig()
+	dc := distTestConfig(cfg, 4, 64, 3, Variant{Alltoall, cluster.CCLBackend}, true)
+	res := RunDistributed(dc)
+	for rk := 1; rk < 4; rk++ {
+		checkMLPClose(t, "replica sync", res.Models[rk], res.Models[0], 1e-7)
+	}
+}
+
+func TestDistributedLossesRecorded(t *testing.T) {
+	cfg := tinyConfig()
+	dc := distTestConfig(cfg, 2, 64, 4, Variant{Alltoall, cluster.MPIBackend}, true)
+	res := RunDistributed(dc)
+	for rk := 0; rk < 2; rk++ {
+		if len(res.Losses[rk]) != 4 {
+			t.Fatalf("rank %d recorded %d losses want 4", rk, len(res.Losses[rk]))
+		}
+	}
+}
+
+func TestTimingOnlyModeRuns(t *testing.T) {
+	// Paper-scale timing runs (no functional model) must work for all
+	// configs and strategies and give sane positive times.
+	for _, v := range Variants {
+		dc := distTestConfig(Small, 8, Small.GlobalMB, 2, v, false)
+		res := RunDistributed(dc)
+		if res.IterSeconds <= 0 {
+			t.Fatalf("%s: non-positive iteration time", v.Name())
+		}
+		if res.ComputePerIter <= 0 {
+			t.Fatalf("%s: no compute time", v.Name())
+		}
+		if res.BusyPerIter["alltoall"] <= 0 {
+			t.Fatalf("%s: no alltoall traffic recorded", v.Name())
+		}
+		if res.BusyPerIter["allreduce"] <= 0 {
+			t.Fatalf("%s: no allreduce traffic recorded", v.Name())
+		}
+	}
+}
+
+func TestAlltoallBeatsScatterList(t *testing.T) {
+	// Fig. 9: the native alltoall outperforms scatter-based redistribution
+	// (the paper reports >2× end-to-end at scale; at minimum the comm time
+	// must be clearly lower).
+	mk := func(v Variant) *DistResult {
+		return RunDistributed(distTestConfig(MLPerf, 16, MLPerf.GlobalMB, 3, v, false))
+	}
+	sl := mk(Variant{ScatterList, cluster.MPIBackend})
+	a2a := mk(Variant{Alltoall, cluster.MPIBackend})
+	if a2a.IterSeconds >= sl.IterSeconds {
+		t.Fatalf("alltoall (%.1fms) must beat scatterlist (%.1fms)",
+			a2a.IterSeconds*1e3, sl.IterSeconds*1e3)
+	}
+}
+
+func TestCCLBeatsMPI(t *testing.T) {
+	// Fig. 9/10: CCL-Alltoall beats MPI-Alltoall (no compute interference,
+	// concurrent channels).
+	mpi := RunDistributed(distTestConfig(Large, 16, Large.GlobalMB, 3, Variant{Alltoall, cluster.MPIBackend}, false))
+	ccl := RunDistributed(distTestConfig(Large, 16, Large.GlobalMB, 3, Variant{Alltoall, cluster.CCLBackend}, false))
+	if ccl.IterSeconds >= mpi.IterSeconds {
+		t.Fatalf("CCL (%.1fms) must beat MPI (%.1fms)", ccl.IterSeconds*1e3, mpi.IterSeconds*1e3)
+	}
+	// And MPI's compute inflates under overlap versus blocking (the
+	// progress-thread interference of Fig. 10), while CCL's does not.
+	mpiCfg := distTestConfig(Large, 16, Large.GlobalMB, 3, Variant{Alltoall, cluster.MPIBackend}, false)
+	mpiCfg.Blocking = true
+	mpiBlocking := RunDistributed(mpiCfg)
+	if mpi.ComputePerIter <= mpiBlocking.ComputePerIter*1.01 {
+		t.Fatalf("MPI overlap compute %.2fms must exceed blocking %.2fms",
+			mpi.ComputePerIter*1e3, mpiBlocking.ComputePerIter*1e3)
+	}
+	cclCfg := distTestConfig(Large, 16, Large.GlobalMB, 3, Variant{Alltoall, cluster.CCLBackend}, false)
+	cclCfg.Blocking = true
+	cclBlocking := RunDistributed(cclCfg)
+	if rel := math.Abs(ccl.ComputePerIter-cclBlocking.ComputePerIter) / cclBlocking.ComputePerIter; rel > 0.01 {
+		t.Fatalf("CCL compute must not change with overlap (rel diff %.3f)", rel)
+	}
+}
+
+func TestBlockingExposesMoreCommunication(t *testing.T) {
+	base := distTestConfig(Large, 8, Large.GlobalMB, 3, Variant{Alltoall, cluster.CCLBackend}, false)
+	overlap := RunDistributed(base)
+	base.Blocking = true
+	blocking := RunDistributed(base)
+	if blocking.TotalCommPerIter() <= overlap.TotalCommPerIter() {
+		t.Fatalf("blocking comm %.2fms must exceed overlapped %.2fms",
+			blocking.TotalCommPerIter()*1e3, overlap.TotalCommPerIter()*1e3)
+	}
+}
+
+func TestStrongScalingSpeedup(t *testing.T) {
+	// Strong scaling (Fig. 9): more ranks on a fixed problem must reduce
+	// iteration time, with decaying efficiency.
+	iterAt := func(ranks int) float64 {
+		dc := distTestConfig(Large, ranks, Large.GlobalMB, 2, Variant{Alltoall, cluster.CCLBackend}, false)
+		return RunDistributed(dc).IterSeconds
+	}
+	t4, t16, t64 := iterAt(4), iterAt(16), iterAt(64)
+	if !(t16 < t4 && t64 < t16) {
+		t.Fatalf("strong scaling broken: 4R=%.1fms 16R=%.1fms 64R=%.1fms", t4*1e3, t16*1e3, t64*1e3)
+	}
+	speedup := t4 / t64
+	if speedup < 3 || speedup > 16 {
+		t.Fatalf("4→64R speedup %.1f outside plausible range (paper: ~5-6x over 8x ranks)", speedup)
+	}
+}
+
+func TestWeakScalingEfficiencyHigherThanStrong(t *testing.T) {
+	// Fig. 12 vs Fig. 9: weak scaling sustains higher efficiency because
+	// the alltoall volume grows with rank count while allreduce stays fixed.
+	strong := func(r int) float64 {
+		return RunDistributed(distTestConfig(Large, r, Large.GlobalMB, 2, Variant{Alltoall, cluster.CCLBackend}, false)).IterSeconds
+	}
+	weak := func(r int) float64 {
+		return RunDistributed(distTestConfig(Large, r, Large.LocalMB*r, 2, Variant{Alltoall, cluster.CCLBackend}, false)).IterSeconds
+	}
+	strongEff := strong(4) / strong(32) / 8 // ideal = 1
+	weakEff := weak(4) / weak(32)           // ideal = 1 (per-rank work constant)
+	if weakEff < strongEff {
+		t.Fatalf("weak efficiency %.2f must exceed strong %.2f", weakEff, strongEff)
+	}
+}
+
+func TestLoaderArtifactGrowsWithGlobalMB(t *testing.T) {
+	// §VI-D2: the data loader reads the full global minibatch on each rank,
+	// so weak-scaling compute grows with rank count.
+	mk := func(ranks int) *DistResult {
+		dc := distTestConfig(MLPerf, ranks, MLPerf.LocalMB*ranks, 2, Variant{Alltoall, cluster.CCLBackend}, false)
+		dc.LoaderGlobalMB = true
+		return RunDistributed(dc)
+	}
+	small := mk(2)
+	big := mk(16)
+	if big.PrepPerIter["loader"] <= small.PrepPerIter["loader"] {
+		t.Fatal("loader cost must grow with global minibatch")
+	}
+}
+
+func TestMPIInOrderAlltoallArtifact(t *testing.T) {
+	// §VI-D1: with the MPI backend and overlapping communication, allreduce
+	// cost shows up at the alltoall wait (in-order completion), so the
+	// alltoall wait share under MPI exceeds that under CCL.
+	mpi := RunDistributed(distTestConfig(Large, 16, Large.GlobalMB, 3, Variant{Alltoall, cluster.MPIBackend}, false))
+	ccl := RunDistributed(distTestConfig(Large, 16, Large.GlobalMB, 3, Variant{Alltoall, cluster.CCLBackend}, false))
+	if mpi.WaitPerIter["alltoall"] <= ccl.WaitPerIter["alltoall"] {
+		t.Fatalf("MPI alltoall wait %.2fms must exceed CCL %.2fms (in-order artifact)",
+			mpi.WaitPerIter["alltoall"]*1e3, ccl.WaitPerIter["alltoall"]*1e3)
+	}
+}
+
+func TestDistPanicsOnBadRankCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: ranks beyond table count")
+		}
+	}()
+	RunDistributed(distTestConfig(Small, 16, Small.GlobalMB, 1, Variant{Alltoall, cluster.MPIBackend}, false))
+}
+
+func TestDegradedFabricSlowsTraining(t *testing.T) {
+	// Failure injection: derating one socket's uplink must slow the whole
+	// job — collectives synchronize, so one slow link paces everyone.
+	base := distTestConfig(MLPerf, 8, MLPerf.GlobalMB, 2, Variant{Alltoall, cluster.CCLBackend}, false)
+	healthy := RunDistributed(base)
+	base.Topo = fabric.NewDegraded(fabric.NewPrunedFatTree(8, 12.5e9), map[int]float64{2: 0.1})
+	degraded := RunDistributed(base)
+	if degraded.IterSeconds <= healthy.IterSeconds*1.2 {
+		t.Fatalf("degraded link should slow iteration: %.2fms vs %.2fms",
+			degraded.IterSeconds*1e3, healthy.IterSeconds*1e3)
+	}
+}
+
+func TestCommCoresKnob(t *testing.T) {
+	// The §IV-A S knob: 1 comm core exposes more communication than 4.
+	mk := func(s int) *DistResult {
+		dc := distTestConfig(Large, 16, Large.GlobalMB, 2, Variant{Alltoall, cluster.CCLBackend}, false)
+		dc.CommCores = s
+		return RunDistributed(dc)
+	}
+	one, four := mk(1), mk(4)
+	if one.TotalCommPerIter() <= four.TotalCommPerIter() {
+		t.Fatalf("1 comm core should expose more comm than 4: %.2f vs %.2f ms",
+			one.TotalCommPerIter()*1e3, four.TotalCommPerIter()*1e3)
+	}
+	if one.ComputePerIter >= four.ComputePerIter {
+		t.Fatal("1 comm core leaves more cores for compute")
+	}
+}

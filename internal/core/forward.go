@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mlp"
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// fwdCache holds the intermediates ForwardDense saves for BackwardDense.
+type fwdCache struct {
+	n       int
+	embOut  [][]float32
+	interZ  []float32
+	dInterD *tensor.Dense
+}
+
+// ForwardDense runs the dense half of DLRM — bottom MLP, dot interaction,
+// top MLP — for a minibatch whose embedding outputs have already been
+// computed (locally or received over the fabric). dense is N×DenseIn;
+// embOut[t] is N×E row-major for every table t. Returns the click logits
+// (length N). Intermediates are retained for BackwardDense.
+func (m *Model) ForwardDense(p *par.Pool, dense *tensor.Dense, embOut [][]float32) []float32 {
+	n := dense.Rows
+	if n%m.BN != 0 {
+		panic(fmt.Sprintf("core: minibatch %d not divisible by block %d", n, m.BN))
+	}
+	if len(embOut) != m.Cfg.Tables {
+		panic(fmt.Sprintf("core: %d embedding outputs for %d tables", len(embOut), m.Cfg.Tables))
+	}
+
+	botIn := tensor.PackActs(dense, m.BN, mlp.BlockPick(dense.Cols, 64))
+	botRows := m.Bot.Forward(p, botIn).Unpack() // N×E
+
+	od := m.Inter.OutputDim()
+	z := make([]float32, n*od)
+	m.Inter.Forward(p, n, botRows.Data, embOut, z)
+
+	zD := &tensor.Dense{Rows: n, Cols: od, Data: z}
+	topIn := tensor.PackActs(zD, m.BN, mlp.BlockPick(od, 64))
+	logitsActs := m.Top.Forward(p, topIn)
+	logits := logitsActs.Unpack().Data // N×1 → flat length N
+
+	m.cache = fwdCache{n: n, embOut: embOut, interZ: z}
+	return logits
+}
+
+// BackwardDense backpropagates from the loss gradient dz (dL/dlogit, length
+// N): through the top MLP, the interaction, and the bottom MLP, filling
+// every layer's weight gradients, and returns the gradients of each table's
+// bag outputs (dEmb[t], N×E row-major) for the sparse backward/update.
+func (m *Model) BackwardDense(p *par.Pool, dz []float32) [][]float32 {
+	n := m.cache.n
+	if n == 0 {
+		panic("core: BackwardDense before ForwardDense")
+	}
+	if len(dz) != n {
+		panic(fmt.Sprintf("core: dz len %d want %d", len(dz), n))
+	}
+	dLogit := tensor.PackActs(&tensor.Dense{Rows: n, Cols: 1, Data: dz}, m.BN, 1)
+	dInter := m.Top.Backward(p, dLogit, true).Unpack()
+
+	e := m.Cfg.EmbDim
+	dBot := make([]float32, n*e)
+	dEmb := make([][]float32, m.Cfg.Tables)
+	for t := range dEmb {
+		dEmb[t] = make([]float32, n*e)
+	}
+	m.Inter.Backward(p, dInter.Data, dBot, dEmb)
+
+	dBotActs := tensor.PackActs(&tensor.Dense{Rows: n, Cols: e, Data: dBot}, m.BN, mlp.BlockPick(e, 64))
+	m.Bot.Backward(p, dBotActs, false)
+	return dEmb
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bf16"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/loss"
+	"repro/internal/optim"
+	"repro/internal/par"
+	"repro/internal/trace"
+)
+
+// Precision selects the training numerics of §VII.
+type Precision int
+
+const (
+	// FP32 is the reference full-precision training.
+	FP32 Precision = iota
+	// BF16Split is Split-SGD-BF16: BF16 working weights, exact FP32 updates
+	// through the hi/lo split, no master weights.
+	BF16Split
+	// BF16Split8LSB keeps only 8 extra LSBs — the §VII ablation that fails
+	// to reach reference accuracy.
+	BF16Split8LSB
+	// FP24 stores weights in the 1-8-15 format, losing update bits below
+	// its mantissa every step.
+	FP24
+	// FP16Stoch stores the embedding tables in FP16 with stochastic
+	// rounding on every update (the [13] replication of §VII; the MLPs use
+	// FP32 master weights as that scheme requires). The paper could not
+	// train DLRM to state of the art this way.
+	FP16Stoch
+)
+
+// String returns the Fig. 16 label.
+func (p Precision) String() string {
+	switch p {
+	case FP32:
+		return "FP32 (Ref)"
+	case BF16Split:
+		return "BF16 (SplitSGD)"
+	case BF16Split8LSB:
+		return "BF16 (SplitSGD, 8 LSB)"
+	case FP24:
+		return "FP24 (1-8-15)"
+	case FP16Stoch:
+		return "FP16 (stochastic)"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// Trainer runs single-socket DLRM training — the system whose optimization
+// Figs. 7/8 chart and whose mixed-precision variants Fig. 16 compares.
+type Trainer struct {
+	M        *Model
+	Pool     *par.Pool
+	Strategy embedding.Strategy
+	// FusedEmbedding applies the fused backward+update of §III-A instead of
+	// Backward followed by Update (valid for RaceFree semantics).
+	FusedEmbedding bool
+	LR             float32
+	Prec           Precision
+	// Prof, when non-nil, accumulates wall time per phase (embeddings, mlp,
+	// rest) for the Fig. 8 breakdown.
+	Prof *trace.Profile
+	// Schedule, when set (non-zero Base), overrides LR per step with the
+	// MLPerf warmup/decay policy.
+	Schedule optim.LRSchedule
+
+	step      int
+	mlpOpts   []optim.Optimizer
+	embSplits []*bf16.Split
+}
+
+// NewTrainer builds a trainer over model m with the given embedding-update
+// strategy and precision.
+func NewTrainer(m *Model, pool *par.Pool, strat embedding.Strategy, lr float32, prec Precision) *Trainer {
+	tr := &Trainer{M: m, Pool: pool, Strategy: strat, LR: lr, Prec: prec}
+	tr.initOptimizers()
+	return tr
+}
+
+func (tr *Trainer) initOptimizers() {
+	mk := func(params []float32) optim.Optimizer {
+		switch tr.Prec {
+		case BF16Split:
+			return optim.NewSplitSGD(params)
+		case BF16Split8LSB:
+			s := optim.NewSplitSGD(params)
+			s.LimitLoTo8Bits = true
+			return s
+		case FP24:
+			return optim.NewQuantizedSGD(params, bf16.RoundFP24, "FP24")
+		case FP16Stoch:
+			// FP16 working weights with an FP32 master copy, as mixed
+			// precision FP16 requires (§VII).
+			return optim.NewMasterSGD(params, bf16.RoundFP16, "FP16+master")
+		default:
+			return optim.NewSGD(params)
+		}
+	}
+	for _, m := range []interface {
+		VisitParams(func(string, []float32))
+	}{tr.M.Bot, tr.M.Top} {
+		m.VisitParams(func(_ string, p []float32) {
+			tr.mlpOpts = append(tr.mlpOpts, mk(p))
+		})
+	}
+	tr.M.Bot.InvalidateTransposes()
+	tr.M.Top.InvalidateTransposes()
+
+	switch tr.Prec {
+	case BF16Split, BF16Split8LSB:
+		for _, t := range tr.M.Tables {
+			if t == nil {
+				tr.embSplits = append(tr.embSplits, nil)
+				continue
+			}
+			s := bf16.NewSplit(t.W)
+			if tr.Prec == BF16Split8LSB {
+				s.LoBits8()
+			}
+			s.WriteHiTo(t.W)
+			tr.embSplits = append(tr.embSplits, s)
+		}
+	case FP24:
+		for _, t := range tr.M.Tables {
+			if t != nil {
+				t.QuantizeTable(bf16.RoundFP24)
+			}
+		}
+	case FP16Stoch:
+		for _, t := range tr.M.Tables {
+			if t != nil {
+				t.QuantizeTable(bf16.RoundFP16)
+			}
+		}
+	}
+}
+
+func (tr *Trainer) profTime(key string, fn func()) {
+	if tr.Prof != nil {
+		tr.Prof.Time(key, fn)
+	} else {
+		fn()
+	}
+}
+
+// embForward computes every table's bag outputs for the batch.
+func (tr *Trainer) embForward(mb *data.MiniBatch) [][]float32 {
+	e := tr.M.Cfg.EmbDim
+	out := make([][]float32, tr.M.Cfg.Tables)
+	for t, tab := range tr.M.Tables {
+		out[t] = make([]float32, mb.N*e)
+		tab.Forward(tr.Pool, mb.Sparse[t], out[t])
+	}
+	return out
+}
+
+// embUpdate applies the sparse backward+update for table t.
+func (tr *Trainer) embUpdate(t int, b *embedding.Batch, dOut []float32) {
+	tab := tr.M.Tables[t]
+	switch tr.Prec {
+	case BF16Split, BF16Split8LSB:
+		dW := make([]float32, b.NumLookups()*tab.E)
+		tab.Backward(tr.Pool, b, dOut, dW)
+		tab.UpdateSplitRaceFree(tr.Pool, tr.embSplits[t], b, dW, tr.LR)
+		if tr.Prec == BF16Split8LSB {
+			tr.embSplits[t].LoBits8()
+		}
+	case FP24:
+		dW := make([]float32, b.NumLookups()*tab.E)
+		tab.Backward(tr.Pool, b, dOut, dW)
+		tab.UpdateQuantRaceFree(tr.Pool, b, dW, tr.LR, bf16.RoundFP24)
+	case FP16Stoch:
+		dW := make([]float32, b.NumLookups()*tab.E)
+		tab.Backward(tr.Pool, b, dOut, dW)
+		tab.UpdateFP16StochasticRaceFree(tr.Pool, b, dW, tr.LR, uint64(t)<<32^0xD1CE)
+	default:
+		if tr.FusedEmbedding {
+			tab.FusedBackwardUpdate(tr.Pool, b, dOut, tr.LR)
+			return
+		}
+		dW := make([]float32, b.NumLookups()*tab.E)
+		tab.Backward(tr.Pool, b, dOut, dW)
+		tab.Update(tr.Pool, tr.Strategy, b, dW, tr.LR)
+	}
+}
+
+// mlpStep applies the per-tensor optimizers to both MLPs' gradients.
+func (tr *Trainer) mlpStep() {
+	i := 0
+	for _, m := range []interface {
+		VisitGrads(func(string, []float32))
+	}{tr.M.Bot, tr.M.Top} {
+		m.VisitGrads(func(_ string, g []float32) {
+			tr.mlpOpts[i].Step(g, tr.LR)
+			i++
+		})
+	}
+	tr.M.Bot.InvalidateTransposes()
+	tr.M.Top.InvalidateTransposes()
+}
+
+// Step runs one training iteration and returns the minibatch loss.
+func (tr *Trainer) Step(mb *data.MiniBatch) float64 {
+	if tr.Schedule.Base != 0 {
+		tr.LR = tr.Schedule.At(tr.step)
+	}
+	tr.step++
+	var embOut [][]float32
+	tr.profTime("embeddings", func() {
+		embOut = tr.embForward(mb)
+	})
+
+	var logits []float32
+	tr.profTime("mlp", func() {
+		logits = tr.M.ForwardDense(tr.Pool, mb.Dense, embOut)
+	})
+
+	dz := make([]float32, mb.N)
+	var lossVal float64
+	tr.profTime("rest", func() {
+		lossVal = loss.BCEWithLogits(logits, mb.Labels, dz)
+	})
+
+	var dEmb [][]float32
+	tr.profTime("mlp", func() {
+		dEmb = tr.M.BackwardDense(tr.Pool, dz)
+	})
+
+	tr.profTime("embeddings", func() {
+		for t := range tr.M.Tables {
+			tr.embUpdate(t, mb.Sparse[t], dEmb[t])
+		}
+	})
+
+	tr.profTime("mlp", func() {
+		tr.mlpStep()
+	})
+	return lossVal
+}
+
+// Predict returns the click probabilities for a batch (no state change
+// besides the saved forward cache).
+func (tr *Trainer) Predict(mb *data.MiniBatch) []float32 {
+	embOut := tr.embForward(mb)
+	logits := tr.M.ForwardDense(tr.Pool, mb.Dense, embOut)
+	out := make([]float32, mb.N)
+	loss.Sigmoid(logits, out)
+	return out
+}
+
+// EvalAUC computes ROC AUC over a batch.
+func (tr *Trainer) EvalAUC(mb *data.MiniBatch) float64 {
+	return loss.AUC(tr.Predict(mb), mb.Labels)
+}

@@ -1,0 +1,240 @@
+// Package data generates the training workloads. The paper uses a random
+// dataset for the Small/Large configs and the Criteo Terabyte click logs for
+// the MLPerf config; Criteo is not redistributable, so ClickLog is the
+// synthetic substitute: categorical features drawn from Zipf distributions
+// over each table's rows (reproducing the hot-row contention that drives
+// Fig. 7/8's MLPerf results) and labels planted by a logistic teacher over
+// latent row scores (so ROC AUC climbs toward a known ceiling, which is what
+// Fig. 16's convergence comparison needs).
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+)
+
+// MiniBatch is one training batch: dense features, one sparse batch per
+// embedding table, and binary labels.
+type MiniBatch struct {
+	N      int
+	Dense  *tensor.Dense      // N×D
+	Sparse []*embedding.Batch // per table
+	Labels []float32          // N
+}
+
+// Dataset produces deterministic minibatches by index.
+type Dataset interface {
+	// Batch materializes minibatch i with n samples.
+	Batch(i, n int) *MiniBatch
+	// NumTables returns the sparse feature count.
+	NumTables() int
+	// DenseDim returns the dense feature width.
+	DenseDim() int
+}
+
+// Random is the uniform synthetic dataset used for the Small and Large
+// configurations (§VI-D2): indices uniform over each table, dense features
+// standard uniform, labels Bernoulli(1/2). There is nothing to learn; it
+// exists to exercise performance.
+type Random struct {
+	Seed    int64
+	D       int // dense features
+	Tables  int
+	Rows    int // rows per table
+	Lookups int // P
+}
+
+// NumTables implements Dataset.
+func (r *Random) NumTables() int { return r.Tables }
+
+// DenseDim implements Dataset.
+func (r *Random) DenseDim() int { return r.D }
+
+// Batch implements Dataset.
+func (r *Random) Batch(i, n int) *MiniBatch {
+	rng := rand.New(rand.NewSource(r.Seed ^ int64(i)*0x5851F42D4C957F2D))
+	mb := &MiniBatch{
+		N:      n,
+		Dense:  tensor.NewDense(n, r.D),
+		Labels: make([]float32, n),
+	}
+	mb.Dense.Randomize(rng, 1)
+	for t := 0; t < r.Tables; t++ {
+		mb.Sparse = append(mb.Sparse, embedding.MakeBatch(rng, embedding.Uniform{}, n, r.Lookups, r.Rows))
+	}
+	for s := 0; s < n; s++ {
+		if rng.Float32() > 0.5 {
+			mb.Labels[s] = 1
+		}
+	}
+	return mb
+}
+
+// ClickLog is the synthetic Criteo-Terabyte substitute. Each table t has a
+// latent per-row score u_t[m] ~ N(0, TableSignal); the label of a sample is
+// Bernoulli(σ(bias + w·dense + Σ_t mean_s u_t[idx_s])). Indices follow
+// Zipf(Skew), dense features are log-normal-ish like click counters.
+type ClickLog struct {
+	Seed    int64
+	D       int
+	Rows    []int // per-table row counts (Criteo tables are wildly uneven)
+	Lookups int
+	Skew    float64 // Zipf exponent, ≈1.05 for click logs
+
+	// Teacher parameters.
+	TableSignal float64 // stddev of latent row scores
+	DenseSignal float64 // scale of dense teacher weights
+	Bias        float64 // prior log-odds (negative: clicks are rare-ish)
+
+	denseW []float64
+	// latent scores are generated lazily per (table,row) by hashing so huge
+	// tables need no storage.
+}
+
+// NewClickLog builds a click-log dataset with sensible teacher defaults.
+func NewClickLog(seed int64, d int, rows []int, lookups int) *ClickLog {
+	c := &ClickLog{
+		Seed: seed, D: d, Rows: rows, Lookups: lookups,
+		Skew: 1.05, TableSignal: 0.6, DenseSignal: 0.4, Bias: -0.4,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c.denseW = make([]float64, d)
+	for i := range c.denseW {
+		c.denseW[i] = rng.NormFloat64() * c.DenseSignal
+	}
+	return c
+}
+
+// NumTables implements Dataset.
+func (c *ClickLog) NumTables() int { return len(c.Rows) }
+
+// DenseDim implements Dataset.
+func (c *ClickLog) DenseDim() int { return c.D }
+
+// latent returns the teacher's hidden score for (table, row), computed by
+// hashing so it is stable without materializing huge score tables.
+func (c *ClickLog) latent(table int, row int32) float64 {
+	h := uint64(c.Seed) ^ uint64(table)<<32 ^ uint64(uint32(row))
+	// splitmix64
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	// map to approximately N(0,1) via sum of uniforms
+	u1 := float64(h&0xFFFFFFFF) / float64(1<<32)
+	u2 := float64(h>>32) / float64(1<<32)
+	z := math.Sqrt(-2*math.Log(u1+1e-12)) * math.Cos(2*math.Pi*u2)
+	return z * c.TableSignal
+}
+
+// Batch implements Dataset.
+func (c *ClickLog) Batch(i, n int) *MiniBatch {
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x5DEECE66D ^ int64(i)*0x5851F42D4C957F2D))
+	mb := &MiniBatch{
+		N:      n,
+		Dense:  tensor.NewDense(n, c.D),
+		Labels: make([]float32, n),
+	}
+	zipf := embedding.Zipf{S: c.Skew}
+	for range c.Rows {
+		mb.Sparse = append(mb.Sparse, &embedding.Batch{Offsets: make([]int32, n+1)})
+	}
+	logits := make([]float64, n)
+	for s := 0; s < n; s++ {
+		logits[s] = c.Bias
+		for j := 0; j < c.D; j++ {
+			// counter-like features: |N(0,1)| compressed by log1p, centered
+			// so the teacher's dense term is ~zero-mean.
+			v := math.Log1p(math.Abs(rng.NormFloat64())*3) - 1.2
+			mb.Dense.Set(s, j, float32(v))
+			logits[s] += c.denseW[j] * v
+		}
+	}
+	for t, rows := range c.Rows {
+		b := mb.Sparse[t]
+		for s := 0; s < n; s++ {
+			b.Offsets[s] = int32(len(b.Indices))
+			var acc float64
+			for l := 0; l < c.Lookups; l++ {
+				idx := zipf.Draw(rng, rows)
+				b.Indices = append(b.Indices, idx)
+				acc += c.latent(t, idx)
+			}
+			logits[s] += acc / float64(c.Lookups)
+		}
+		b.Offsets[n] = int32(len(b.Indices))
+	}
+	for s := 0; s < n; s++ {
+		pCTR := 1 / (1 + math.Exp(-logits[s]))
+		if rng.Float64() < pCTR {
+			mb.Labels[s] = 1
+		}
+	}
+	return mb
+}
+
+// Shard returns the view of mb owned by rank r of R under minibatch
+// (data) parallelism: samples [r·N/R, (r+1)·N/R).
+func (mb *MiniBatch) Shard(r, R int) *MiniBatch {
+	lo := mb.N * r / R
+	hi := mb.N * (r + 1) / R
+	n := hi - lo
+	out := &MiniBatch{N: n, Dense: tensor.NewDense(n, mb.Dense.Cols), Labels: mb.Labels[lo:hi]}
+	copy(out.Dense.Data, mb.Dense.Data[lo*mb.Dense.Cols:hi*mb.Dense.Cols])
+	for _, b := range mb.Sparse {
+		sb := &embedding.Batch{Offsets: make([]int32, n+1)}
+		base := b.Offsets[lo]
+		sb.Indices = append(sb.Indices, b.Indices[b.Offsets[lo]:b.Offsets[hi]]...)
+		for i := 0; i <= n; i++ {
+			sb.Offsets[i] = b.Offsets[lo+i] - base
+		}
+		out.Sparse = append(out.Sparse, sb)
+	}
+	return out
+}
+
+// Validate sanity-checks the batch against table row counts.
+func (mb *MiniBatch) Validate(rows []int) error {
+	if len(mb.Sparse) != len(rows) {
+		return fmt.Errorf("data: %d sparse batches for %d tables", len(mb.Sparse), len(rows))
+	}
+	if mb.Dense.Rows != mb.N || len(mb.Labels) != mb.N {
+		return fmt.Errorf("data: dense/label rows mismatch")
+	}
+	for t, b := range mb.Sparse {
+		if b.NumBags() != mb.N {
+			return fmt.Errorf("data: table %d has %d bags want %d", t, b.NumBags(), mb.N)
+		}
+		if err := b.Validate(rows[t]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CriteoTBRows are the 26 categorical-table cardinalities of the Criteo
+// Terabyte dataset as used by the MLPerf DLRM benchmark, capped at 40M rows
+// (Table I: "#rows per table: up to 40M").
+var CriteoTBRows = []int{
+	39884406, 39043, 17289, 7420, 20263, 3, 7120, 1543, 63, 38532951,
+	2953546, 403346, 10, 2208, 11938, 155, 4, 976, 14, 39979771,
+	25641295, 39664984, 585935, 12972, 108, 36,
+}
+
+// ScaleRows returns row counts scaled by f (at least 1 row), used to fit
+// paper-scale configs into test memory while preserving relative skew.
+func ScaleRows(rows []int, f float64) []int {
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		s := int(float64(r) * f)
+		if s < 1 {
+			s = 1
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+)
+
+// Binary record format for click-log datasets — the stand-in for the Criteo
+// Terabyte day files. A stream is a header (magic, dense width, table
+// count, lookups per table) followed by fixed-size records: one float32
+// label, D float32 dense features, and S·P int32 table indices. Fixed-size
+// records let a loader seek to any sample, which is what minibatch sharding
+// over a file needs.
+
+const fileMagic = 0x434C4F47 // "CLOG"
+
+// WriteDataset materializes n samples from ds (drawn as consecutive batches
+// of batchN) into w. Variable-size bags are not supported by the fixed
+// record format; ds must produce exactly lookups indices per bag.
+func WriteDataset(w io.Writer, ds Dataset, n, batchN, lookups int) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{fileMagic, uint32(ds.DenseDim()), uint32(ds.NumTables()), uint32(lookups), uint32(n)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	written := 0
+	for batch := 0; written < n; batch++ {
+		mb := ds.Batch(batch, batchN)
+		for s := 0; s < mb.N && written < n; s++ {
+			if err := binary.Write(bw, binary.LittleEndian, mb.Labels[s]); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, mb.Dense.Row(s)); err != nil {
+				return err
+			}
+			for t, b := range mb.Sparse {
+				lo, hi := b.Offsets[s], b.Offsets[s+1]
+				if int(hi-lo) != lookups {
+					return fmt.Errorf("data: table %d bag %d has %d lookups, format needs %d",
+						t, s, hi-lo, lookups)
+				}
+				if err := binary.Write(bw, binary.LittleEndian, b.Indices[lo:hi]); err != nil {
+					return err
+				}
+			}
+			written++
+		}
+	}
+	return bw.Flush()
+}
+
+// FileDataset serves minibatches from a record stream written by
+// WriteDataset, loaded into memory (the paper's loader also materializes
+// the batch; a terabyte-scale variant would mmap).
+type FileDataset struct {
+	D, Tables, Lookups, N int
+
+	labels  []float32
+	dense   []float32
+	indices []int32 // N × Tables × Lookups
+}
+
+// OpenFileDataset parses a record stream.
+func OpenFileDataset(r io.Reader) (*FileDataset, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("data: dataset header: %w", err)
+	}
+	if hdr[0] != fileMagic {
+		return nil, fmt.Errorf("data: not a click-log dataset (magic %08x)", hdr[0])
+	}
+	f := &FileDataset{
+		D: int(hdr[1]), Tables: int(hdr[2]), Lookups: int(hdr[3]), N: int(hdr[4]),
+	}
+	f.labels = make([]float32, f.N)
+	f.dense = make([]float32, f.N*f.D)
+	f.indices = make([]int32, f.N*f.Tables*f.Lookups)
+	per := f.Tables * f.Lookups
+	for s := 0; s < f.N; s++ {
+		if err := binary.Read(br, binary.LittleEndian, &f.labels[s]); err != nil {
+			return nil, fmt.Errorf("data: record %d: %w", s, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, f.dense[s*f.D:(s+1)*f.D]); err != nil {
+			return nil, fmt.Errorf("data: record %d dense: %w", s, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, f.indices[s*per:(s+1)*per]); err != nil {
+			return nil, fmt.Errorf("data: record %d indices: %w", s, err)
+		}
+	}
+	return f, nil
+}
+
+// NumTables implements Dataset.
+func (f *FileDataset) NumTables() int { return f.Tables }
+
+// DenseDim implements Dataset.
+func (f *FileDataset) DenseDim() int { return f.D }
+
+// Batch implements Dataset: batch i covers samples [i·n, (i+1)·n) modulo
+// the dataset size (wrapping like epoch iteration does).
+func (f *FileDataset) Batch(i, n int) *MiniBatch {
+	mb := &MiniBatch{
+		N:      n,
+		Dense:  tensor.NewDense(n, f.D),
+		Labels: make([]float32, n),
+	}
+	for t := 0; t < f.Tables; t++ {
+		b := &embedding.Batch{
+			Indices: make([]int32, 0, n*f.Lookups),
+			Offsets: make([]int32, n+1),
+		}
+		mb.Sparse = append(mb.Sparse, b)
+	}
+	per := f.Tables * f.Lookups
+	for s := 0; s < n; s++ {
+		src := (i*n + s) % f.N
+		mb.Labels[s] = f.labels[src]
+		copy(mb.Dense.Row(s), f.dense[src*f.D:(src+1)*f.D])
+		rec := f.indices[src*per : (src+1)*per]
+		for t := 0; t < f.Tables; t++ {
+			b := mb.Sparse[t]
+			b.Offsets[s] = int32(len(b.Indices))
+			b.Indices = append(b.Indices, rec[t*f.Lookups:(t+1)*f.Lookups]...)
+		}
+	}
+	for t := 0; t < f.Tables; t++ {
+		mb.Sparse[t].Offsets[n] = int32(len(mb.Sparse[t].Indices))
+	}
+	return mb
+}

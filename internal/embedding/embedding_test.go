@@ -1,0 +1,299 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/par"
+)
+
+func serialForward(t *Table, b *Batch) []float32 {
+	n := b.NumBags()
+	out := make([]float32, n*t.E)
+	for bag := 0; bag < n; bag++ {
+		for s := b.Offsets[bag]; s < b.Offsets[bag+1]; s++ {
+			row := t.Row(int(b.Indices[s]))
+			for i := 0; i < t.E; i++ {
+				out[bag*t.E+i] += row[i]
+			}
+		}
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := NewTable(100, 16, rng, 1)
+	b := MakeBatch(rng, Uniform{}, 32, 5, tab.M)
+	pool := par.NewPool(4)
+	out := make([]float32, 32*16)
+	tab.Forward(pool, b, out)
+	want := serialForward(tab, b)
+	if maxAbsDiff(out, want) > 1e-6 {
+		t.Fatal("parallel forward differs from serial")
+	}
+}
+
+func TestForwardEmptyBags(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tab := NewTable(50, 8, rng, 1)
+	b := MakeVariableBatch(rng, Uniform{}, 20, 0, 3, tab.M)
+	if err := b.Validate(tab.M); err != nil {
+		t.Fatal(err)
+	}
+	pool := par.NewPool(3)
+	out := make([]float32, 20*8)
+	for i := range out {
+		out[i] = 99 // must be overwritten even for empty bags
+	}
+	tab.Forward(pool, b, out)
+	for bag := 0; bag < 20; bag++ {
+		if b.Offsets[bag] == b.Offsets[bag+1] {
+			for i := 0; i < 8; i++ {
+				if out[bag*8+i] != 0 {
+					t.Fatalf("empty bag %d row not zeroed", bag)
+				}
+			}
+		}
+	}
+}
+
+func TestBackwardReplicatesBagGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := NewTable(40, 4, rng, 1)
+	b := MakeBatch(rng, Uniform{}, 10, 3, tab.M)
+	dOut := make([]float32, 10*4)
+	for i := range dOut {
+		dOut[i] = rng.Float32()
+	}
+	dW := make([]float32, b.NumLookups()*4)
+	tab.Backward(par.NewPool(4), b, dOut, dW)
+	for bag := 0; bag < 10; bag++ {
+		for s := b.Offsets[bag]; s < b.Offsets[bag+1]; s++ {
+			for i := 0; i < 4; i++ {
+				if dW[int(s)*4+i] != dOut[bag*4+i] {
+					t.Fatalf("dW row %d != dOut bag %d", s, bag)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateStrategiesAgree checks every strategy produces the same table as
+// the serial reference, within FP reassociation tolerance, under both
+// uniform and heavily skewed indices.
+func TestUpdateStrategiesAgree(t *testing.T) {
+	pool := par.NewPool(8)
+	for _, dist := range []IndexDist{Uniform{}, Zipf{S: 1.05}} {
+		rng := rand.New(rand.NewSource(4))
+		base := NewTable(64, 8, rng, 1)
+		b := MakeBatch(rng, dist, 128, 10, base.M)
+		dW := make([]float32, b.NumLookups()*8)
+		for i := range dW {
+			dW[i] = rng.Float32() - 0.5
+		}
+		want := base.Clone()
+		want.updateReference(b, dW, 0.1)
+		for _, strat := range []Strategy{AtomicXchg, RTMStyle, RaceFree} {
+			got := base.Clone()
+			got.Update(pool, strat, b, dW, 0.1)
+			if d := maxAbsDiff(got.W, want.W); d > 1e-4 {
+				t.Errorf("%s/%s: max diff vs reference %g", strat, dist.Name(), d)
+			}
+		}
+	}
+}
+
+func TestRaceFreeDeterministic(t *testing.T) {
+	// RaceFree must be bit-identical across runs and worker counts with the
+	// same input order, since each row's updates are applied in index order
+	// by exactly one worker.
+	rng := rand.New(rand.NewSource(5))
+	base := NewTable(32, 4, rng, 1)
+	b := MakeBatch(rng, Zipf{S: 1.1}, 64, 8, base.M)
+	dW := make([]float32, b.NumLookups()*4)
+	for i := range dW {
+		dW[i] = rng.Float32()
+	}
+	var prev []float32
+	for _, workers := range []int{1, 2, 7} {
+		got := base.Clone()
+		got.Update(par.NewPool(workers), RaceFree, b, dW, 0.05)
+		if prev != nil {
+			for i := range got.W {
+				if got.W[i] != prev[i] {
+					t.Fatalf("RaceFree not deterministic across worker counts at %d", i)
+				}
+			}
+		}
+		prev = got.W
+	}
+}
+
+func TestFusedMatchesBackwardPlusUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pool := par.NewPool(4)
+	base := NewTable(48, 8, rng, 1)
+	b := MakeBatch(rng, Uniform{}, 32, 4, base.M)
+	dOut := make([]float32, 32*8)
+	for i := range dOut {
+		dOut[i] = rng.Float32() - 0.5
+	}
+
+	twoStep := base.Clone()
+	dW := make([]float32, b.NumLookups()*8)
+	twoStep.Backward(pool, b, dOut, dW)
+	twoStep.Update(pool, RaceFree, b, dW, 0.1)
+
+	fused := base.Clone()
+	fused.FusedBackwardUpdate(pool, b, dOut, 0.1)
+
+	if d := maxAbsDiff(twoStep.W, fused.W); d > 1e-5 {
+		t.Fatalf("fused differs from two-step by %g", d)
+	}
+}
+
+func TestUpdateStrategyProperty(t *testing.T) {
+	// Property: for random batches, AtomicXchg ≈ RaceFree ≈ serial reference.
+	pool := par.NewPool(4)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 8 + rng.Intn(64)
+		e := 1 + rng.Intn(16)
+		tab := NewTable(m, e, rng, 1)
+		b := MakeVariableBatch(rng, Zipf{S: 1}, 1+rng.Intn(50), 0, 6, m)
+		dW := make([]float32, b.NumLookups()*e)
+		for i := range dW {
+			dW[i] = rng.Float32()
+		}
+		want := tab.Clone()
+		want.updateReference(b, dW, 0.01)
+		a := tab.Clone()
+		a.Update(pool, AtomicXchg, b, dW, 0.01)
+		r := tab.Clone()
+		r.Update(pool, RaceFree, b, dW, 0.01)
+		return maxAbsDiff(a.W, want.W) < 1e-4 && maxAbsDiff(r.W, want.W) < 1e-4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	good := &Batch{Indices: []int32{0, 1, 2}, Offsets: []int32{0, 2, 3}}
+	if err := good.Validate(5); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	bad := []*Batch{
+		{Indices: []int32{0}, Offsets: []int32{1, 1}},       // offset[0] != 0
+		{Indices: []int32{0}, Offsets: []int32{0, 2}},       // offsets[N] != NS
+		{Indices: []int32{0, 9}, Offsets: []int32{0, 2}},    // index out of range
+		{Indices: []int32{0, 1}, Offsets: []int32{0, 2, 1}}, // not monotone... offsets[2]=1 < 2
+	}
+	for i, b := range bad {
+		if err := b.Validate(5); err == nil {
+			t.Fatalf("bad batch %d accepted", i)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Zipf(1) over 1e5 rows must put far more mass on row 0 than uniform.
+	rng := rand.New(rand.NewSource(7))
+	const m, draws = 100000, 20000
+	var hot int
+	z := Zipf{S: 1.05}
+	for i := 0; i < draws; i++ {
+		if z.Draw(rng, m) < 10 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if frac < 0.2 {
+		t.Fatalf("Zipf skew too weak: %.3f of draws in top-10 rows", frac)
+	}
+	var uniHot int
+	u := Uniform{}
+	for i := 0; i < draws; i++ {
+		if u.Draw(rng, m) < 10 {
+			uniHot++
+		}
+	}
+	if float64(uniHot)/draws > 0.01 {
+		t.Fatal("uniform unexpectedly skewed")
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	prop := func(seed int64, sTimes10 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		z := Zipf{S: 0.5 + float64(sTimes10%20)/10}
+		for i := 0; i < 100; i++ {
+			m := 1 + rng.Intn(1000)
+			r := z.Draw(rng, m)
+			if r < 0 || int(r) >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUpdateStrategies(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	pool := par.Default
+	tab := NewTable(1_000_000, 64, rng, 0.01)
+	for _, dist := range []IndexDist{Uniform{}, Zipf{S: 1.05}} {
+		batch := MakeBatch(rng, dist, 2048, 50, tab.M)
+		dW := make([]float32, batch.NumLookups()*tab.E)
+		for i := range dW {
+			dW[i] = rng.Float32()
+		}
+		for _, strat := range []Strategy{AtomicXchg, RTMStyle, RaceFree} {
+			b.Run(dist.Name()+"/"+strat.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tab.Update(pool, strat, batch, dW, 1e-6)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEmbeddingFusedVsTwoStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pool := par.Default
+	tab := NewTable(1_000_000, 64, rng, 0.01)
+	batch := MakeBatch(rng, Uniform{}, 2048, 50, tab.M)
+	dOut := make([]float32, 2048*tab.E)
+	for i := range dOut {
+		dOut[i] = rng.Float32()
+	}
+	b.Run("two-step", func(b *testing.B) {
+		dW := make([]float32, batch.NumLookups()*tab.E)
+		for i := 0; i < b.N; i++ {
+			tab.Backward(pool, batch, dOut, dW)
+			tab.Update(pool, RaceFree, batch, dW, 1e-6)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab.FusedBackwardUpdate(pool, batch, dOut, 1e-6)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+)
+
+// IndexDist describes how lookup indices are drawn from a table's rows.
+// The paper's Small/Large configs use a random (uniform) dataset; the MLPerf
+// config uses the Criteo Terabyte logs whose categorical values are heavily
+// skewed — that skew is what causes the contention Fig. 7/8 expose, so the
+// synthetic substitute must reproduce it.
+type IndexDist interface {
+	// Draw returns a row index in [0, m).
+	Draw(rng *rand.Rand, m int) int32
+	// Name labels the distribution in experiment output.
+	Name() string
+}
+
+// Uniform draws rows independently and uniformly — the "very little
+// contention" regime where all update strategies perform alike.
+type Uniform struct{}
+
+// Draw implements IndexDist.
+func (Uniform) Draw(rng *rand.Rand, m int) int32 { return int32(rng.Intn(m)) }
+
+// Name implements IndexDist.
+func (Uniform) Name() string { return "uniform" }
+
+// Zipf draws rows from a Zipf(s) distribution over [0, m): row r has
+// probability ∝ 1/(r+1)^s. Criteo-like click logs have s ≈ 1, concentrating
+// a large fraction of lookups on a handful of hot rows — the regime where
+// atomic and RTM-style updates thrash cache lines across cores and the
+// race-free algorithm wins by up to 10×.
+type Zipf struct {
+	S float64
+}
+
+// Draw implements IndexDist using inverse-CDF sampling on a harmonic
+// approximation; adequate for workload generation and allocation-free.
+func (z Zipf) Draw(rng *rand.Rand, m int) int32 {
+	s := z.S
+	if s <= 0 {
+		s = 1
+	}
+	// Inverse CDF of the continuous analogue p(x) ∝ x^-s on [1, m+1).
+	u := rng.Float64()
+	var x float64
+	if s == 1 {
+		x = math.Exp(u * math.Log(float64(m)+1))
+	} else {
+		hi := math.Pow(float64(m)+1, 1-s)
+		x = math.Pow(u*(hi-1)+1, 1/(1-s))
+	}
+	r := int32(x) - 1
+	if r < 0 {
+		r = 0
+	}
+	if int(r) >= m {
+		r = int32(m - 1)
+	}
+	return r
+}
+
+// Name implements IndexDist.
+func (z Zipf) Name() string { return "zipf" }
+
+// MakeBatch draws a batch of n bags with exactly perBag lookups each from
+// dist over a table of m rows. perBag is the paper's P ("average look-ups
+// per table", Table I).
+func MakeBatch(rng *rand.Rand, dist IndexDist, n, perBag, m int) *Batch {
+	b := &Batch{
+		Indices: make([]int32, 0, n*perBag),
+		Offsets: make([]int32, n+1),
+	}
+	for bag := 0; bag < n; bag++ {
+		b.Offsets[bag] = int32(len(b.Indices))
+		for s := 0; s < perBag; s++ {
+			b.Indices = append(b.Indices, dist.Draw(rng, m))
+		}
+	}
+	b.Offsets[n] = int32(len(b.Indices))
+	return b
+}
+
+// MakeVariableBatch draws bags whose sizes vary uniformly in [minPer,
+// maxPer], exercising the offset bookkeeping (including empty bags when
+// minPer is 0).
+func MakeVariableBatch(rng *rand.Rand, dist IndexDist, n, minPer, maxPer, m int) *Batch {
+	b := &Batch{Offsets: make([]int32, n+1)}
+	for bag := 0; bag < n; bag++ {
+		b.Offsets[bag] = int32(len(b.Indices))
+		k := minPer
+		if maxPer > minPer {
+			k += rng.Intn(maxPer - minPer + 1)
+		}
+		for s := 0; s < k; s++ {
+			b.Indices = append(b.Indices, dist.Draw(rng, m))
+		}
+	}
+	b.Offsets[n] = int32(len(b.Indices))
+	return b
+}

@@ -1,0 +1,166 @@
+package embedding
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/par"
+)
+
+// Strategy selects the sparse-update implementation for Algorithm 3.
+type Strategy int
+
+const (
+	// Reference reproduces the pre-optimization framework path the paper's
+	// Fig. 7 calls "Reference": a functionality-first kernel that scatters
+	// the sparse gradients into a dense M×E buffer and then applies a dense
+	// update over the whole table, single-threaded. Its cost scales with M,
+	// not NS — this is why 99% of DLRM time sat in one kernel.
+	Reference Strategy = iota
+	// AtomicXchg parallelizes over the NS lookups and resolves the race on
+	// repeated rows with a floating-point atomic add built from
+	// compare-and-swap on the float bits (the paper's atomic-xchg loop).
+	AtomicXchg
+	// RTMStyle emulates the Intel RTM transactional section with striped
+	// per-row spin locks: the row update runs as one locked (vectorizable)
+	// critical section, mirroring a cache-line transaction. Like real RTM it
+	// is cheap when indices are unique and degrades when hot rows collide.
+	RTMStyle
+	// RaceFree is Algorithm 4: rows are range-partitioned over threads and
+	// every thread scans the full index list, applying only updates that
+	// land in its own range. No synchronization, deterministic, and immune
+	// to cache-line thrashing — at the price of redundant index scans and
+	// potential imbalance when indices cluster.
+	RaceFree
+)
+
+// String returns the Fig. 7 label for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Reference:
+		return "Reference"
+	case AtomicXchg:
+		return "Atomic XCHG"
+	case RTMStyle:
+		return "RTM"
+	case RaceFree:
+		return "Race Free"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists all update strategies in Fig. 7 order.
+var Strategies = []Strategy{Reference, AtomicXchg, RTMStyle, RaceFree}
+
+// rtmStripes is the lock-stripe count for RTMStyle. A power of two well
+// above the worker count keeps false lock sharing rare, as cache-line
+// granularity does for real RTM.
+const rtmStripes = 1024
+
+var rtmLocks [rtmStripes]sync.Mutex
+
+// Update applies W[I[s]] += -lr·dW[s] for all NS lookups (Algorithm 3) using
+// the selected strategy. dW holds NS rows of E as produced by Backward.
+func (t *Table) Update(p *par.Pool, strat Strategy, b *Batch, dW []float32, lr float32) {
+	ns := b.NumLookups()
+	if len(dW) != ns*t.E {
+		panic(fmt.Sprintf("embedding: update dW len %d want %d", len(dW), ns*t.E))
+	}
+	switch strat {
+	case Reference:
+		t.updateReference(b, dW, lr)
+	case AtomicXchg:
+		t.updateAtomic(p, b, dW, lr)
+	case RTMStyle:
+		t.updateRTM(p, b, dW, lr)
+	case RaceFree:
+		t.updateRaceFree(p, b, dW, lr)
+	default:
+		panic(fmt.Sprintf("embedding: unknown strategy %d", strat))
+	}
+}
+
+// updateReference: dense scatter + whole-table dense update, single thread.
+func (t *Table) updateReference(b *Batch, dW []float32, lr float32) {
+	dense := make([]float32, t.M*t.E)
+	e := t.E
+	for s := 0; s < b.NumLookups(); s++ {
+		ind := int(b.Indices[s])
+		dst := dense[ind*e : (ind+1)*e]
+		src := dW[s*e : (s+1)*e]
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	}
+	for i := range t.W {
+		t.W[i] -= lr * dense[i]
+	}
+}
+
+// atomicAddFloat32 adds delta to *addr with a CAS loop on the float bits —
+// the software equivalent of the paper's atomic-xchg float add.
+func atomicAddFloat32(addr *float32, delta float32) {
+	bits := (*uint32)(unsafe.Pointer(addr))
+	for {
+		old := atomic.LoadUint32(bits)
+		nv := math.Float32bits(math.Float32frombits(old) + delta)
+		if atomic.CompareAndSwapUint32(bits, old, nv) {
+			return
+		}
+	}
+}
+
+func (t *Table) updateAtomic(p *par.Pool, b *Batch, dW []float32, lr float32) {
+	e := t.E
+	p.ForN(b.NumLookups(), func(tid, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			ind := int(b.Indices[s])
+			row := t.Row(ind)
+			src := dW[s*e : (s+1)*e]
+			for i := range row {
+				atomicAddFloat32(&row[i], -lr*src[i])
+			}
+		}
+	})
+}
+
+func (t *Table) updateRTM(p *par.Pool, b *Batch, dW []float32, lr float32) {
+	e := t.E
+	p.ForN(b.NumLookups(), func(tid, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			ind := int(b.Indices[s])
+			src := dW[s*e : (s+1)*e]
+			mu := &rtmLocks[ind&(rtmStripes-1)]
+			mu.Lock()
+			row := t.Row(ind)
+			for i := range row {
+				row[i] -= lr * src[i]
+			}
+			mu.Unlock()
+		}
+	})
+}
+
+func (t *Table) updateRaceFree(p *par.Pool, b *Batch, dW []float32, lr float32) {
+	e := t.E
+	m := t.M
+	ns := b.NumLookups()
+	p.ForEachWorker(func(tid, workers int) {
+		mStart, mEnd := par.Chunk(m, workers, tid)
+		for s := 0; s < ns; s++ {
+			ind := int(b.Indices[s])
+			if ind < mStart || ind >= mEnd {
+				continue
+			}
+			row := t.Row(ind)
+			src := dW[s*e : (s+1)*e]
+			for i := range row {
+				row[i] -= lr * src[i]
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/fabric"
+	"repro/internal/par"
+	"repro/internal/perfmodel"
+)
+
+// AblationAllreduce sweeps the allreduce algorithm over the paper's three
+// gradient volumes (Table II: 9.5 MB, 1047 MB, 9.0 MB) and rank counts —
+// the "best allreduce algorithm" requirement of §II made concrete: ring
+// reduce-scatter+all-gather wins the bandwidth-bound regimes, recursive
+// halving the latency-bound ones, and the untuned flat tree loses both.
+func AblationAllreduce() *Table {
+	t := &Table{
+		Title:   "Ablation: allreduce algorithm vs gradient volume (ms, OPA fat-tree)",
+		Headers: []string{"volume", "ranks", "ring RS+AG", "recursive halving", "flat tree", "best"},
+	}
+	vols := []struct {
+		name  string
+		bytes float64
+	}{
+		{"4 KB (latency-bound)", 4e3},
+		{"9.5 MB (Small grads)", core.Small.AllreduceBytes()},
+		{"1047 MB (Large grads)", core.Large.AllreduceBytes()},
+	}
+	for _, v := range vols {
+		for _, ranks := range []int{8, 32, 64} {
+			topo := fabric.NewPrunedFatTree(ranks, 12.5e9)
+			var row []string
+			cluster.Run(cluster.Config{Ranks: ranks, Topo: topo, Socket: perfmodel.CLX8280, CallOverhead: 1e-9},
+				func(r *cluster.Rank) {
+					if r.ID != 0 {
+						return
+					}
+					c := comm.New(r, topo)
+					best, _ := c.BestAllreduceAlgo(v.bytes)
+					row = []string{v.name, fmt.Sprintf("%dR", ranks),
+						ms(c.AllreduceTimeAlgo(comm.RingRSAG, v.bytes)),
+						ms(c.AllreduceTimeAlgo(comm.RecursiveHalving, v.bytes)),
+						ms(c.AllreduceTimeAlgo(comm.FlatTree, v.bytes)),
+						best.String()}
+				})
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// AblationCommCores sweeps S, the number of cores per socket dedicated to
+// communication (§IV-A: "we tune the value of S to balance the
+// communication time in SGD and the computation time in GEMMs"), on the
+// Large-config strong-scaling run. Too few comm cores leave communication
+// exposed; too many starve the GEMMs.
+func AblationCommCores(ranks, iters int) *Table {
+	t := &Table{
+		Title:   "Ablation: communication-core count S (Large config, CCL Alltoall)",
+		Headers: []string{"comm cores", "compute (ms)", "comm exposed (ms)", "total (ms)"},
+	}
+	for _, s := range []int{1, 2, 4, 8, 12} {
+		res := core.RunDistributed(core.DistConfig{
+			Cfg:       core.Large,
+			Ranks:     ranks,
+			GlobalN:   core.Large.GlobalMB,
+			Iters:     iters,
+			Variant:   core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
+			Topo:      fabric.NewPrunedFatTree(ranks, 12.5e9),
+			Socket:    perfmodel.CLX8280,
+			CommCores: s,
+		})
+		t.AddRow(fmt.Sprint(s), ms(res.ComputePerIter), ms(res.TotalCommPerIter()), ms(res.IterSeconds))
+	}
+	t.AddNote("paper dedicates 4 of 28 cores; the sweet spot balances GEMM slowdown against exposed waits")
+	return t
+}
+
+// AblationCapacity reproduces the §VII storage argument: bytes per weight of
+// model+optimizer state for each training scheme. Split-SGD-BF16 matches
+// FP32's total while FP16/BF16 master-weight schemes pay 3×16 bits.
+func AblationCapacity() *Table {
+	t := &Table{
+		Title: "Ablation: storage per weight (model + optimizer state)",
+		Headers: []string{"scheme", "working weights", "optimizer state", "total bits",
+			"Large-config tables"},
+	}
+	tableWeights := core.Large.TableBytes() / 4 // weights count
+	gb := func(bitsPerWeight float64) string {
+		return fmt.Sprintf("%.0f GB", tableWeights*bitsPerWeight/8/1e9)
+	}
+	t.AddRow("FP32 SGD", "32b", "-", "32", gb(32))
+	t.AddRow("BF16 Split-SGD", "16b (hi)", "16b (lo)", "32", gb(32))
+	t.AddRow("BF16 + master weights", "16b", "32b (FP32 master)", "48", gb(48))
+	t.AddRow("FP16 + master weights", "16b", "32b (FP32 master)", "48", gb(48))
+	t.AddRow("FP16 stochastic (no master)", "16b", "-", "16", gb(16))
+	t.AddNote("§VII: master weights cost 200%% extra on 16-bit models; Split-SGD stores the same 32 bits as FP32")
+	t.AddNote("FP16-stochastic saves capacity but does not reach reference accuracy (see fig16 -quick with FP16)")
+	return t
+}
+
+// AblationFusedEmbedding measures the fused backward+update against the
+// two-step path (§III-A reports up to 1.6× standalone) in a real run.
+func AblationFusedEmbedding(iters int) *Table {
+	t := &Table{
+		Title:   "Ablation: fused embedding backward+update vs two-step",
+		Headers: []string{"variant", "ms/sweep"},
+	}
+	pool := par.Default
+	rng := newRand(1)
+	tab := embedding.NewTable(500_000, 64, rng, 0.01)
+	batch := embedding.MakeBatch(rng, embedding.Uniform{}, 2048, 50, tab.M)
+	dOut := make([]float32, 2048*64)
+	for i := range dOut {
+		dOut[i] = rng.Float32()
+	}
+	dW := make([]float32, batch.NumLookups()*64)
+
+	twoStep := timeIt(iters, func() {
+		tab.Backward(pool, batch, dOut, dW)
+		tab.Update(pool, embedding.RaceFree, batch, dW, 1e-6)
+	})
+	fused := timeIt(iters, func() {
+		tab.FusedBackwardUpdate(pool, batch, dOut, 1e-6)
+	})
+	t.AddRow("two-step (Alg. 2 + Alg. 4)", ms(twoStep))
+	t.AddRow("fused (§III-A)", ms(fused))
+	t.AddNote("paper: up to 1.6x standalone; fusing skips the NS×E gradient materialization")
+	return t
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello %d", 7)
+	s := tab.String()
+	for _, want := range []string{"== T ==", "a", "bb", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable1HasAllParameters(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("Table I rows = %d, want 9", len(tab.Rows))
+	}
+	s := tab.String()
+	for _, want := range []string{"2048", "16384", "MLPerf", "[13 512 256 128]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2MatchesPaperValues(t *testing.T) {
+	tab := Table2()
+	s := tab.String()
+	// Spot values computed from the configs (close to the paper's).
+	for _, want := range []string{"Mem capacity", "Maximum ranks", "26", "64", "1024"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table II missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func cell(tab *Table, row, col int) string { return tab.Rows[row][col] }
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "x"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig5ShapeBlockedBeatsMKL(t *testing.T) {
+	tab := RunFig5(Fig5Opts{N: 64, Sizes: []int{128, 256}, Repeats: 2})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Fig5 rows = %d want 6", len(tab.Rows))
+	}
+	// At the largest size, the blocked kernel must not lose to the
+	// MKL-style large GEMM on any pass (the paper's ~18% advantage).
+	wins := 0
+	for _, row := range tab.Rows[3:] {
+		blocked := parseF(t, row[2])
+		mkl := parseF(t, row[4])
+		if blocked >= mkl*0.9 {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Fatalf("blocked kernel lost to MKL-style on %d/3 large passes:\n%s", 3-wins, tab)
+	}
+}
+
+func TestFig6CommunicationHidden(t *testing.T) {
+	tab := RunFig6(DefaultFig6Opts())
+	if len(tab.Rows) != 2 {
+		t.Fatal("Fig6 must have BWD and UPD rows")
+	}
+	// The paper's point: communication is fully hidden behind the GEMMs.
+	bwdCompute := parseF(t, cell(tab, 0, 1))
+	bwdBusy := parseF(t, cell(tab, 0, 2))
+	bwdExposed := parseF(t, cell(tab, 0, 3))
+	if bwdBusy <= 0 {
+		t.Fatal("no communication happened")
+	}
+	if bwdExposed > 0.05*bwdCompute {
+		t.Fatalf("BWD communication not hidden: %v exposed of %v compute", bwdExposed, bwdCompute)
+	}
+	// Compute must dominate the communication (that is why hiding works).
+	if bwdCompute < bwdBusy {
+		t.Fatalf("BWD GEMMs (%v) should outweigh comm (%v)", bwdCompute, bwdBusy)
+	}
+}
+
+func TestFig78ShapeReferenceSlowest(t *testing.T) {
+	tab := RunFig78(Fig7Opts{Iters: 1, MB: 64, RowScale: 1.0 / 8})
+	f7 := tab.Fig7
+	if len(f7.Rows) != 8 {
+		t.Fatalf("Fig7 rows = %d want 8", len(f7.Rows))
+	}
+	// Within each config, the Reference *embedding phase* (dense-gradient
+	// update, cost ∝ table rows) must be far slower than every optimized
+	// strategy (cost ∝ lookups), and end-to-end Reference must be slowest.
+	for _, base := range []int{0, 4} {
+		refEnd := parseF(t, cell(f7, base, 2))
+		refEmb := parseF(t, cell(f7, base, 4))
+		for i := base + 1; i < base+4; i++ {
+			optEnd := parseF(t, cell(f7, i, 2))
+			optEmb := parseF(t, cell(f7, i, 4))
+			if refEmb < 3*optEmb {
+				t.Fatalf("Reference emb (%.2fms) should be ≫ %s emb (%.2fms)\n%s",
+					refEmb, cell(f7, i, 1), optEmb, f7)
+			}
+			if refEnd < optEnd*0.9 { // 10% wall-clock noise allowance
+				t.Fatalf("Reference end-to-end (%.2fms) should exceed %s (%.2fms)",
+					refEnd, cell(f7, i, 1), optEnd)
+			}
+		}
+	}
+	// Fig. 8 breakdown: Reference runs are embedding-dominated (the 99%
+	// story); optimized runs are not.
+	f8 := tab.Fig8
+	refEmb := parseF(t, cell(f8, 0, 2))
+	if refEmb < 35 { // pure-Go MLP inflates the non-embedding share; 35% is the noise floor here
+		t.Fatalf("Reference should be embedding-heavy, got %v%%\n%s", refEmb, f8)
+	}
+	optEmb := parseF(t, cell(f8, 3, 2)) // Small / RaceFree
+	if optEmb >= refEmb/2 {
+		t.Fatalf("optimized embedding share %v%% should drop far below reference %v%%", optEmb, refEmb)
+	}
+}
+
+func TestFig9ShapeSpeedupsAndOrdering(t *testing.T) {
+	tab := RunFig9(ScalingOpts{Iters: 2})
+	// Expect rows for all (config, ranks, variant) combos: 3+5+5=13 rank
+	// points × 4 variants.
+	if len(tab.Rows) != 13*4 {
+		t.Fatalf("Fig9 rows = %d want 52", len(tab.Rows))
+	}
+	// For every rank point: Alltoall ≥ scatter variants, and CCL within 10%
+	// of MPI (at low rank counts CCL's 4 reserved cores can cost more than
+	// its communication savings; the win shows up at scale).
+	for i := 0; i < len(tab.Rows); i += 4 {
+		sl := parseF(t, cell(tab, i, 4))
+		a2a := parseF(t, cell(tab, i+2, 4))
+		ccl := parseF(t, cell(tab, i+3, 4))
+		if ccl < a2a*0.9 {
+			t.Fatalf("row %d: CCL Alltoall (%.2f) must be near MPI Alltoall (%.2f)\n%s", i, ccl, a2a, tab)
+		}
+		if a2a < sl*0.99 {
+			t.Fatalf("row %d: Alltoall (%.2f) must beat ScatterList (%.2f)", i, a2a, sl)
+		}
+	}
+	// At the largest rank count of the Large config, CCL must win outright.
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "Large") && row[1] == "64R" {
+			if row[2] == "CCL Alltoall" {
+				ccl := parseF(t, row[4])
+				for _, r2 := range tab.Rows {
+					if strings.HasPrefix(r2[0], "Large") && r2[1] == "64R" && r2[2] == "MPI Alltoall" {
+						if ccl < parseF(t, r2[4]) {
+							t.Fatalf("Large 64R: CCL (%.2f) must beat MPI (%.2f)", ccl, parseF(t, r2[4]))
+						}
+					}
+				}
+			}
+		}
+	}
+	// Small config: speedup grows with ranks for the best variant.
+	s2 := parseF(t, cell(tab, 3, 4))
+	s8 := parseF(t, cell(tab, 11, 4))
+	if s8 <= s2 {
+		t.Fatalf("Small: 8R speedup %.2f must exceed 2R %.2f", s8, s2)
+	}
+}
+
+func TestFig12WeakBeatsStrongEfficiency(t *testing.T) {
+	weak := RunFig12(ScalingOpts{Iters: 2})
+	strong := RunFig9(ScalingOpts{Iters: 2})
+	// Compare the Large config's best variant at the top rank count:
+	// weak-scaling efficiency must exceed strong-scaling efficiency.
+	var weakEff, strongEff float64
+	for _, tab := range []*Table{weak, strong} {
+		for _, row := range tab.Rows {
+			if strings.HasPrefix(row[0], "Large") && row[1] == "64R" && row[2] == "CCL Alltoall" {
+				v := parseF(t, row[5])
+				if tab == weak {
+					weakEff = v
+				} else {
+					strongEff = v
+				}
+			}
+		}
+	}
+	if weakEff == 0 || strongEff == 0 {
+		t.Fatal("missing Large 64R rows")
+	}
+	if weakEff <= strongEff {
+		t.Fatalf("weak efficiency %v%% must exceed strong %v%%", weakEff, strongEff)
+	}
+}
+
+func TestFig11MPIInOrderArtifact(t *testing.T) {
+	tab := RunFig11(ScalingOpts{Iters: 2})
+	// Find Large overlapping rows at 16R for both backends and compare
+	// alltoall waits: MPI (in-order) > CCL.
+	var mpiWait, cclWait float64
+	for _, row := range tab.Rows {
+		if row[0] == "Large" && row[1] == "overlapping" && row[3] == "16R" {
+			if row[2] == "MPI Backend" {
+				mpiWait = parseF(t, row[4+2])
+			} else {
+				cclWait = parseF(t, row[4+2])
+			}
+		}
+	}
+	if mpiWait <= cclWait {
+		t.Fatalf("MPI alltoall wait (%.2f) must exceed CCL (%.2f)\n%s", mpiWait, cclWait, tab)
+	}
+}
+
+func TestFig15TwistedHypercubeAlltoallSaturation(t *testing.T) {
+	tab := RunFig15(ScalingOpts{Iters: 2})
+	// MLPerf rows: alltoall must NOT improve much from 4R to 8R.
+	var a4, a8 float64
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "MLPerf") {
+			if row[1] == "4R" {
+				a4 = parseF(t, row[4])
+			}
+			if row[1] == "8R" {
+				a8 = parseF(t, row[4])
+			}
+		}
+	}
+	if a4 == 0 || a8 == 0 {
+		t.Fatalf("missing MLPerf alltoall rows:\n%s", tab)
+	}
+	if a4/a8 > 1.6 {
+		t.Fatalf("alltoall improved %.2fx from 4R to 8R; twisted hypercube should limit to ≲1.5x", a4/a8)
+	}
+}
+
+func TestFig16ShapeQuick(t *testing.T) {
+	// Quick convergence check: BF16 Split-SGD must track FP32 closely and
+	// FP24 must not surpass FP32 by the end.
+	o := Fig16Opts{Iters: 120, MB: 128, EvalN: 4096, LR: 0.5, RowScale: 1.0 / 8192}
+	bf16Gap, fp24Gap := Fig16FinalGap(o)
+	if bf16Gap > 0.02 {
+		t.Fatalf("BF16 SplitSGD gap vs FP32 = %.4f, want < 0.02", bf16Gap)
+	}
+	if fp24Gap < -0.02 {
+		t.Fatalf("FP24 unexpectedly beats FP32 by %.4f", -fp24Gap)
+	}
+	tab := RunFig16(Fig16Opts{Iters: 60, MB: 128, EvalN: 2048, LR: 0.5, RowScale: 1.0 / 8192})
+	if len(tab.Rows) != 20 {
+		t.Fatalf("Fig16 rows = %d want 20 (5%% steps)", len(tab.Rows))
+	}
+}
+
+func TestAblationAllreduceShape(t *testing.T) {
+	tab := AblationAllreduce()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d want 9", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		ring := parseF(t, row[2])
+		flat := parseF(t, row[4])
+		// The untuned flat tree must never win.
+		if row[5] == "flat tree" {
+			t.Fatalf("flat tree won a regime: %v", row)
+		}
+		if flat < ring*0.99 && row[0] != "4 KB (latency-bound)" {
+			t.Fatalf("flat tree beat ring on a bandwidth volume: %v", row)
+		}
+	}
+	// Latency-bound regime: recursive halving wins at 64 ranks.
+	last := tab.Rows[2]
+	if last[0] != "4 KB (latency-bound)" || last[1] != "64R" {
+		t.Fatalf("unexpected row order: %v", last)
+	}
+	if last[5] != "recursive halving" {
+		t.Fatalf("recursive halving should win tiny messages at 64R, got %q", last[5])
+	}
+}
+
+func TestAblationCommCoresTradeoff(t *testing.T) {
+	tab := AblationCommCores(16, 2)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// More comm cores must monotonically raise compute time (fewer GEMM
+	// cores)...
+	c1 := parseF(t, tab.Rows[0][1])
+	c12 := parseF(t, tab.Rows[4][1])
+	if c12 <= c1 {
+		t.Fatal("compute must grow as cores are taken away")
+	}
+	// ...while exposed communication must not increase.
+	e1 := parseF(t, tab.Rows[0][2])
+	e12 := parseF(t, tab.Rows[4][2])
+	if e12 > e1*1.05 {
+		t.Fatal("exposed comm should not grow with more comm cores")
+	}
+}
+
+func TestAblationCapacityTable(t *testing.T) {
+	tab := AblationCapacity()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][3] != "32" || tab.Rows[1][3] != "32" || tab.Rows[2][3] != "48" {
+		t.Fatalf("bit accounting wrong: %v", tab.Rows)
+	}
+}
+
+func TestAblationFusedEmbeddingFaster(t *testing.T) {
+	tab := AblationFusedEmbedding(2)
+	twoStep := parseF(t, tab.Rows[0][1])
+	fused := parseF(t, tab.Rows[1][1])
+	if fused > twoStep {
+		t.Fatalf("fused (%.2fms) should not lose to two-step (%.2fms)", fused, twoStep)
+	}
+}

@@ -1,0 +1,237 @@
+// Package fabric models the two interconnects of §V at link granularity:
+// the UPI twisted hypercube of the 8-socket Inspur TS860M5 node (Fig. 3) and
+// the Intel OmniPath pruned fat-tree of the 64-socket cluster (Fig. 4).
+// Collective cost estimation works by placing flows on routes and charging
+// the bottleneck link — which is what makes, e.g., the twisted hypercube's
+// 2-hop pairs limit alltoall scaling from 4 to 8 sockets (Fig. 15).
+package fabric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Flow is one point-to-point transfer of Bytes from Src to Dst.
+type Flow struct {
+	Src, Dst int
+	Bytes    float64
+}
+
+// Topology describes an interconnect between sockets.
+type Topology interface {
+	// Name labels the topology in experiment output.
+	Name() string
+	// NumSockets returns the endpoint count.
+	NumSockets() int
+	// Route returns the link IDs traversed from a to b (empty for a==b).
+	Route(a, b int) []int
+	// LinkBandwidth returns bytes/s of one direction of link id.
+	LinkBandwidth(id int) float64
+	// Latency returns the end-to-end latency in seconds between a and b.
+	Latency(a, b int) float64
+	// CopyOverhead is a multiplier ≥ 1 on bytes that models software copies
+	// through the network stack (≈1 for UPI non-temporal stores, >1 for a
+	// NIC-based fabric, per §V-C).
+	CopyOverhead() float64
+}
+
+// PhaseTime returns the duration of a communication phase in which all
+// flows proceed concurrently: every flow's bytes are placed on each link of
+// its route, and the phase lasts until the most loaded link drains, plus
+// the largest path latency. A phase with no flows costs zero.
+func PhaseTime(t Topology, flows []Flow) float64 {
+	load := map[int]float64{}
+	var maxLat float64
+	ov := t.CopyOverhead()
+	for _, f := range flows {
+		if f.Src == f.Dst || f.Bytes <= 0 {
+			continue
+		}
+		for _, link := range t.Route(f.Src, f.Dst) {
+			load[link] += f.Bytes * ov
+		}
+		if l := t.Latency(f.Src, f.Dst); l > maxLat {
+			maxLat = l
+		}
+	}
+	var worst float64
+	for link, b := range load {
+		d := b / t.LinkBandwidth(link)
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return worst + maxLat
+}
+
+// TwistedHypercube is the 8-socket UPI fabric of Fig. 3: every socket has 3
+// UPI links; sockets are arranged so that 3 neighbours are one hop away and
+// the remaining 4 are two hops (diameter 2). Each link carries ~22 GB/s per
+// direction; 12 unique links give ~260 GB/s aggregate.
+type TwistedHypercube struct {
+	adj      [8][8]int // link id +1, or 0 if not adjacent
+	routeTbl [8][8][]int
+	linkBW   float64
+}
+
+// NewTwistedHypercube builds the 8-socket twisted hypercube with the given
+// per-direction link bandwidth in bytes/s (the paper's UPI ≈ 22e9).
+func NewTwistedHypercube(linkBW float64) *TwistedHypercube {
+	t := &TwistedHypercube{linkBW: linkBW}
+	edges := [][2]int{
+		// dimension 0
+		{0, 1}, {2, 3}, {4, 5}, {6, 7},
+		// dimension 1
+		{0, 2}, {1, 3}, {4, 6}, {5, 7},
+		// dimension 2, twisted: straight edges (0,4),(2,6) but crossed
+		// (1,7),(3,5), which cuts the diameter from 3 to 2.
+		{0, 4}, {2, 6}, {1, 7}, {3, 5},
+	}
+	for id, e := range edges {
+		t.adj[e[0]][e[1]] = id + 1
+		t.adj[e[1]][e[0]] = id + 1
+	}
+	// Precompute shortest routes by BFS (diameter is 2, so at most 2 links).
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			if a == b {
+				continue
+			}
+			if l := t.adj[a][b]; l != 0 {
+				t.routeTbl[a][b] = []int{l - 1}
+				continue
+			}
+			found := false
+			for mid := 0; mid < 8 && !found; mid++ {
+				if t.adj[a][mid] != 0 && t.adj[mid][b] != 0 {
+					t.routeTbl[a][b] = []int{t.adj[a][mid] - 1, t.adj[mid][b] - 1}
+					found = true
+				}
+			}
+			if !found {
+				panic(fmt.Sprintf("fabric: twisted hypercube diameter >2 between %d and %d", a, b))
+			}
+		}
+	}
+	return t
+}
+
+// Name implements Topology.
+func (t *TwistedHypercube) Name() string { return "UPI twisted hypercube (8S)" }
+
+// NumSockets implements Topology.
+func (t *TwistedHypercube) NumSockets() int { return 8 }
+
+// Route implements Topology.
+func (t *TwistedHypercube) Route(a, b int) []int { return t.routeTbl[a][b] }
+
+// LinkBandwidth implements Topology.
+func (t *TwistedHypercube) LinkBandwidth(int) float64 { return t.linkBW }
+
+// Latency implements Topology: sub-microsecond per UPI hop.
+func (t *TwistedHypercube) Latency(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return 0.3e-6 * float64(len(t.routeTbl[a][b]))
+}
+
+// CopyOverhead implements Topology: UPI non-temporal full-cacheline stores
+// move data without extra software copies (§V-C).
+func (t *TwistedHypercube) CopyOverhead() float64 { return 1.0 }
+
+// Hops returns the hop count between two sockets (tests and analysis).
+func (t *TwistedHypercube) Hops(a, b int) int { return len(t.routeTbl[a][b]) }
+
+// PrunedFatTree is the 64-socket OPA cluster of Fig. 4: every socket has its
+// own 100G adapter; sockets 0..31 hang off leaf switch 0 and 32..63 off leaf
+// switch 1; the two leaves connect through a root trunk pruned 2:1 (16
+// uplinks for 32 downlinks per leaf).
+type PrunedFatTree struct {
+	sockets int
+	hostBW  float64 // per-adapter bytes/s
+	trunkBW float64 // aggregated leaf-root bytes/s
+	perLeaf int
+	latency float64
+	copyOvh float64
+}
+
+// NewPrunedFatTree builds the OPA cluster model for the given socket count
+// (≤ 64). hostBW is the adapter bandwidth (100G ≈ 12.5e9 B/s); the trunk is
+// pruned to half the leaf's aggregate host bandwidth.
+func NewPrunedFatTree(sockets int, hostBW float64) *PrunedFatTree {
+	if sockets < 1 || sockets > 64 {
+		panic(fmt.Sprintf("fabric: fat tree supports 1..64 sockets, got %d", sockets))
+	}
+	return &PrunedFatTree{
+		sockets: sockets,
+		hostBW:  hostBW,
+		trunkBW: 16 * hostBW, // 16 uplinks per leaf (200 GB/s for 100G links)
+		perLeaf: 32,
+		latency: 1e-6, // §V-B: 100G connectivity at 1 µs latency
+		copyOvh: 1.25, // data is copied through the NIC stack (§V-C)
+	}
+}
+
+// Link IDs (OPA links are full duplex, so each direction is its own
+// resource): id s in [0, sockets) is socket s's uplink (socket→leaf);
+// sockets+s is its downlink (leaf→socket); 2*sockets and 2*sockets+1 are the
+// two directions of the pruned root trunk.
+func (p *PrunedFatTree) upLink(s int) int   { return s }
+func (p *PrunedFatTree) downLink(s int) int { return p.sockets + s }
+func (p *PrunedFatTree) trunkLink(fromLeaf int) int {
+	return 2*p.sockets + fromLeaf
+}
+
+func (p *PrunedFatTree) leafOf(s int) int { return s / p.perLeaf }
+
+// Name implements Topology.
+func (p *PrunedFatTree) Name() string { return "OPA pruned fat-tree (64S)" }
+
+// NumSockets implements Topology.
+func (p *PrunedFatTree) NumSockets() int { return p.sockets }
+
+// Route implements Topology.
+func (p *PrunedFatTree) Route(a, b int) []int {
+	if a == b {
+		return nil
+	}
+	if p.leafOf(a) == p.leafOf(b) {
+		return []int{p.upLink(a), p.downLink(b)}
+	}
+	return []int{p.upLink(a), p.trunkLink(p.leafOf(a)), p.downLink(b)}
+}
+
+// LinkBandwidth implements Topology.
+func (p *PrunedFatTree) LinkBandwidth(id int) float64 {
+	if id >= 2*p.sockets {
+		return p.trunkBW
+	}
+	return p.hostBW
+}
+
+// Latency implements Topology.
+func (p *PrunedFatTree) Latency(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	if p.leafOf(a) == p.leafOf(b) {
+		return p.latency
+	}
+	return 2 * p.latency
+}
+
+// CopyOverhead implements Topology.
+func (p *PrunedFatTree) CopyOverhead() float64 { return p.copyOvh }
+
+// Bisection returns the bisection bandwidth of the configured system in
+// bytes/s (tests compare it against the paper's 200 GB/s between leaves).
+func (p *PrunedFatTree) Bisection() float64 {
+	if p.sockets <= p.perLeaf {
+		return math.Inf(1) // single leaf, non-blocking
+	}
+	return p.trunkBW
+}

@@ -1,0 +1,190 @@
+// Package gemm implements the matrix-multiplication engines behind the MLP
+// layers: the batch-reduce GEMM micro-kernel and the blocked fully-connected
+// kernels of Algorithm 5 (forward, backward-by-data, backward-by-weights),
+// plus the two baselines the paper's Fig. 5 compares against (a Facebook
+// style thread-blocked GEMM and a PyTorch/MKL style large multithreaded
+// GEMM).
+//
+// All fast paths operate on the blocked layouts from internal/tensor:
+//
+//	weights     W  [Kb][Cb][bc][bk]
+//	activations X  [Cb][Nb][bn][bc]
+//	outputs     Y  [Kb][Nb][bn][bk]   (the Acts layout of the next layer)
+package gemm
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// BatchReduceKernel performs the batch-reduce GEMM micro-kernel:
+//
+//	out[bn][bk] += Σ_i  B_i(bn×bc) · A_i(bc×bk)
+//
+// where A_i are weight tiles (input-feature major, output contiguous) and
+// B_i are activation tiles (sample major, input-feature contiguous). This is
+// the JIT-ed kernel of the paper in pure Go: the inner loop broadcasts one
+// input scalar against a contiguous run of bk outputs, which the compiler
+// vectorizes after bounds-check elimination.
+//
+// If zeroOut is true the output tile is cleared before accumulation.
+func BatchReduceKernel(aTiles, bTiles [][]float32, out []float32, bn, bc, bk int, zeroOut bool) {
+	if zeroOut {
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	for t := range aTiles {
+		a := aTiles[t]
+		b := bTiles[t]
+		for ni := 0; ni < bn; ni++ {
+			bRow := b[ni*bc : ni*bc+bc]
+			yRow := out[ni*bk : ni*bk+bk]
+			// Unroll the reduction dimension 4-wide: four broadcast
+			// multiply-adds per output store, which is what keeps the
+			// scalar kernel from being store-bound.
+			ci := 0
+			for ; ci+4 <= bc; ci += 4 {
+				x0, x1, x2, x3 := bRow[ci], bRow[ci+1], bRow[ci+2], bRow[ci+3]
+				if x0 == 0 && x1 == 0 && x2 == 0 && x3 == 0 {
+					continue
+				}
+				a0 := a[ci*bk : ci*bk+bk]
+				a1 := a[(ci+1)*bk : (ci+1)*bk+bk]
+				a2 := a[(ci+2)*bk : (ci+2)*bk+bk]
+				a3 := a[(ci+3)*bk : (ci+3)*bk+bk]
+				for ki := range yRow {
+					yRow[ki] += x0*a0[ki] + x1*a1[ki] + x2*a2[ki] + x3*a3[ki]
+				}
+			}
+			for ; ci < bc; ci++ {
+				x := bRow[ci]
+				if x == 0 {
+					continue
+				}
+				aRow := a[ci*bk : ci*bk+bk]
+				for ki := range yRow {
+					yRow[ki] += x * aRow[ki]
+				}
+			}
+		}
+	}
+}
+
+// Forward computes Y = X · Wᵀ over blocked tensors (logical Y[N×K] from
+// X[N×C] and W[K×C]) following Algorithm 5: each worker owns a set of output
+// blocks, gathers the A/B tile pointer lists over the reduction dimension
+// Cb, and issues one batch-reduce GEMM per output block.
+func Forward(p *par.Pool, w *tensor.Weights, x *tensor.Acts, y *tensor.Acts) {
+	if x.C != w.C || x.BC != w.BC {
+		panic(fmt.Sprintf("gemm: forward C mismatch x(C=%d,bc=%d) w(C=%d,bc=%d)", x.C, x.BC, w.C, w.BC))
+	}
+	if y.N != x.N || y.BN != x.BN || y.C != w.K || y.BC != w.BK {
+		panic(fmt.Sprintf("gemm: forward Y shape mismatch y(N=%d,C=%d) want (N=%d,K=%d)", y.N, y.C, x.N, w.K))
+	}
+	bn, bc, bk := x.BN, x.BC, w.BK
+	cb := w.Cb
+	run2DScratch(p, w.Kb, x.Nb, cb, func(s *Scratch, kb, nb int) {
+		for i := 0; i < cb; i++ {
+			s.A[i] = w.Block(kb, i)
+			s.B[i] = x.Block(i, nb)
+		}
+		BatchReduceKernel(s.A[:cb], s.B[:cb], y.Block(kb, nb), bn, bc, bk, true)
+	})
+}
+
+// BackwardData computes dX = dY · W over blocked tensors (logical dX[N×C]
+// from dY[N×K] and W[K×C]). It reuses the forward kernel with the logically
+// transposed weights; callers that run many iterations should pre-transpose
+// once per weight update via tensor.Weights.TransposeBlocked.
+func BackwardData(p *par.Pool, wT *tensor.Weights, dy *tensor.Acts, dx *tensor.Acts) {
+	// wT is W transposed: logical C×K blocked [Cb][Kb][bk][bc].
+	Forward(p, wT, dy, dx)
+}
+
+// BackwardWeights computes dW = dYᵀ · X over blocked tensors (logical
+// dW[K×C] from dY[N×K] and X[N×C]), reducing over the minibatch dimension.
+// The activation layout [Cb][Nb][bn][bc] was chosen precisely so this pass
+// sees the same contiguous tile accesses as the forward pass.
+func BackwardWeights(p *par.Pool, dy *tensor.Acts, x *tensor.Acts, dw *tensor.Weights) {
+	if dy.N != x.N || dy.BN != x.BN {
+		panic("gemm: backwardWeights N mismatch")
+	}
+	if dw.K != dy.C || dw.BK != dy.BC || dw.C != x.C || dw.BC != x.BC {
+		panic("gemm: backwardWeights dW shape mismatch")
+	}
+	bn, bc, bk := x.BN, x.BC, dw.BK
+	nb := x.Nb
+	p.Run2D(dw.Kb, dw.Cb, func(tid, kb, cb int) {
+		out := dw.Block(kb, cb)
+		for i := range out {
+			out[i] = 0
+		}
+		for n := 0; n < nb; n++ {
+			dyTile := dy.Block(kb, n) // bn×bk, sample major
+			xTile := x.Block(cb, n)   // bn×bc, sample major
+			// Reduce over the samples 4-wide per output store (see
+			// BatchReduceKernel).
+			ni := 0
+			for ; ni+4 <= bn; ni += 4 {
+				dy0 := dyTile[ni*bk : ni*bk+bk]
+				dy1 := dyTile[(ni+1)*bk : (ni+1)*bk+bk]
+				dy2 := dyTile[(ni+2)*bk : (ni+2)*bk+bk]
+				dy3 := dyTile[(ni+3)*bk : (ni+3)*bk+bk]
+				for ci := 0; ci < bc; ci++ {
+					x0 := xTile[ni*bc+ci]
+					x1 := xTile[(ni+1)*bc+ci]
+					x2 := xTile[(ni+2)*bc+ci]
+					x3 := xTile[(ni+3)*bc+ci]
+					if x0 == 0 && x1 == 0 && x2 == 0 && x3 == 0 {
+						continue
+					}
+					dwRow := out[ci*bk : ci*bk+bk]
+					for ki := range dwRow {
+						dwRow[ki] += x0*dy0[ki] + x1*dy1[ki] + x2*dy2[ki] + x3*dy3[ki]
+					}
+				}
+			}
+			for ; ni < bn; ni++ {
+				dyRow := dyTile[ni*bk : ni*bk+bk]
+				xRow := xTile[ni*bc : ni*bc+bc]
+				for ci := 0; ci < bc; ci++ {
+					xv := xRow[ci]
+					if xv == 0 {
+						continue
+					}
+					dwRow := out[ci*bk : ci*bk+bk]
+					for ki := range dwRow {
+						dwRow[ki] += xv * dyRow[ki]
+					}
+				}
+			}
+		}
+	})
+}
+
+// Scratch holds per-worker tile pointer lists so the hot loop does not
+// allocate. Capacity is the reduction block count.
+type Scratch struct {
+	A, B [][]float32
+}
+
+// newScratch returns a Scratch able to hold n tiles.
+func newScratch(n int) *Scratch {
+	return &Scratch{A: make([][]float32, n), B: make([][]float32, n)}
+}
+
+// run2DScratch partitions a rows×cols output-block grid across the pool,
+// giving each worker a private Scratch sized for the reduction dimension.
+// This realizes line 1 of Algorithm 5 ("assign output work items").
+func run2DScratch(p *par.Pool, rows, cols, scratchN int, body func(s *Scratch, row, col int)) {
+	total := rows * cols
+	p.ForN(total, func(tid, lo, hi int) {
+		s := newScratch(scratchN)
+		for i := lo; i < hi; i++ {
+			body(s, i/cols, i%cols)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+func randDense(rng *rand.Rand, r, c int) *tensor.Dense {
+	d := tensor.NewDense(r, c)
+	d.Randomize(rng, 1)
+	return d
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pool := par.NewPool(4)
+	for _, tc := range []struct{ n, c, k, bn, bc, bk int }{
+		{16, 32, 64, 4, 8, 16},
+		{32, 64, 32, 16, 16, 16},
+		{8, 8, 8, 8, 8, 8},
+		{64, 128, 96, 16, 32, 32},
+	} {
+		xD := randDense(rng, tc.n, tc.c)
+		wD := randDense(rng, tc.k, tc.c)
+		want := tensor.NewDense(tc.n, tc.k)
+		NaiveNT(xD, wD, want)
+
+		x := tensor.PackActs(xD, tc.bn, tc.bc)
+		w := tensor.PackWeights(wD, tc.bk, tc.bc)
+		y := tensor.NewActs(tc.n, tc.k, tc.bn, tc.bk)
+		Forward(pool, w, x, y)
+		if !tensor.AllClose(y.Unpack(), want, 1e-4, 1e-4) {
+			t.Fatalf("forward mismatch for %+v (max diff %g)", tc, tensor.MaxAbsDiff(y.Unpack(), want))
+		}
+	}
+}
+
+func TestBackwardDataMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pool := par.NewPool(4)
+	n, c, k := 32, 48, 64
+	bn, bc, bk := 8, 16, 16
+	dyD := randDense(rng, n, k)
+	wD := randDense(rng, k, c)
+	want := tensor.NewDense(n, c)
+	NaiveNN(dyD, wD, want)
+
+	w := tensor.PackWeights(wD, bk, bc)
+	wT := w.TransposeBlocked()
+	dy := tensor.PackActs(dyD, bn, bk)
+	dx := tensor.NewActs(n, c, bn, bc)
+	BackwardData(pool, wT, dy, dx)
+	if !tensor.AllClose(dx.Unpack(), want, 1e-4, 1e-4) {
+		t.Fatalf("backward-data mismatch (max diff %g)", tensor.MaxAbsDiff(dx.Unpack(), want))
+	}
+}
+
+func TestBackwardWeightsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := par.NewPool(4)
+	n, c, k := 64, 32, 48
+	bn, bc, bk := 16, 16, 8
+	dyD := randDense(rng, n, k)
+	xD := randDense(rng, n, c)
+	want := tensor.NewDense(k, c)
+	NaiveTN(dyD, xD, want)
+
+	dy := tensor.PackActs(dyD, bn, bk)
+	x := tensor.PackActs(xD, bn, bc)
+	dw := tensor.NewWeights(k, c, bk, bc)
+	BackwardWeights(pool, dy, x, dw)
+	if !tensor.AllClose(dw.Unpack(), want, 1e-4, 1e-4) {
+		t.Fatalf("backward-weights mismatch (max diff %g)", tensor.MaxAbsDiff(dw.Unpack(), want))
+	}
+}
+
+func TestReferenceBaselinesMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pool := par.NewPool(3)
+	n, c, k := 33, 70, 45 // deliberately non-multiples to exercise edge tiles
+	x := randDense(rng, n, c)
+	w := randDense(rng, k, c)
+	want := tensor.NewDense(n, k)
+	NaiveNT(x, w, want)
+
+	got := tensor.NewDense(n, k)
+	MKLStyleNT(pool, x, w, got)
+	if !tensor.AllClose(got, want, 1e-4, 1e-4) {
+		t.Fatal("MKLStyleNT mismatch")
+	}
+	got.Zero()
+	FBStyleNT(pool, x, w, got)
+	if !tensor.AllClose(got, want, 1e-4, 1e-4) {
+		t.Fatal("FBStyleNT mismatch")
+	}
+}
+
+func TestBatchReduceKernelAccumulates(t *testing.T) {
+	// Two batched tiles must sum; zeroOut=false must accumulate on top.
+	bn, bc, bk := 2, 2, 2
+	a1 := []float32{1, 0, 0, 1} // identity (bc×bk, ci-major)
+	a2 := []float32{2, 0, 0, 2}
+	b1 := []float32{1, 2, 3, 4} // bn×bc sample major
+	b2 := []float32{1, 1, 1, 1}
+	out := make([]float32, bn*bk)
+	BatchReduceKernel([][]float32{a1, a2}, [][]float32{b1, b2}, out, bn, bc, bk, true)
+	// b1·a1 = b1; b2·a2 = 2*b2 => out = b1 + 2.
+	want := []float32{3, 4, 5, 6}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d]=%g want %g", i, out[i], want[i])
+		}
+	}
+	BatchReduceKernel([][]float32{a1}, [][]float32{b1}, out, bn, bc, bk, false)
+	if out[0] != 4 {
+		t.Fatalf("accumulate failed: out[0]=%g want 4", out[0])
+	}
+}
+
+func TestForwardPropertyVsNaive(t *testing.T) {
+	pool := par.NewPool(2)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bn := []int{2, 4, 8}[rng.Intn(3)]
+		bc := []int{2, 4, 8}[rng.Intn(3)]
+		bk := []int{2, 4, 8}[rng.Intn(3)]
+		n := bn * (1 + rng.Intn(3))
+		c := bc * (1 + rng.Intn(3))
+		k := bk * (1 + rng.Intn(3))
+		xD := randDense(rng, n, c)
+		wD := randDense(rng, k, c)
+		want := tensor.NewDense(n, k)
+		NaiveNT(xD, wD, want)
+		y := tensor.NewActs(n, k, bn, bk)
+		Forward(pool, tensor.PackWeights(wD, bk, bc), tensor.PackActs(xD, bn, bc), y)
+		return tensor.AllClose(y.Unpack(), want, 1e-4, 1e-4)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardShapePanics(t *testing.T) {
+	pool := par.NewPool(1)
+	w := tensor.NewWeights(8, 8, 4, 4)
+	x := tensor.NewActs(8, 16, 4, 4) // C mismatch
+	y := tensor.NewActs(8, 8, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	Forward(pool, w, x, y)
+}
+
+func BenchmarkForwardBlocked1024(b *testing.B) {
+	benchForward(b, Forward)
+}
+
+func benchForward(b *testing.B, fn func(*par.Pool, *tensor.Weights, *tensor.Acts, *tensor.Acts)) {
+	rng := rand.New(rand.NewSource(7))
+	pool := par.Default
+	n, c, k := 256, 1024, 1024
+	x := tensor.PackActs(randDense(rng, n, c), 16, 32)
+	w := tensor.PackWeights(randDense(rng, k, c), 32, 32)
+	y := tensor.NewActs(n, k, 16, 32)
+	b.SetBytes(int64(4 * (n*c + k*c + n*k)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(pool, w, x, y)
+	}
+	flops := 2 * float64(n) * float64(c) * float64(k)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func TestBackwardBaselinesMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pool := par.NewPool(3)
+	n, c, k := 37, 53, 29
+	dy := randDense(rng, n, k)
+	x := randDense(rng, n, c)
+	w := randDense(rng, k, c)
+
+	wantDX := tensor.NewDense(n, c)
+	NaiveNN(dy, w, wantDX)
+	gotDX := tensor.NewDense(n, c)
+	MKLStyleNN(pool, dy, w, gotDX)
+	if !tensor.AllClose(gotDX, wantDX, 1e-4, 1e-4) {
+		t.Fatal("MKLStyleNN mismatch")
+	}
+	gotDX.Zero()
+	FBStyleNN(pool, dy, w, gotDX)
+	if !tensor.AllClose(gotDX, wantDX, 1e-4, 1e-4) {
+		t.Fatal("FBStyleNN mismatch")
+	}
+
+	wantDW := tensor.NewDense(k, c)
+	NaiveTN(dy, x, wantDW)
+	gotDW := tensor.NewDense(k, c)
+	MKLStyleTN(pool, dy, x, gotDW)
+	if !tensor.AllClose(gotDW, wantDW, 1e-4, 1e-4) {
+		t.Fatal("MKLStyleTN mismatch")
+	}
+	gotDW.Zero()
+	FBStyleTN(pool, dy, x, gotDW)
+	if !tensor.AllClose(gotDW, wantDW, 1e-4, 1e-4) {
+		t.Fatal("FBStyleTN mismatch")
+	}
+}

@@ -1,0 +1,202 @@
+// Package interaction implements DLRM's feature-interaction operators that
+// combine the bottom-MLP output with the embedding-table outputs (§II): the
+// trivial Concat op and the default self dot-product op, which computes per
+// sample the Gram matrix of the stacked feature vectors — a batched GEMM —
+// and keeps the strictly-lower triangle, concatenated after the dense
+// features.
+package interaction
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Op is the interface both interaction operators satisfy: DLRM treats the
+// interaction as a pluggable component (§II names concat and the default
+// self dot product).
+type Op interface {
+	// OutputDim returns the per-sample output width.
+	OutputDim() int
+	// Forward combines the bottom feature and table outputs into out.
+	Forward(p *par.Pool, n int, bottom []float32, emb [][]float32, out []float32)
+	// Backward distributes dOut into dBottom and dEmb.
+	Backward(p *par.Pool, dOut, dBottom []float32, dEmb [][]float32)
+}
+
+var (
+	_ Op = (*Dot)(nil)
+	_ Op = (*Concat)(nil)
+)
+
+// Dot is the self dot-product interaction over S sparse features plus the
+// dense feature, all of dimension E. Its forward output per sample is the
+// dense feature followed by the (S+1)·S/2 strictly-lower-triangular entries
+// of the (S+1)×(S+1) Gram matrix.
+type Dot struct {
+	S, E int
+
+	// saved inputs for backward, one row per sample
+	savedBottom []float32   // N×E
+	savedEmb    [][]float32 // S slices of N×E
+	n           int
+}
+
+// NewDot returns a Dot interaction for S embedding tables of dimension E.
+func NewDot(s, e int) *Dot { return &Dot{S: s, E: e} }
+
+// OutputDim returns E + (S+1)·S/2.
+func (d *Dot) OutputDim() int { return d.E + (d.S+1)*d.S/2 }
+
+// NumPairs returns the number of interaction terms (S+1)·S/2.
+func (d *Dot) NumPairs() int { return (d.S + 1) * d.S / 2 }
+
+// Forward computes the interaction for a minibatch. bottom is N×E row-major
+// (the bottom-MLP output); emb[t] is N×E row-major (table t's bag outputs).
+// out must hold N×OutputDim().
+func (d *Dot) Forward(p *par.Pool, n int, bottom []float32, emb [][]float32, out []float32) {
+	d.check(n, bottom, emb)
+	od := d.OutputDim()
+	if len(out) != n*od {
+		panic(fmt.Sprintf("interaction: out len %d want %d", len(out), n*od))
+	}
+	d.savedBottom, d.savedEmb, d.n = bottom, emb, n
+	e, s := d.E, d.S
+	p.ForN(n, func(tid, lo, hi int) {
+		// feats[i] points at row vector i of sample: 0=bottom, 1..S=tables.
+		feats := make([][]float32, s+1)
+		for smp := lo; smp < hi; smp++ {
+			feats[0] = bottom[smp*e : (smp+1)*e]
+			for t := 0; t < s; t++ {
+				feats[t+1] = emb[t][smp*e : (smp+1)*e]
+			}
+			row := out[smp*od : (smp+1)*od]
+			copy(row[:e], feats[0])
+			pos := e
+			for i := 1; i <= s; i++ {
+				fi := feats[i]
+				for j := 0; j < i; j++ {
+					fj := feats[j]
+					var acc float32
+					for k := 0; k < e; k++ {
+						acc += fi[k] * fj[k]
+					}
+					row[pos] = acc
+					pos++
+				}
+			}
+		}
+	})
+}
+
+// Backward consumes dOut (N×OutputDim) and writes gradients for the bottom
+// feature (dBottom, N×E) and each table output (dEmb[t], N×E). The buffers
+// must be preallocated; they are overwritten, not accumulated into.
+func (d *Dot) Backward(p *par.Pool, dOut, dBottom []float32, dEmb [][]float32) {
+	n, e, s := d.n, d.E, d.S
+	od := d.OutputDim()
+	if len(dOut) != n*od || len(dBottom) != n*e || len(dEmb) != s {
+		panic("interaction: backward size mismatch")
+	}
+	bottom, emb := d.savedBottom, d.savedEmb
+	p.ForN(n, func(tid, lo, hi int) {
+		feats := make([][]float32, s+1)
+		grads := make([][]float32, s+1)
+		for smp := lo; smp < hi; smp++ {
+			feats[0] = bottom[smp*e : (smp+1)*e]
+			grads[0] = dBottom[smp*e : (smp+1)*e]
+			for t := 0; t < s; t++ {
+				feats[t+1] = emb[t][smp*e : (smp+1)*e]
+				grads[t+1] = dEmb[t][smp*e : (smp+1)*e]
+			}
+			row := dOut[smp*od : (smp+1)*od]
+			// Concat part: dBottom starts as the dense slice of dOut.
+			copy(grads[0], row[:e])
+			for t := 1; t <= s; t++ {
+				g := grads[t]
+				for k := range g {
+					g[k] = 0
+				}
+			}
+			// Dot part: out[pos] = <f_i, f_j> ⇒ df_i += g·f_j, df_j += g·f_i.
+			pos := e
+			for i := 1; i <= s; i++ {
+				fi, gi := feats[i], grads[i]
+				for j := 0; j < i; j++ {
+					fj, gj := feats[j], grads[j]
+					g := row[pos]
+					pos++
+					if g == 0 {
+						continue
+					}
+					for k := 0; k < e; k++ {
+						gi[k] += g * fj[k]
+						gj[k] += g * fi[k]
+					}
+				}
+			}
+		}
+	})
+}
+
+func (d *Dot) check(n int, bottom []float32, emb [][]float32) {
+	if len(bottom) != n*d.E {
+		panic(fmt.Sprintf("interaction: bottom len %d want %d", len(bottom), n*d.E))
+	}
+	if len(emb) != d.S {
+		panic(fmt.Sprintf("interaction: got %d tables want %d", len(emb), d.S))
+	}
+	for t, z := range emb {
+		if len(z) != n*d.E {
+			panic(fmt.Sprintf("interaction: table %d len %d want %d", t, len(z), n*d.E))
+		}
+	}
+}
+
+// Concat is the simple interaction: per sample, the concatenation of the
+// dense feature and all table outputs.
+type Concat struct {
+	S, E int
+	n    int
+}
+
+// NewConcat returns a Concat interaction for S tables of dimension E.
+func NewConcat(s, e int) *Concat { return &Concat{S: s, E: e} }
+
+// OutputDim returns (S+1)·E.
+func (c *Concat) OutputDim() int { return (c.S + 1) * c.E }
+
+// Forward writes [bottom | emb_1 | ... | emb_S] per sample into out
+// (N×OutputDim).
+func (c *Concat) Forward(p *par.Pool, n int, bottom []float32, emb [][]float32, out []float32) {
+	od := c.OutputDim()
+	if len(out) != n*od {
+		panic("interaction: concat out size mismatch")
+	}
+	c.n = n
+	e := c.E
+	p.ForN(n, func(tid, lo, hi int) {
+		for smp := lo; smp < hi; smp++ {
+			row := out[smp*od : (smp+1)*od]
+			copy(row[:e], bottom[smp*e:(smp+1)*e])
+			for t := 0; t < c.S; t++ {
+				copy(row[(t+1)*e:(t+2)*e], emb[t][smp*e:(smp+1)*e])
+			}
+		}
+	})
+}
+
+// Backward splits dOut back into dBottom and dEmb.
+func (c *Concat) Backward(p *par.Pool, dOut, dBottom []float32, dEmb [][]float32) {
+	od := c.OutputDim()
+	e := c.E
+	p.ForN(c.n, func(tid, lo, hi int) {
+		for smp := lo; smp < hi; smp++ {
+			row := dOut[smp*od : (smp+1)*od]
+			copy(dBottom[smp*e:(smp+1)*e], row[:e])
+			for t := 0; t < c.S; t++ {
+				copy(dEmb[t][smp*e:(smp+1)*e], row[(t+1)*e:(t+2)*e])
+			}
+		}
+	})
+}

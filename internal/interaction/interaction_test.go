@@ -1,0 +1,145 @@
+package interaction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func randVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = rng.Float32()*2 - 1
+	}
+	return v
+}
+
+func TestDotForwardValues(t *testing.T) {
+	// S=2, E=2, N=1, hand-computed.
+	d := NewDot(2, 2)
+	pool := par.NewPool(1)
+	bottom := []float32{1, 2}
+	emb := [][]float32{{3, 4}, {5, 6}}
+	out := make([]float32, d.OutputDim())
+	d.Forward(pool, 1, bottom, emb, out)
+	// concat: [1 2], pairs: <e1,b>=3+8=11, <e2,b>=5+12=17, <e2,e1>=15+24=39
+	want := []float32{1, 2, 11, 17, 39}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d]=%g want %g (out=%v)", i, out[i], want[i], out)
+		}
+	}
+}
+
+func TestDotOutputDim(t *testing.T) {
+	if NewDot(8, 64).OutputDim() != 64+36 {
+		t.Fatal("OutputDim wrong for S=8")
+	}
+	if NewDot(26, 128).OutputDim() != 128+27*26/2 {
+		t.Fatal("OutputDim wrong for S=26")
+	}
+	if NewDot(3, 4).NumPairs() != 6 {
+		t.Fatal("NumPairs wrong")
+	}
+}
+
+// TestDotBackwardNumerically checks the analytic gradients against central
+// differences of L = Σ out·coef.
+func TestDotBackwardNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pool := par.NewPool(2)
+	const n, s, e = 3, 4, 5
+	d := NewDot(s, e)
+	bottom := randVec(rng, n*e)
+	emb := make([][]float32, s)
+	for i := range emb {
+		emb[i] = randVec(rng, n*e)
+	}
+	coef := randVec(rng, n*d.OutputDim())
+
+	lossOf := func() float64 {
+		out := make([]float32, n*d.OutputDim())
+		d.Forward(pool, n, bottom, emb, out)
+		var l float64
+		for i := range out {
+			l += float64(out[i]) * float64(coef[i])
+		}
+		return l
+	}
+
+	out := make([]float32, n*d.OutputDim())
+	d.Forward(pool, n, bottom, emb, out)
+	dBottom := make([]float32, n*e)
+	dEmb := make([][]float32, s)
+	for i := range dEmb {
+		dEmb[i] = make([]float32, n*e)
+	}
+	d.Backward(pool, coef, dBottom, dEmb)
+
+	const eps = 1e-3
+	check := func(name string, vec, grad []float32) {
+		for trial := 0; trial < 10; trial++ {
+			i := rng.Intn(len(vec))
+			orig := vec[i]
+			vec[i] = orig + eps
+			lp := lossOf()
+			vec[i] = orig - eps
+			lm := lossOf()
+			vec[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-float64(grad[i])) > 1e-2*(1+math.Abs(num)) {
+				t.Errorf("%s[%d]: numeric %g analytic %g", name, i, num, grad[i])
+			}
+		}
+	}
+	check("bottom", bottom, dBottom)
+	for ti := range emb {
+		check("emb", emb[ti], dEmb[ti])
+	}
+}
+
+func TestConcatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pool := par.NewPool(2)
+	const n, s, e = 4, 3, 6
+	c := NewConcat(s, e)
+	bottom := randVec(rng, n*e)
+	emb := make([][]float32, s)
+	for i := range emb {
+		emb[i] = randVec(rng, n*e)
+	}
+	out := make([]float32, n*c.OutputDim())
+	c.Forward(pool, n, bottom, emb, out)
+	// Backward of identity gradient must reproduce the inputs.
+	dBottom := make([]float32, n*e)
+	dEmb := make([][]float32, s)
+	for i := range dEmb {
+		dEmb[i] = make([]float32, n*e)
+	}
+	c.Backward(pool, out, dBottom, dEmb)
+	for i := range bottom {
+		if dBottom[i] != bottom[i] {
+			t.Fatal("concat backward lost bottom values")
+		}
+	}
+	for ti := range emb {
+		for i := range emb[ti] {
+			if dEmb[ti][i] != emb[ti][i] {
+				t.Fatal("concat backward lost table values")
+			}
+		}
+	}
+}
+
+func TestDotShapePanics(t *testing.T) {
+	d := NewDot(2, 4)
+	pool := par.NewPool(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong table count")
+		}
+	}()
+	d.Forward(pool, 1, make([]float32, 4), [][]float32{make([]float32, 4)}, make([]float32, d.OutputDim()))
+}

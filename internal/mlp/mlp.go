@@ -1,0 +1,344 @@
+// Package mlp builds multi-layer perceptrons from the blocked GEMM kernels:
+// fully-connected layers with fused bias and activation (the paper fuses
+// ReLU into the GEMM epilogue while the C tile is hot in cache), the three
+// training passes (forward, backward-by-data, backward-by-weights), and a
+// stack type used for DLRM's bottom and top MLPs.
+package mlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gemm"
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// Activation selects the fused epilogue of a fully-connected layer.
+type Activation int
+
+const (
+	// None leaves the GEMM output linear (used before a fused
+	// sigmoid+cross-entropy loss).
+	None Activation = iota
+	// ReLU clamps negatives to zero.
+	ReLU
+	// Sigmoid applies the logistic function.
+	Sigmoid
+)
+
+// BlockPick returns the largest block size ≤ cap that divides dim. The
+// paper's configs are mostly powers of two, but MLPerf's 13 dense features
+// and final K=1 need degenerate blocks.
+func BlockPick(dim, cap int) int {
+	if dim <= 0 {
+		panic(fmt.Sprintf("mlp: BlockPick dim=%d", dim))
+	}
+	for b := cap; b > 1; b-- {
+		if dim%b == 0 {
+			return b
+		}
+	}
+	return 1
+}
+
+// Layer is one fully-connected layer y = act(W·x + bias) over blocked
+// tensors, with storage for the gradients the optimizer consumes.
+type Layer struct {
+	C, K       int // input/output features
+	BN, BC, BK int // block sizes (BN fixed by the owning MLP)
+	Act        Activation
+
+	W    *tensor.Weights
+	Bias []float32
+
+	// Gradients written by Backward.
+	DW    *tensor.Weights
+	DBias []float32
+
+	// Cached transpose for backward-by-data; rebuilt after every weight
+	// change (see InvalidateTranspose).
+	wT *tensor.Weights
+
+	// Saved forward tensors for backward.
+	savedX *tensor.Acts
+	savedY *tensor.Acts
+}
+
+// NewLayer constructs a layer with Kaiming-uniform init (scale 1/√C), which
+// the convergence experiments need to reach reference accuracy.
+func NewLayer(c, k, bn int, act Activation, rng *rand.Rand) *Layer {
+	bc := BlockPick(c, 64)
+	bk := BlockPick(k, 64)
+	l := &Layer{
+		C: c, K: k, BN: bn, BC: bc, BK: bk, Act: act,
+		W:     tensor.NewWeights(k, c, bk, bc),
+		Bias:  make([]float32, k),
+		DW:    tensor.NewWeights(k, c, bk, bc),
+		DBias: make([]float32, k),
+	}
+	scale := float32(1 / math.Sqrt(float64(c)))
+	for i := range l.W.Data {
+		l.W.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	for i := range l.Bias {
+		l.Bias[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return l
+}
+
+// InvalidateTranspose discards the cached Wᵀ; the optimizer must call this
+// (or Layer.Step does) after mutating W.
+func (l *Layer) InvalidateTranspose() { l.wT = nil }
+
+// transposed returns the cached blocked transpose of W.
+func (l *Layer) transposed() *tensor.Weights {
+	if l.wT == nil {
+		l.wT = l.W.TransposeBlocked()
+	}
+	return l.wT
+}
+
+// Forward computes y = act(W·x + bias). The input and output tensors are
+// retained until the next Backward call.
+func (l *Layer) Forward(p *par.Pool, x *tensor.Acts) *tensor.Acts {
+	if x.C != l.C {
+		panic(fmt.Sprintf("mlp: layer forward C=%d want %d", x.C, l.C))
+	}
+	y := tensor.NewActs(x.N, l.K, x.BN, l.BK)
+	gemm.Forward(p, l.W, x, y)
+	l.applyBiasAct(p, y)
+	l.savedX = x
+	l.savedY = y
+	return y
+}
+
+// applyBiasAct adds the bias and applies the activation in one sweep over
+// the blocked output — the fused epilogue.
+func (l *Layer) applyBiasAct(p *par.Pool, y *tensor.Acts) {
+	bk, bn := y.BC, y.BN // y's "C" is this layer's K
+	p.Run2D(y.Cb, y.Nb, func(tid, kb, nb int) {
+		blk := y.Block(kb, nb)
+		bias := l.Bias[kb*bk : (kb+1)*bk]
+		for ni := 0; ni < bn; ni++ {
+			row := blk[ni*bk : (ni+1)*bk]
+			switch l.Act {
+			case None:
+				for i := range row {
+					row[i] += bias[i]
+				}
+			case ReLU:
+				for i := range row {
+					v := row[i] + bias[i]
+					if v < 0 {
+						v = 0
+					}
+					row[i] = v
+				}
+			case Sigmoid:
+				for i := range row {
+					row[i] = sigmoid32(row[i] + bias[i])
+				}
+			}
+		}
+	})
+}
+
+func sigmoid32(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Backward consumes dY (gradient w.r.t. the activated output), writes DW and
+// DBias, and returns dX. When wantDX is false (first layer of the bottom
+// MLP) the backward-by-data GEMM is skipped.
+func (l *Layer) Backward(p *par.Pool, dy *tensor.Acts, wantDX bool) *tensor.Acts {
+	if l.savedX == nil || l.savedY == nil {
+		panic("mlp: Backward before Forward")
+	}
+	// Backprop through the activation in place on a copy of dy so callers
+	// may reuse their gradient tensor.
+	dz := dy.Clone()
+	l.backwardAct(p, dz)
+
+	// Bias gradient: column sums of dz.
+	l.biasGrad(p, dz)
+
+	gemm.BackwardWeights(p, dz, l.savedX, l.DW)
+	if !wantDX {
+		return nil
+	}
+	dx := tensor.NewActs(dz.N, l.C, dz.BN, l.BC)
+	gemm.BackwardData(p, l.transposed(), dz, dx)
+	return dx
+}
+
+// backwardAct multiplies dz by act'(y) elementwise using the saved output.
+func (l *Layer) backwardAct(p *par.Pool, dz *tensor.Acts) {
+	if l.Act == None {
+		return
+	}
+	y := l.savedY
+	p.ForN(len(dz.Data)/64+1, func(tid, lo, hi int) {
+		start, end := lo*64, hi*64
+		if end > len(dz.Data) {
+			end = len(dz.Data)
+		}
+		switch l.Act {
+		case ReLU:
+			for i := start; i < end; i++ {
+				if y.Data[i] <= 0 {
+					dz.Data[i] = 0
+				}
+			}
+		case Sigmoid:
+			for i := start; i < end; i++ {
+				s := y.Data[i]
+				dz.Data[i] *= s * (1 - s)
+			}
+		}
+	})
+}
+
+// biasGrad writes DBias[k] = Σ_n dz[n][k].
+func (l *Layer) biasGrad(p *par.Pool, dz *tensor.Acts) {
+	bk := dz.BC
+	p.ForN(dz.Cb, func(tid, lo, hi int) {
+		for kb := lo; kb < hi; kb++ {
+			out := l.DBias[kb*bk : (kb+1)*bk]
+			for i := range out {
+				out[i] = 0
+			}
+			for nb := 0; nb < dz.Nb; nb++ {
+				blk := dz.Block(kb, nb)
+				for ni := 0; ni < dz.BN; ni++ {
+					row := blk[ni*bk : (ni+1)*bk]
+					for i := range out {
+						out[i] += row[i]
+					}
+				}
+			}
+		}
+	})
+}
+
+// Step applies plain SGD: W -= lr·DW, Bias -= lr·DBias, and invalidates the
+// transpose cache. Distributed trainers that allreduce gradients first call
+// this afterwards.
+func (l *Layer) Step(lr float32) {
+	for i := range l.W.Data {
+		l.W.Data[i] -= lr * l.DW.Data[i]
+	}
+	for i := range l.Bias {
+		l.Bias[i] -= lr * l.DBias[i]
+	}
+	l.InvalidateTranspose()
+}
+
+// MLP is a stack of fully-connected layers sharing a minibatch blocking.
+type MLP struct {
+	Sizes  []int // len = layers+1: input, hidden..., output
+	BN     int
+	Layers []*Layer
+}
+
+// New builds an MLP with the given feature sizes (sizes[0] is the input
+// width). All layers use hiddenAct except the last, which uses lastAct.
+// bn is the minibatch block size; the minibatch N passed to Forward must be
+// divisible by it.
+func New(sizes []int, bn int, hiddenAct, lastAct Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("mlp: need at least input and output sizes")
+	}
+	m := &MLP{Sizes: sizes, BN: bn}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hiddenAct
+		if i+2 == len(sizes) {
+			act = lastAct
+		}
+		m.Layers = append(m.Layers, NewLayer(sizes[i], sizes[i+1], bn, act, rng))
+	}
+	return m
+}
+
+// Forward runs the stack on a dense N×C input and returns the blocked
+// output.
+func (m *MLP) Forward(p *par.Pool, x *tensor.Acts) *tensor.Acts {
+	cur := x
+	for _, l := range m.Layers {
+		cur = l.Forward(p, cur)
+	}
+	return cur
+}
+
+// ForwardDense packs a dense input and runs Forward.
+func (m *MLP) ForwardDense(p *par.Pool, x *tensor.Dense) *tensor.Acts {
+	bc := BlockPick(x.Cols, 64)
+	return m.Forward(p, tensor.PackActs(x, m.BN, bc))
+}
+
+// Backward runs the stack's backward passes from the output gradient,
+// filling every layer's DW/DBias. When wantDX is true the gradient w.r.t.
+// the network input is returned (DLRM needs it for the bottom MLP→embedding
+// interaction path).
+func (m *MLP) Backward(p *par.Pool, dy *tensor.Acts, wantDX bool) *tensor.Acts {
+	cur := dy
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		need := wantDX || i > 0
+		cur = m.Layers[i].Backward(p, cur, need)
+	}
+	return cur
+}
+
+// Step applies SGD to every layer.
+func (m *MLP) Step(lr float32) {
+	for _, l := range m.Layers {
+		l.Step(lr)
+	}
+}
+
+// VisitParams calls fn for every parameter tensor (weights then bias, per
+// layer). Distributed trainers and alternative optimizers use this to
+// enumerate state.
+func (m *MLP) VisitParams(fn func(name string, p []float32)) {
+	for i, l := range m.Layers {
+		fn(fmt.Sprintf("layer%d.W", i), l.W.Data)
+		fn(fmt.Sprintf("layer%d.b", i), l.Bias)
+	}
+}
+
+// VisitGrads calls fn for every gradient tensor in the same order as
+// VisitParams.
+func (m *MLP) VisitGrads(fn func(name string, g []float32)) {
+	for i, l := range m.Layers {
+		fn(fmt.Sprintf("layer%d.W", i), l.DW.Data)
+		fn(fmt.Sprintf("layer%d.b", i), l.DBias)
+	}
+}
+
+// InvalidateTransposes drops every layer's cached Wᵀ; callers that mutate
+// weights through VisitParams must invoke it.
+func (m *MLP) InvalidateTransposes() {
+	for _, l := range m.Layers {
+		l.InvalidateTranspose()
+	}
+}
+
+// ParamBytes returns the total parameter size in bytes, the per-rank
+// allreduce volume of Eq. 1 (Σ_l f_i·f_o + f_o, times 4 bytes).
+func (m *MLP) ParamBytes() int {
+	total := 0
+	m.VisitParams(func(_ string, p []float32) { total += 4 * len(p) })
+	return total
+}
+
+// FlopsPerSample returns the forward FLOP count per sample (2·C·K summed
+// over layers); backward-by-data and backward-by-weights each cost the same
+// again, which the performance model uses.
+func (m *MLP) FlopsPerSample() float64 {
+	var f float64
+	for i := 0; i+1 < len(m.Sizes); i++ {
+		f += 2 * float64(m.Sizes[i]) * float64(m.Sizes[i+1])
+	}
+	return f
+}

@@ -1,0 +1,259 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+func naiveLayerForward(x, w *tensor.Dense, bias []float32, act Activation) *tensor.Dense {
+	y := tensor.NewDense(x.Rows, w.Rows)
+	for n := 0; n < x.Rows; n++ {
+		for k := 0; k < w.Rows; k++ {
+			var acc float64
+			for c := 0; c < x.Cols; c++ {
+				acc += float64(x.At(n, c)) * float64(w.At(k, c))
+			}
+			acc += float64(bias[k])
+			switch act {
+			case ReLU:
+				if acc < 0 {
+					acc = 0
+				}
+			case Sigmoid:
+				acc = 1 / (1 + math.Exp(-acc))
+			}
+			y.Set(n, k, float32(acc))
+		}
+	}
+	return y
+}
+
+func TestBlockPick(t *testing.T) {
+	cases := []struct{ dim, cap, want int }{
+		{1024, 64, 64}, {13, 64, 13}, {1, 64, 1}, {48, 64, 48}, {100, 64, 50},
+		{1008, 64, 63}, {7, 4, 1},
+	}
+	for _, c := range cases {
+		if got := BlockPick(c.dim, c.cap); got != c.want {
+			t.Errorf("BlockPick(%d,%d)=%d want %d", c.dim, c.cap, got, c.want)
+		}
+	}
+}
+
+func TestLayerForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pool := par.NewPool(4)
+	for _, act := range []Activation{None, ReLU, Sigmoid} {
+		l := NewLayer(32, 48, 8, act, rng)
+		xD := tensor.NewDense(16, 32)
+		xD.Randomize(rng, 1)
+		x := tensor.PackActs(xD, 8, l.BC)
+		y := l.Forward(pool, x).Unpack()
+		want := naiveLayerForward(xD, l.W.Unpack(), l.Bias, act)
+		if !tensor.AllClose(y, want, 1e-4, 1e-5) {
+			t.Fatalf("act=%d forward mismatch (max %g)", act, tensor.MaxAbsDiff(y, want))
+		}
+	}
+}
+
+func TestMLPForwardStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pool := par.NewPool(4)
+	m := New([]int{16, 32, 8}, 4, ReLU, None, rng)
+	xD := tensor.NewDense(8, 16)
+	xD.Randomize(rng, 1)
+	y := m.ForwardDense(pool, xD).Unpack()
+
+	h := naiveLayerForward(xD, m.Layers[0].W.Unpack(), m.Layers[0].Bias, ReLU)
+	want := naiveLayerForward(h, m.Layers[1].W.Unpack(), m.Layers[1].Bias, None)
+	if !tensor.AllClose(y, want, 1e-4, 1e-5) {
+		t.Fatalf("stack mismatch (max %g)", tensor.MaxAbsDiff(y, want))
+	}
+}
+
+// TestGradientsNumerically verifies backward against central finite
+// differences of the scalar loss L = Σ y²/2, for which dL/dy = y.
+func TestGradientsNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := par.NewPool(2)
+	m := New([]int{6, 10, 4}, 2, ReLU, None, rng)
+	xD := tensor.NewDense(4, 6)
+	xD.Randomize(rng, 1)
+
+	loss := func() float64 {
+		y := m.ForwardDense(pool, xD).Unpack()
+		var s float64
+		for _, v := range y.Data {
+			s += float64(v) * float64(v) / 2
+		}
+		return s
+	}
+
+	// Analytic gradients.
+	y := m.ForwardDense(pool, xD)
+	dy := y.Clone()
+	dx := m.Backward(pool, dy, true)
+
+	const eps = 1e-3
+	checkTensor := func(name string, params []float32, grads []float32, count int) {
+		for trial := 0; trial < count; trial++ {
+			i := rng.Intn(len(params))
+			orig := params[i]
+			params[i] = orig + eps
+			m.InvalidateTransposes()
+			lp := loss()
+			params[i] = orig - eps
+			m.InvalidateTransposes()
+			lm := loss()
+			params[i] = orig
+			m.InvalidateTransposes()
+			numeric := (lp - lm) / (2 * eps)
+			analytic := float64(grads[i])
+			if math.Abs(numeric-analytic) > 1e-2*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: numeric %g analytic %g", name, i, numeric, analytic)
+			}
+		}
+	}
+	for li, l := range m.Layers {
+		checkTensor("W", l.W.Data, l.DW.Data, 8)
+		checkTensor("b", l.Bias, l.DBias, 4)
+		_ = li
+	}
+
+	// Input gradient via finite differences too.
+	dxD := dx.Unpack()
+	for trial := 0; trial < 8; trial++ {
+		i := rng.Intn(len(xD.Data))
+		orig := xD.Data[i]
+		xD.Data[i] = orig + eps
+		lp := loss()
+		xD.Data[i] = orig - eps
+		lm := loss()
+		xD.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(dxD.Data[i])
+		if math.Abs(numeric-analytic) > 1e-2*(1+math.Abs(numeric)) {
+			t.Errorf("dX[%d]: numeric %g analytic %g", i, numeric, analytic)
+		}
+	}
+}
+
+func TestStepReducesQuadraticLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pool := par.NewPool(2)
+	m := New([]int{8, 16, 2}, 4, ReLU, None, rng)
+	xD := tensor.NewDense(8, 8)
+	xD.Randomize(rng, 1)
+
+	lossOf := func(y *tensor.Acts) float64 {
+		var s float64
+		for _, v := range y.Data {
+			s += float64(v) * float64(v) / 2
+		}
+		return s
+	}
+	y0 := m.ForwardDense(pool, xD)
+	l0 := lossOf(y0)
+	for iter := 0; iter < 20; iter++ {
+		y := m.ForwardDense(pool, xD)
+		m.Backward(pool, y.Clone(), false)
+		m.Step(0.01)
+	}
+	l1 := lossOf(m.ForwardDense(pool, xD))
+	if l1 >= l0 {
+		t.Fatalf("SGD failed to reduce loss: %g -> %g", l0, l1)
+	}
+}
+
+func TestStepInvalidatesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pool := par.NewPool(1)
+	l := NewLayer(8, 8, 4, None, rng)
+	x := tensor.NewActs(4, 8, 4, l.BC)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	y := l.Forward(pool, x)
+	_ = l.Backward(pool, y.Clone(), true) // populates transpose cache
+	wBefore := l.W.At(0, 0)
+	l.Step(1) // mutates W, must invalidate cache
+	if l.W.At(0, 0) == wBefore && l.DW.At(0, 0) != 0 {
+		t.Fatal("Step did not update weights")
+	}
+	// After the step, a fresh backward must use the *new* weights: compare
+	// dX against naive computation with current W.
+	y2 := l.Forward(pool, x)
+	dx := l.Backward(pool, y2.Clone(), true)
+	dzD := y2.Unpack() // act=None so dz = dy = y2
+	want := tensor.NewDense(4, 8)
+	for n := 0; n < 4; n++ {
+		for c := 0; c < 8; c++ {
+			var acc float32
+			for k := 0; k < 8; k++ {
+				acc += dzD.At(n, k) * l.W.At(k, c)
+			}
+			want.Set(n, c, acc)
+		}
+	}
+	if !tensor.AllClose(dx.Unpack(), want, 1e-4, 1e-5) {
+		t.Fatal("backward used stale transposed weights after Step")
+	}
+}
+
+func TestVisitParamsGradsAligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := New([]int{4, 6, 2}, 2, ReLU, None, rng)
+	var pNames, gNames []string
+	var pLens, gLens []int
+	m.VisitParams(func(n string, p []float32) { pNames = append(pNames, n); pLens = append(pLens, len(p)) })
+	m.VisitGrads(func(n string, g []float32) { gNames = append(gNames, n); gLens = append(gLens, len(g)) })
+	if len(pNames) != 4 || len(gNames) != 4 {
+		t.Fatalf("expected 4 tensors, got %d/%d", len(pNames), len(gNames))
+	}
+	for i := range pNames {
+		if pNames[i] != gNames[i] || pLens[i] != gLens[i] {
+			t.Fatalf("params/grads misaligned at %d: %s/%d vs %s/%d", i, pNames[i], pLens[i], gNames[i], gLens[i])
+		}
+	}
+	wantBytes := 4 * (4*6 + 6 + 6*2 + 2)
+	if m.ParamBytes() != wantBytes {
+		t.Fatalf("ParamBytes=%d want %d", m.ParamBytes(), wantBytes)
+	}
+}
+
+func TestFlopsPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := New([]int{10, 20, 5}, 2, ReLU, None, rng)
+	want := 2.0 * (10*20 + 20*5)
+	if m.FlopsPerSample() != want {
+		t.Fatalf("FlopsPerSample=%g want %g", m.FlopsPerSample(), want)
+	}
+}
+
+func TestMLPerfShapes(t *testing.T) {
+	// The MLPerf config has a 13-wide input and a 1-wide output; ensure the
+	// degenerate block sizes work end to end.
+	rng := rand.New(rand.NewSource(8))
+	pool := par.NewPool(4)
+	bot := New([]int{13, 512, 256, 128}, 16, ReLU, ReLU, rng)
+	top := New([]int{128, 512, 512, 256, 1}, 16, ReLU, None, rng)
+	x := tensor.NewDense(32, 13)
+	x.Randomize(rng, 1)
+	h := bot.ForwardDense(pool, x)
+	if h.C != 128 {
+		t.Fatalf("bottom output C=%d", h.C)
+	}
+	hD := h.Unpack()
+	y := top.ForwardDense(pool, hD)
+	if y.C != 1 || y.N != 32 {
+		t.Fatalf("top output %dx%d", y.N, y.C)
+	}
+	top.Backward(pool, y.Clone(), true)
+	bot.Backward(pool, h.Clone(), false)
+	top.Step(0.1)
+	bot.Step(0.1)
+}

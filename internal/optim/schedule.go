@@ -1,0 +1,32 @@
+package optim
+
+// LRSchedule is the MLPerf DLRM learning-rate policy the benchmark the
+// paper proposes uses for its convergence runs (§V-D): linear warmup from
+// zero over WarmupSteps, a constant plateau, then polynomial decay of
+// degree 2 from DecayStart over DecaySteps down to EndLR.
+type LRSchedule struct {
+	Base        float32
+	WarmupSteps int
+	DecayStart  int
+	DecaySteps  int
+	EndLR       float32
+}
+
+// ConstantLR returns a schedule that always yields lr.
+func ConstantLR(lr float32) LRSchedule { return LRSchedule{Base: lr} }
+
+// At returns the learning rate for step t (0-based).
+func (s LRSchedule) At(t int) float32 {
+	if s.WarmupSteps > 0 && t < s.WarmupSteps {
+		return s.Base * float32(t+1) / float32(s.WarmupSteps)
+	}
+	if s.DecaySteps > 0 && t >= s.DecayStart {
+		k := t - s.DecayStart
+		if k >= s.DecaySteps {
+			return s.EndLR
+		}
+		frac := 1 - float32(k)/float32(s.DecaySteps)
+		return s.EndLR + (s.Base-s.EndLR)*frac*frac
+	}
+	return s.Base
+}

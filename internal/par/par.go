@@ -1,0 +1,114 @@
+// Package par provides the thread-level parallel substrate used by every
+// compute kernel in this repository. It is the Go substitute for the OpenMP
+// `#pragma omp parallel for` constructs in the paper: a fixed-size worker
+// pool with static range partitioning, so that the same data decompositions
+// (and the same race conditions, and the same fixes) arise as in the C++
+// kernels the paper describes.
+//
+// The pool is deliberately simple: workers are goroutines, work items are
+// closures receiving (tid, lo, hi) half-open ranges, and partitioning is the
+// exact integer split the paper's Algorithm 4 uses:
+//
+//	lo = (n * tid) / nThreads
+//	hi = (n * (tid+1)) / nThreads
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Chunk returns the half-open range [lo, hi) assigned to partition tid out
+// of parts when statically splitting n items. It matches the split used by
+// the paper's race-free embedding update (Algorithm 4): every index in
+// [0, n) belongs to exactly one partition and partitions are contiguous and
+// balanced to within one element.
+func Chunk(n, parts, tid int) (lo, hi int) {
+	if parts <= 0 {
+		return 0, n
+	}
+	lo = n * tid / parts
+	hi = n * (tid + 1) / parts
+	return lo, hi
+}
+
+// Pool is a fixed set of workers over which parallel-for loops execute.
+// A Pool is safe for sequential reuse; a single ForN call runs to completion
+// before returning. Pools model a CPU socket: NumWorkers() plays the role of
+// the core count T in the paper, and kernels that dedicate S cores to
+// communication use a Pool of T-S workers for compute.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of n workers. n <= 0 selects GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Default is a shared pool sized to the machine.
+var Default = NewPool(0)
+
+// NumWorkers reports the number of workers (the T in the paper's T-S split).
+func (p *Pool) NumWorkers() int { return p.workers }
+
+// ForN runs body(tid, lo, hi) on each worker with [lo,hi) a static chunk of
+// [0,n). It blocks until every worker finishes. Chunks follow Chunk, so a
+// worker may receive an empty range when n < workers.
+func (p *Pool) ForN(n int, body func(tid, lo, hi int)) {
+	w := p.workers
+	if w <= 1 || n <= 1 {
+		body(0, 0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for tid := 0; tid < w; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			lo, hi := Chunk(n, w, tid)
+			body(tid, lo, hi)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// ForEachWorker runs body(tid, nWorkers) once per worker regardless of any
+// iteration count. Kernels that hand-partition 2-D iteration spaces (such as
+// the blocked GEMMs of Algorithm 5, line 1) use this entry point and compute
+// their own work assignment from tid.
+func (p *Pool) ForEachWorker(body func(tid, workers int)) {
+	w := p.workers
+	if w <= 1 {
+		body(0, 1)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for tid := 0; tid < w; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			body(tid, w)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// Run2D partitions a rows×cols block grid among the workers, assigning each
+// worker a contiguous run of flattened (row, col) cells, and invokes body for
+// every cell it owns. This is the "assign output work items" step of
+// Algorithm 5: output blocks are distributed, inputs are shared read-only.
+func (p *Pool) Run2D(rows, cols int, body func(tid, row, col int)) {
+	total := rows * cols
+	p.ForN(total, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(tid, i/cols, i%cols)
+		}
+	})
+}

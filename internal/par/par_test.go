@@ -1,0 +1,136 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 28, 100, 1023} {
+		for _, parts := range []int{1, 2, 3, 7, 28, 56} {
+			next := 0
+			for tid := 0; tid < parts; tid++ {
+				lo, hi := Chunk(n, parts, tid)
+				if lo != next {
+					t.Fatalf("n=%d parts=%d tid=%d: lo=%d want %d", n, parts, tid, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d parts=%d tid=%d: hi=%d < lo=%d", n, parts, tid, hi, lo)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d parts=%d: coverage ends at %d", n, parts, next)
+			}
+		}
+	}
+}
+
+func TestChunkBalance(t *testing.T) {
+	// Chunks differ in size by at most 1.
+	prop := func(n uint16, parts uint8) bool {
+		nn, pp := int(n), int(parts)
+		if pp == 0 {
+			pp = 1
+		}
+		minSz, maxSz := nn, 0
+		for tid := 0; tid < pp; tid++ {
+			lo, hi := Chunk(nn, pp, tid)
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		return maxSz-minSz <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkDefaultParts(t *testing.T) {
+	lo, hi := Chunk(10, 0, 3)
+	if lo != 0 || hi != 10 {
+		t.Fatalf("parts<=0 should return full range, got [%d,%d)", lo, hi)
+	}
+}
+
+func TestForNVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		p := NewPool(workers)
+		const n = 1000
+		counts := make([]int32, n)
+		p.ForN(n, func(tid, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForNSmallN(t *testing.T) {
+	p := NewPool(8)
+	var visited int32
+	p.ForN(1, func(tid, lo, hi int) {
+		atomic.AddInt32(&visited, int32(hi-lo))
+	})
+	if visited != 1 {
+		t.Fatalf("visited %d, want 1", visited)
+	}
+	p.ForN(0, func(tid, lo, hi int) {
+		atomic.AddInt32(&visited, int32(hi-lo))
+	})
+	if visited != 1 {
+		t.Fatalf("n=0 must visit nothing")
+	}
+}
+
+func TestForEachWorkerRunsAll(t *testing.T) {
+	p := NewPool(6)
+	seen := make([]int32, 6)
+	p.ForEachWorker(func(tid, workers int) {
+		if workers != 6 {
+			t.Errorf("workers=%d want 6", workers)
+		}
+		atomic.AddInt32(&seen[tid], 1)
+	})
+	for tid, c := range seen {
+		if c != 1 {
+			t.Fatalf("tid %d ran %d times", tid, c)
+		}
+	}
+}
+
+func TestRun2DCoversGrid(t *testing.T) {
+	p := NewPool(4)
+	const rows, cols = 13, 7
+	var grid [rows][cols]int32
+	p.Run2D(rows, cols, func(tid, r, c int) {
+		atomic.AddInt32(&grid[r][c], 1)
+	})
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if grid[r][c] != 1 {
+				t.Fatalf("cell (%d,%d) visited %d times", r, c, grid[r][c])
+			}
+		}
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(-1).NumWorkers() <= 0 {
+		t.Fatal("default pool must have at least one worker")
+	}
+	if NewPool(3).NumWorkers() != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+}

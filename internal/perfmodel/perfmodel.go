@@ -1,0 +1,128 @@
+// Package perfmodel holds calibrated descriptions of the paper's two
+// hardware platforms (§V) and roofline-style cost estimators for the DLRM
+// operator mix. The multi-socket experiments in this repository execute
+// their collectives and numerics for real but charge *time* from this model,
+// which is what lets 64-socket scaling curves regenerate on a laptop. All
+// absolute constants below are taken from §V of the paper.
+package perfmodel
+
+// Socket describes one CPU socket.
+type Socket struct {
+	Name      string
+	Cores     int
+	PeakFlops float64 // FP32 FLOP/s (AVX512 base clock × cores × 64 flop/cycle)
+	MemBW     float64 // bytes/s STREAM-class bandwidth
+
+	// Efficiency factors relating achievable to peak, calibrated from the
+	// paper's single-socket measurements (Fig. 5 reports ~72% of peak for
+	// the blocked GEMMs; embedding kernels run near STREAM bandwidth).
+	GemmEff  float64
+	EmbedEff float64
+}
+
+// SKX8180 is the Intel Xeon Platinum 8180 socket of the 8-socket Inspur
+// TS860M5 node: 28 cores, 4.1 TFLOPS FP32 peak, 12×DDR4-2400 ⇒ 100 GB/s.
+var SKX8180 = Socket{
+	Name:      "Xeon Platinum 8180 (SKX)",
+	Cores:     28,
+	PeakFlops: 4.1e12,
+	MemBW:     100e9,
+	GemmEff:   0.72,
+	EmbedEff:  0.80,
+}
+
+// CLX8280 is the Intel Xeon Platinum 8280 socket of the 64-socket OPA
+// cluster: 28 cores, 4.3 TFLOPS FP32 peak, 6×DDR4-2666 ⇒ 105 GB/s.
+var CLX8280 = Socket{
+	Name:      "Xeon Platinum 8280 (CLX)",
+	Cores:     28,
+	PeakFlops: 4.3e12,
+	MemBW:     105e9,
+	GemmEff:   0.72,
+	EmbedEff:  0.80,
+}
+
+// GemmTime estimates the wall time of a GEMM of the given FLOP count on
+// coresUsed of the socket's cores, including a bandwidth term for tensors
+// that do not fit in cache (bytes moved). The max of the compute and memory
+// roofs is charged.
+func (s Socket) GemmTime(flops, bytes float64, coresUsed int) float64 {
+	if coresUsed <= 0 || coresUsed > s.Cores {
+		coresUsed = s.Cores
+	}
+	frac := float64(coresUsed) / float64(s.Cores)
+	tc := flops / (s.PeakFlops * s.GemmEff * frac)
+	tm := bytes / (s.MemBW * 0.9)
+	if tm > tc {
+		return tm
+	}
+	return tc
+}
+
+// GemmTimeN is GemmTime with a minibatch-dependent efficiency roll-off:
+// small per-rank minibatches cannot amortize packing and thread startup, so
+// achievable efficiency scales roughly as n/(n+1024). The paper's Fig. 6
+// measurements (264 MFLOP backward GEMMs at N=126 per rank taking ≈1.08 ms
+// on a CLX socket, ≈6% of peak) calibrate the constant.
+func (s Socket) GemmTimeN(flops, bytes float64, coresUsed, n int) float64 {
+	if coresUsed <= 0 || coresUsed > s.Cores {
+		coresUsed = s.Cores
+	}
+	frac := float64(coresUsed) / float64(s.Cores)
+	eff := s.GemmEff * float64(n) / (float64(n) + 1024)
+	tc := flops / (s.PeakFlops * eff * frac)
+	tm := bytes / (s.MemBW * 0.9)
+	if tm > tc {
+		return tm
+	}
+	return tc
+}
+
+// StreamTime estimates the wall time of a bandwidth-bound sweep over the
+// given byte count (embedding lookups and updates, SGD sweeps).
+func (s Socket) StreamTime(bytes float64, coresUsed int) float64 {
+	bw := s.MemBW * s.EmbedEff
+	if coresUsed > 0 && coresUsed < s.Cores {
+		// Bandwidth saturates at about half the cores; below that it scales.
+		sat := float64(s.Cores) / 2
+		if f := float64(coresUsed) / sat; f < 1 {
+			bw *= f
+		}
+	}
+	return bytes / bw
+}
+
+// MLPPassFlops returns the FLOPs of one forward pass over an MLP described
+// by its layer sizes for a minibatch of n. Backward-by-data and
+// backward-by-weights each cost the same again.
+func MLPPassFlops(sizes []int, n int) float64 {
+	var f float64
+	for i := 0; i+1 < len(sizes); i++ {
+		f += 2 * float64(sizes[i]) * float64(sizes[i+1])
+	}
+	return f * float64(n)
+}
+
+// MLPPassBytes approximates the bytes touched by one MLP pass (weights once,
+// activations in and out) for a minibatch of n.
+func MLPPassBytes(sizes []int, n int) float64 {
+	var w, a float64
+	for i := 0; i+1 < len(sizes); i++ {
+		w += float64(sizes[i]) * float64(sizes[i+1])
+		a += float64(n) * float64(sizes[i]+sizes[i+1])
+	}
+	return 4 * (w + a)
+}
+
+// EmbeddingFwdBytes returns the bytes read+written by an EmbeddingBag
+// forward over nTables tables with n bags of p lookups of dimension e:
+// p rows read and one row written per bag.
+func EmbeddingFwdBytes(nTables, n, p, e int) float64 {
+	return 4 * float64(nTables) * float64(n) * float64(e) * float64(p+1)
+}
+
+// EmbeddingUpdBytes returns the bytes of the backward+update sweep
+// (gradient rows written, table rows read-modify-written).
+func EmbeddingUpdBytes(nTables, n, p, e int) float64 {
+	return 4 * float64(nTables) * float64(n) * float64(p) * float64(e) * 3
+}

@@ -1,0 +1,97 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSocketSpecsMatchPaper(t *testing.T) {
+	// §V-A/B: 8180 = 4.1 TFLOPS / 100 GB/s; 8280 = 4.3 TFLOPS / 105 GB/s;
+	// both 28 cores.
+	if SKX8180.Cores != 28 || CLX8280.Cores != 28 {
+		t.Fatal("core counts wrong")
+	}
+	if SKX8180.PeakFlops != 4.1e12 || CLX8280.PeakFlops != 4.3e12 {
+		t.Fatal("peak FLOPS wrong")
+	}
+	if SKX8180.MemBW != 100e9 || CLX8280.MemBW != 105e9 {
+		t.Fatal("memory bandwidth wrong")
+	}
+}
+
+func TestGemmTimeRoofline(t *testing.T) {
+	s := CLX8280
+	// Compute-bound: big flops, negligible bytes.
+	tc := s.GemmTime(3.1e12, 1e3, 28)
+	want := 3.1e12 / (4.3e12 * 0.72)
+	if math.Abs(tc-want)/want > 1e-9 {
+		t.Fatalf("compute roof wrong: %g want %g", tc, want)
+	}
+	// Memory-bound: negligible flops, big bytes.
+	tm := s.GemmTime(1, 94.5e9, 28)
+	if math.Abs(tm-1)/1 > 1e-9 {
+		t.Fatalf("memory roof wrong: %g", tm)
+	}
+	// Fewer cores → proportionally slower compute roof.
+	half := s.GemmTime(3.1e12, 1e3, 14)
+	if math.Abs(half-2*tc)/tc > 1e-9 {
+		t.Fatalf("core scaling wrong: %g vs %g", half, 2*tc)
+	}
+	// Out-of-range core counts clamp to the socket.
+	if s.GemmTime(1e12, 0, 0) != s.GemmTime(1e12, 0, 28) {
+		t.Fatal("core clamp wrong")
+	}
+}
+
+func TestGemmTimeNSmallBatchPenalty(t *testing.T) {
+	s := CLX8280
+	flops := 264e6 // one Fig. 6 backward GEMM: 2·126·1024·1024
+	small := s.GemmTimeN(flops, 1e6, 24, 126)
+	big := s.GemmTimeN(flops, 1e6, 24, 100000)
+	if small < 3*big {
+		t.Fatalf("small-N GEMM must be far less efficient: %g vs %g", small, big)
+	}
+	// Calibration: the paper measured ≈1.08 ms for this GEMM.
+	if small < 0.5e-3 || small > 2e-3 {
+		t.Fatalf("Fig. 6 GEMM calibration off: %g s, want ≈1.08e-3", small)
+	}
+}
+
+func TestStreamTime(t *testing.T) {
+	s := SKX8180
+	full := s.StreamTime(80e9, 28)
+	if math.Abs(full-1) > 1e-9 {
+		t.Fatalf("stream roof wrong: %g", full)
+	}
+	// Few cores cannot saturate bandwidth.
+	one := s.StreamTime(80e9, 1)
+	if one < 10*full {
+		t.Fatalf("single-core stream should be ≫ slower: %g vs %g", one, full)
+	}
+	// Half the cores saturate.
+	if s.StreamTime(80e9, 14) != full {
+		t.Fatal("half cores should already saturate bandwidth")
+	}
+}
+
+func TestMLPPassCosts(t *testing.T) {
+	sizes := []int{10, 20, 5}
+	if MLPPassFlops(sizes, 3) != 3*2*(10*20+20*5) {
+		t.Fatal("MLPPassFlops wrong")
+	}
+	wantBytes := 4.0 * ((10*20 + 20*5) + 3*(10+20+20+5))
+	if MLPPassBytes(sizes, 3) != wantBytes {
+		t.Fatalf("MLPPassBytes=%g want %g", MLPPassBytes(sizes, 3), wantBytes)
+	}
+}
+
+func TestEmbeddingBytes(t *testing.T) {
+	// 2 tables × 8 bags × 4 lookups of dim 16: fwd reads 4 rows + writes 1
+	// per bag.
+	if EmbeddingFwdBytes(2, 8, 4, 16) != 4*2*8*16*5 {
+		t.Fatal("EmbeddingFwdBytes wrong")
+	}
+	if EmbeddingUpdBytes(2, 8, 4, 16) != 4*2*8*4*16*3 {
+		t.Fatal("EmbeddingUpdBytes wrong")
+	}
+}

@@ -1,0 +1,112 @@
+// Package tensor provides the dense and blocked tensor containers used by
+// the MLP and embedding kernels. The blocked layouts follow §III-B of the
+// paper: 2-D tensors are transformed to 4-D by blocking the minibatch
+// dimension N with factor bn and the feature dimensions C and K with factors
+// bc and bk, exposing locality and avoiding large power-of-two strides.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major 2-D float32 matrix. It is the "framework" layout the
+// blocked kernels pack from and unpack to, and the layout used by the
+// reference (naive) GEMMs.
+type Dense struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewDense allocates a zeroed Rows×Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dims %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns element (r, c).
+func (d *Dense) At(r, c int) float32 { return d.Data[r*d.Cols+c] }
+
+// Set stores v at element (r, c).
+func (d *Dense) Set(r, c int, v float32) { d.Data[r*d.Cols+c] = v }
+
+// Row returns the r-th row as a slice aliasing the matrix storage.
+func (d *Dense) Row(r int) []float32 { return d.Data[r*d.Cols : (r+1)*d.Cols] }
+
+// Fill sets every element to v.
+func (d *Dense) Fill(v float32) {
+	for i := range d.Data {
+		d.Data[i] = v
+	}
+}
+
+// Zero clears the matrix.
+func (d *Dense) Zero() { d.Fill(0) }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := NewDense(d.Rows, d.Cols)
+	copy(c.Data, d.Data)
+	return c
+}
+
+// CopyFrom copies src into d; the shapes must match.
+func (d *Dense) CopyFrom(src *Dense) {
+	if d.Rows != src.Rows || d.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: copy shape mismatch %dx%d <- %dx%d", d.Rows, d.Cols, src.Rows, src.Cols))
+	}
+	copy(d.Data, src.Data)
+}
+
+// Randomize fills the matrix with values uniform in [-scale, scale] drawn
+// from rng. Deterministic given the rng seed, which the training
+// reproducibility tests rely on.
+func (d *Dense) Randomize(rng *rand.Rand, scale float32) {
+	for i := range d.Data {
+		d.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+}
+
+// Transpose returns a newly allocated transpose.
+func (d *Dense) Transpose() *Dense {
+	t := NewDense(d.Cols, d.Rows)
+	for r := 0; r < d.Rows; r++ {
+		base := r * d.Cols
+		for c := 0; c < d.Cols; c++ {
+			t.Data[c*d.Rows+r] = d.Data[base+c]
+		}
+	}
+	return t
+}
+
+// MaxAbsDiff returns the max elementwise |a-b|; shapes must match.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AllClose reports whether a and b agree elementwise within atol + rtol*|b|.
+func AllClose(a, b *Dense, rtol, atol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		av, bv := float64(a.Data[i]), float64(b.Data[i])
+		if math.Abs(av-bv) > atol+rtol*math.Abs(bv) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+// Package trace provides the lightweight phase profiler the end-to-end
+// analysis uses — the analogue of the autograd profiling hooks the paper
+// added to PyTorch (§IV-C) to attribute time to embeddings, MLPs, and the
+// rest of the iteration (Fig. 8).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profile accumulates wall time per phase key. Safe for concurrent use.
+type Profile struct {
+	mu     sync.Mutex
+	totals map[string]time.Duration
+	counts map[string]int
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{totals: map[string]time.Duration{}, counts: map[string]int{}}
+}
+
+// Time runs fn, charging its wall time to key.
+func (p *Profile) Time(key string, fn func()) {
+	start := time.Now()
+	fn()
+	p.Add(key, time.Since(start))
+}
+
+// Add charges d to key.
+func (p *Profile) Add(key string, d time.Duration) {
+	p.mu.Lock()
+	p.totals[key] += d
+	p.counts[key]++
+	p.mu.Unlock()
+}
+
+// Total returns the accumulated time for key.
+func (p *Profile) Total(key string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.totals[key]
+}
+
+// Count returns how many times key was charged.
+func (p *Profile) Count(key string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[key]
+}
+
+// Sum returns the total across all keys.
+func (p *Profile) Sum() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s time.Duration
+	for _, d := range p.totals {
+		s += d
+	}
+	return s
+}
+
+// Reset clears all accumulated time.
+func (p *Profile) Reset() {
+	p.mu.Lock()
+	p.totals = map[string]time.Duration{}
+	p.counts = map[string]int{}
+	p.mu.Unlock()
+}
+
+// Keys returns the phase keys in sorted order.
+func (p *Profile) Keys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]string, 0, len(p.totals))
+	for k := range p.totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String formats the profile as "key: dur (pct%)" lines.
+func (p *Profile) String() string {
+	sum := p.Sum()
+	var b strings.Builder
+	for _, k := range p.Keys() {
+		d := p.Total(k)
+		pct := 0.0
+		if sum > 0 {
+			pct = 100 * float64(d) / float64(sum)
+		}
+		fmt.Fprintf(&b, "%-14s %12v  %5.1f%%\n", k, d.Round(time.Microsecond), pct)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimeAccumulates(t *testing.T) {
+	p := NewProfile()
+	p.Time("a", func() { time.Sleep(2 * time.Millisecond) })
+	p.Time("a", func() { time.Sleep(2 * time.Millisecond) })
+	if p.Total("a") < 4*time.Millisecond {
+		t.Fatalf("total %v too small", p.Total("a"))
+	}
+	if p.Count("a") != 2 {
+		t.Fatalf("count %d want 2", p.Count("a"))
+	}
+}
+
+func TestAddAndSum(t *testing.T) {
+	p := NewProfile()
+	p.Add("x", time.Second)
+	p.Add("y", 2*time.Second)
+	if p.Sum() != 3*time.Second {
+		t.Fatalf("sum %v", p.Sum())
+	}
+	keys := p.Keys()
+	if len(keys) != 2 || keys[0] != "x" || keys[1] != "y" {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := NewProfile()
+	p.Add("x", time.Second)
+	p.Reset()
+	if p.Sum() != 0 || p.Count("x") != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	p := NewProfile()
+	p.Add("embeddings", 300*time.Millisecond)
+	p.Add("mlp", 700*time.Millisecond)
+	s := p.String()
+	if !strings.Contains(s, "embeddings") || !strings.Contains(s, "70.0%") {
+		t.Fatalf("format wrong:\n%s", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := NewProfile()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.Add("k", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Count("k") != 800 {
+		t.Fatalf("count %d want 800", p.Count("k"))
+	}
+}
