@@ -11,7 +11,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/data"
 	"repro/internal/embedding"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
@@ -52,7 +51,8 @@ func fig5Data(n, ck int) (*tensor.Acts, *tensor.Weights, *tensor.Acts, *tensor.D
 }
 
 func BenchmarkFig5BlockedFWD(b *testing.B) {
-	x, w, y, _, _, _ := fig5Data(256, 512)
+	// Shared fixture: dlrmbench -benchjson measures the identical workload.
+	x, w, y := experiments.Fig5BlockedCase()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gemm.Forward(par.Default, w, x, y)
@@ -111,15 +111,10 @@ func BenchmarkFig6OverlapSimulation(b *testing.B) {
 
 // --- Fig. 7/8: single-socket DLRM per update strategy -----------------------
 
-// benchFig7 runs one full training iteration of a scaled Small config.
+// benchFig7 runs one full training iteration of a scaled Small config
+// (fixture shared with dlrmbench -benchjson).
 func benchFig7(b *testing.B, strat embedding.Strategy) {
-	cfg := core.Small.Scaled(1.0 / 64)
-	ds := &data.Random{Seed: 1, D: cfg.DenseIn, Tables: cfg.Tables,
-		Rows: cfg.Rows[0], Lookups: cfg.Lookups}
-	m := core.NewModel(cfg, 16, 1)
-	tr := core.NewTrainer(m, par.Default, strat, 0.1, core.FP32)
-	mb := ds.Batch(0, 128)
-	tr.Step(mb)
+	tr, mb := experiments.Fig7StepCase(strat)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Step(mb)
@@ -212,17 +207,8 @@ func BenchmarkFig15TwistedHypercube(b *testing.B) {
 // --- Fig. 16: mixed-precision training --------------------------------------
 
 func benchFig16(b *testing.B, prec core.Precision) {
-	rows := data.ScaleRows(data.CriteoTBRows, 1.0/16384)
-	cfg := core.Config{
-		Name: "MLPerf-mini", MB: 128, GlobalMB: 128, LocalMB: 128,
-		Lookups: 1, Tables: 26, EmbDim: 16, Rows: rows,
-		DenseIn: 13, BotHidden: []int{32}, TopHidden: []int{64, 32},
-	}
-	ds := data.NewClickLog(1, cfg.DenseIn, cfg.Rows, cfg.Lookups)
-	m := core.NewModel(cfg, 16, 1)
-	tr := core.NewTrainer(m, par.Default, embedding.RaceFree, 0.5, prec)
-	mb := ds.Batch(0, cfg.MB)
-	tr.Step(mb)
+	// Shared fixture: dlrmbench -benchjson measures the identical workload.
+	tr, mb := experiments.Fig16StepCase(prec)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Step(mb)
@@ -236,13 +222,7 @@ func BenchmarkFig16FP24(b *testing.B)      { benchFig16(b, core.FP24) }
 // --- §III-A: fused embedding backward+update --------------------------------
 
 func BenchmarkEmbeddingFusedUpdate(b *testing.B) {
-	rng := rand.New(rand.NewSource(4))
-	tab := embedding.NewTable(500_000, 64, rng, 0.01)
-	batch := embedding.MakeBatch(rng, embedding.Uniform{}, 2048, 50, tab.M)
-	dOut := make([]float32, 2048*64)
-	for i := range dOut {
-		dOut[i] = rng.Float32()
-	}
+	tab, batch, dOut := experiments.FusedEmbeddingCase()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab.FusedBackwardUpdate(par.Default, batch, dOut, 1e-6)
@@ -250,13 +230,7 @@ func BenchmarkEmbeddingFusedUpdate(b *testing.B) {
 }
 
 func BenchmarkEmbeddingTwoStepUpdate(b *testing.B) {
-	rng := rand.New(rand.NewSource(4))
-	tab := embedding.NewTable(500_000, 64, rng, 0.01)
-	batch := embedding.MakeBatch(rng, embedding.Uniform{}, 2048, 50, tab.M)
-	dOut := make([]float32, 2048*64)
-	for i := range dOut {
-		dOut[i] = rng.Float32()
-	}
+	tab, batch, dOut := experiments.FusedEmbeddingCase()
 	dW := make([]float32, batch.NumLookups()*64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

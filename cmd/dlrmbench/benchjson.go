@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/experiments"
+	"repro/internal/gemm"
+	"repro/internal/par"
+)
+
+// benchEntry is one benchmark's machine-readable result.
+type benchEntry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the file-level JSON envelope. Future PRs append one file
+// per run (BENCH_<date>.json) and diff ns_per_op/allocs_per_op across
+// commits to track the perf trajectory.
+type benchReport struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	GOARCH     string       `json:"goarch"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// runBench executes fn under testing.Benchmark and records the result.
+func runBench(report *benchReport, name string, fn func(b *testing.B)) {
+	res := testing.Benchmark(fn)
+	entry := benchEntry{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if len(res.Extra) > 0 {
+		entry.Metrics = map[string]float64{}
+		for k, v := range res.Extra {
+			entry.Metrics[k] = v
+		}
+	}
+	report.Benchmarks = append(report.Benchmarks, entry)
+	fmt.Printf("%-28s %12.0f ns/op %8d B/op %6d allocs/op\n",
+		name, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+}
+
+// writeBenchJSON runs the curated micro-benchmark suite — the same fixtures
+// (internal/experiments benchcases) the root go-test benchmarks use, so the
+// archived numbers and the local `go test -bench` numbers always measure
+// identical workloads — and writes the results as JSON to path.
+func writeBenchJSON(path string) error {
+	// Fail fast on an unwritable destination before minutes of measuring.
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	report := &benchReport{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOARCH:     runtime.GOARCH,
+	}
+
+	// Fig. 5: blocked forward GEMM (batch-reduce kernel).
+	{
+		x, w, y := experiments.Fig5BlockedCase()
+		runBench(report, "Fig5BlockedFWD", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gemm.Forward(par.Default, w, x, y)
+			}
+			b.ReportMetric(experiments.Fig5Flops()*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+
+	// Fig. 7: one full training iteration, race-free embedding update.
+	{
+		tr, mb := experiments.Fig7StepCase(embedding.RaceFree)
+		runBench(report, "Fig7RaceFreeStep", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr.Step(mb)
+			}
+		})
+	}
+
+	// Fig. 16: the mixed-precision training steps.
+	for _, c := range []struct {
+		name string
+		prec core.Precision
+	}{
+		{"Fig16FP32Step", core.FP32},
+		{"Fig16BF16SplitStep", core.BF16Split},
+	} {
+		tr, mb := experiments.Fig16StepCase(c.prec)
+		runBench(report, c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr.Step(mb)
+			}
+		})
+	}
+
+	// §III-A: fused embedding backward+update sweep.
+	{
+		tab, batch, dOut := experiments.FusedEmbeddingCase()
+		runBench(report, "EmbeddingFusedUpdate", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tab.FusedBackwardUpdate(par.Default, batch, dOut, 1e-6)
+			}
+		})
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(report.Benchmarks))
+	return nil
+}

@@ -8,6 +8,7 @@
 //	dlrmbench -exp table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|all
 //	dlrmbench -exp fig16 -iters 800        # more training iterations
 //	dlrmbench -exp fig7 -quick             # skip the slow Reference runs
+//	dlrmbench -benchjson BENCH_2026-07-27.json   # machine-readable kernel benchmarks
 package main
 
 import (
@@ -23,7 +24,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig5..fig16, all)")
 	iters := flag.Int("iters", 0, "override iteration count where applicable")
 	quick := flag.Bool("quick", false, "reduce sizes for a fast smoke run")
+	benchJSON := flag.String("benchjson", "", "run the kernel micro-benchmarks and write results as JSON to this file, then exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, fn func() fmt.Stringer) {
 		if *exp != "all" && *exp != name {

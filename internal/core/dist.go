@@ -202,7 +202,10 @@ func (dc DistConfig) rankBody(r *cluster.Rank, res *DistResult) {
 	if dc.RunCfg != nil {
 		pool := dc.Pool
 		if pool == nil {
+			// Rank-private pool; shut its persistent workers down when this
+			// rank's SPMD body finishes.
 			pool = par.NewPool(2)
+			defer pool.Close()
 		}
 		m := NewModelShard(*dc.RunCfg, mlpBlockFor(shardN), dc.Seed, r.ID, ranks)
 		fn = &funcState{

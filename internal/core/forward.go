@@ -8,19 +8,26 @@ import (
 	"repro/internal/tensor"
 )
 
-// fwdCache holds the intermediates ForwardDense saves for BackwardDense.
+// fwdCache holds the minibatch size ForwardDense saves for BackwardDense
+// (the tensors themselves live in the Workspace and the MLP layers).
 type fwdCache struct {
-	n       int
-	embOut  [][]float32
-	interZ  []float32
-	dInterD *tensor.Dense
+	n int
+}
+
+// workspace returns the model's lazily-created buffer workspace.
+func (m *Model) workspace() *Workspace {
+	if m.ws == nil {
+		m.ws = &Workspace{}
+	}
+	return m.ws
 }
 
 // ForwardDense runs the dense half of DLRM — bottom MLP, dot interaction,
 // top MLP — for a minibatch whose embedding outputs have already been
 // computed (locally or received over the fabric). dense is N×DenseIn;
 // embOut[t] is N×E row-major for every table t. Returns the click logits
-// (length N). Intermediates are retained for BackwardDense.
+// (length N). Intermediates are retained for BackwardDense; the returned
+// slice is a workspace buffer overwritten by the next call.
 func (m *Model) ForwardDense(p *par.Pool, dense *tensor.Dense, embOut [][]float32) []float32 {
 	n := dense.Rows
 	if n%m.BN != 0 {
@@ -29,27 +36,34 @@ func (m *Model) ForwardDense(p *par.Pool, dense *tensor.Dense, embOut [][]float3
 	if len(embOut) != m.Cfg.Tables {
 		panic(fmt.Sprintf("core: %d embedding outputs for %d tables", len(embOut), m.Cfg.Tables))
 	}
+	ws := m.workspace()
 
-	botIn := tensor.PackActs(dense, m.BN, mlp.BlockPick(dense.Cols, 64))
-	botRows := m.Bot.Forward(p, botIn).Unpack() // N×E
+	botIn := tensor.EnsureActs(&ws.botIn, n, dense.Cols, m.BN, mlp.BlockPick(dense.Cols, 64))
+	botIn.PackFrom(dense)
+	botActs := m.Bot.Forward(p, botIn)
+	botRows := ensureDense(&ws.botRows, n, botActs.C) // N×E
+	botActs.UnpackInto(botRows)
 
 	od := m.Inter.OutputDim()
-	z := make([]float32, n*od)
+	z := ensureF32(&ws.z, n*od)
 	m.Inter.Forward(p, n, botRows.Data, embOut, z)
 
-	zD := &tensor.Dense{Rows: n, Cols: od, Data: z}
-	topIn := tensor.PackActs(zD, m.BN, mlp.BlockPick(od, 64))
+	ws.zD.Rows, ws.zD.Cols, ws.zD.Data = n, od, z
+	topIn := tensor.EnsureActs(&ws.topIn, n, od, m.BN, mlp.BlockPick(od, 64))
+	topIn.PackFrom(&ws.zD)
 	logitsActs := m.Top.Forward(p, topIn)
-	logits := logitsActs.Unpack().Data // N×1 → flat length N
+	logitsD := ensureDense(&ws.logitsD, n, logitsActs.C)
+	logitsActs.UnpackInto(logitsD)
 
-	m.cache = fwdCache{n: n, embOut: embOut, interZ: z}
-	return logits
+	m.cache = fwdCache{n: n}
+	return logitsD.Data // N×1 → flat length N
 }
 
 // BackwardDense backpropagates from the loss gradient dz (dL/dlogit, length
 // N): through the top MLP, the interaction, and the bottom MLP, filling
 // every layer's weight gradients, and returns the gradients of each table's
-// bag outputs (dEmb[t], N×E row-major) for the sparse backward/update.
+// bag outputs (dEmb[t], N×E row-major) for the sparse backward/update. The
+// returned buffers are workspace storage overwritten by the next call.
 func (m *Model) BackwardDense(p *par.Pool, dz []float32) [][]float32 {
 	n := m.cache.n
 	if n == 0 {
@@ -58,18 +72,24 @@ func (m *Model) BackwardDense(p *par.Pool, dz []float32) [][]float32 {
 	if len(dz) != n {
 		panic(fmt.Sprintf("core: dz len %d want %d", len(dz), n))
 	}
-	dLogit := tensor.PackActs(&tensor.Dense{Rows: n, Cols: 1, Data: dz}, m.BN, 1)
-	dInter := m.Top.Backward(p, dLogit, true).Unpack()
+	ws := m.workspace()
+
+	ws.dzD.Rows, ws.dzD.Cols, ws.dzD.Data = n, 1, dz
+	dLogit := tensor.EnsureActs(&ws.dLogit, n, 1, m.BN, 1)
+	dLogit.PackFrom(&ws.dzD)
+	dInterActs := m.Top.Backward(p, dLogit, true)
+	od := m.Inter.OutputDim()
+	dInter := ensureDense(&ws.dInter, n, od)
+	dInterActs.UnpackInto(dInter)
 
 	e := m.Cfg.EmbDim
-	dBot := make([]float32, n*e)
-	dEmb := make([][]float32, m.Cfg.Tables)
-	for t := range dEmb {
-		dEmb[t] = make([]float32, n*e)
-	}
+	dBot := ensureF32(&ws.dBot, n*e)
+	dEmb := ws.DEmb(m.Cfg.Tables, n*e)
 	m.Inter.Backward(p, dInter.Data, dBot, dEmb)
 
-	dBotActs := tensor.PackActs(&tensor.Dense{Rows: n, Cols: e, Data: dBot}, m.BN, mlp.BlockPick(e, 64))
+	ws.dBotD.Rows, ws.dBotD.Cols, ws.dBotD.Data = n, e, dBot
+	dBotActs := tensor.EnsureActs(&ws.dBotActs, n, e, m.BN, mlp.BlockPick(e, 64))
+	dBotActs.PackFrom(&ws.dBotD)
 	m.Bot.Backward(p, dBotActs, false)
 	return dEmb
 }

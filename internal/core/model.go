@@ -21,6 +21,7 @@ type Model struct {
 	Inter    interaction.Op
 
 	cache fwdCache
+	ws    *Workspace
 }
 
 // NewModel builds a DLRM from cfg. Table t is seeded with seed+t so that a

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bf16"
 	"repro/internal/data"
 	"repro/internal/embedding"
 	"repro/internal/loss"
+	"repro/internal/mlp"
 	"repro/internal/optim"
 	"repro/internal/par"
 	"repro/internal/trace"
@@ -73,12 +75,17 @@ type Trainer struct {
 	step      int
 	mlpOpts   []optim.Optimizer
 	embSplits []*bf16.Split
+
+	// ws owns every buffer Step reuses across iterations; it is shared with
+	// the model's dense passes so the whole iteration is allocation-free in
+	// steady state.
+	ws *Workspace
 }
 
 // NewTrainer builds a trainer over model m with the given embedding-update
 // strategy and precision.
 func NewTrainer(m *Model, pool *par.Pool, strat embedding.Strategy, lr float32, prec Precision) *Trainer {
-	tr := &Trainer{M: m, Pool: pool, Strategy: strat, LR: lr, Prec: prec}
+	tr := &Trainer{M: m, Pool: pool, Strategy: strat, LR: lr, Prec: prec, ws: m.workspace()}
 	tr.initOptimizers()
 	return tr
 }
@@ -141,42 +148,38 @@ func (tr *Trainer) initOptimizers() {
 	}
 }
 
-func (tr *Trainer) profTime(key string, fn func()) {
-	if tr.Prof != nil {
-		tr.Prof.Time(key, fn)
-	} else {
-		fn()
-	}
-}
-
-// embForward computes every table's bag outputs for the batch.
+// embForward computes every table's bag outputs for the batch into the
+// workspace buffers.
 func (tr *Trainer) embForward(mb *data.MiniBatch) [][]float32 {
 	e := tr.M.Cfg.EmbDim
-	out := make([][]float32, tr.M.Cfg.Tables)
+	out := tr.ws.EmbOut(tr.M.Cfg.Tables, mb.N*e)
 	for t, tab := range tr.M.Tables {
-		out[t] = make([]float32, mb.N*e)
 		tab.Forward(tr.Pool, mb.Sparse[t], out[t])
 	}
 	return out
 }
 
-// embUpdate applies the sparse backward+update for table t.
+// embUpdate applies the sparse backward+update for table t. The per-lookup
+// gradient rows live in the workspace, so the precision paths that
+// materialize them (Split-SGD, FP24, FP16, and the unfused FP32 strategies)
+// stay allocation-free.
 func (tr *Trainer) embUpdate(t int, b *embedding.Batch, dOut []float32) {
 	tab := tr.M.Tables[t]
+	tables := tr.M.Cfg.Tables
 	switch tr.Prec {
 	case BF16Split, BF16Split8LSB:
-		dW := make([]float32, b.NumLookups()*tab.E)
+		dW := tr.ws.EmbDW(t, tables, b.NumLookups()*tab.E)
 		tab.Backward(tr.Pool, b, dOut, dW)
 		tab.UpdateSplitRaceFree(tr.Pool, tr.embSplits[t], b, dW, tr.LR)
 		if tr.Prec == BF16Split8LSB {
 			tr.embSplits[t].LoBits8()
 		}
 	case FP24:
-		dW := make([]float32, b.NumLookups()*tab.E)
+		dW := tr.ws.EmbDW(t, tables, b.NumLookups()*tab.E)
 		tab.Backward(tr.Pool, b, dOut, dW)
 		tab.UpdateQuantRaceFree(tr.Pool, b, dW, tr.LR, bf16.RoundFP24)
 	case FP16Stoch:
-		dW := make([]float32, b.NumLookups()*tab.E)
+		dW := tr.ws.EmbDW(t, tables, b.NumLookups()*tab.E)
 		tab.Backward(tr.Pool, b, dOut, dW)
 		tab.UpdateFP16StochasticRaceFree(tr.Pool, b, dW, tr.LR, uint64(t)<<32^0xD1CE)
 	default:
@@ -184,63 +187,80 @@ func (tr *Trainer) embUpdate(t int, b *embedding.Batch, dOut []float32) {
 			tab.FusedBackwardUpdate(tr.Pool, b, dOut, tr.LR)
 			return
 		}
-		dW := make([]float32, b.NumLookups()*tab.E)
+		dW := tr.ws.EmbDW(t, tables, b.NumLookups()*tab.E)
 		tab.Backward(tr.Pool, b, dOut, dW)
 		tab.Update(tr.Pool, tr.Strategy, b, dW, tr.LR)
 	}
 }
 
-// mlpStep applies the per-tensor optimizers to both MLPs' gradients.
+// mlpStep applies the per-tensor optimizers to both MLPs' gradients. The
+// explicit layer walk (instead of VisitGrads) keeps the hot loop free of
+// closure allocations; the optimizer order matches initOptimizers, which
+// binds weights-then-bias per layer, bottom MLP first.
 func (tr *Trainer) mlpStep() {
 	i := 0
-	for _, m := range []interface {
-		VisitGrads(func(string, []float32))
-	}{tr.M.Bot, tr.M.Top} {
-		m.VisitGrads(func(_ string, g []float32) {
-			tr.mlpOpts[i].Step(g, tr.LR)
+	for _, m := range [...]*mlp.MLP{tr.M.Bot, tr.M.Top} {
+		for _, l := range m.Layers {
+			tr.mlpOpts[i].Step(l.DW.Data, tr.LR)
 			i++
-		})
+			tr.mlpOpts[i].Step(l.DBias, tr.LR)
+			i++
+		}
 	}
 	tr.M.Bot.InvalidateTransposes()
 	tr.M.Top.InvalidateTransposes()
 }
 
-// Step runs one training iteration and returns the minibatch loss.
+// Step runs one training iteration and returns the minibatch loss. Phase
+// timing is recorded with explicit start/stop stamps (not closures) so the
+// steady-state step performs zero heap allocations.
 func (tr *Trainer) Step(mb *data.MiniBatch) float64 {
 	if tr.Schedule.Base != 0 {
 		tr.LR = tr.Schedule.At(tr.step)
 	}
 	tr.step++
-	var embOut [][]float32
-	tr.profTime("embeddings", func() {
-		embOut = tr.embForward(mb)
-	})
+	prof := tr.Prof
+	var t0 time.Time
+	if prof != nil {
+		t0 = time.Now()
+	}
+	embOut := tr.embForward(mb)
+	if prof != nil {
+		prof.Add("embeddings", time.Since(t0))
+		t0 = time.Now()
+	}
 
-	var logits []float32
-	tr.profTime("mlp", func() {
-		logits = tr.M.ForwardDense(tr.Pool, mb.Dense, embOut)
-	})
+	logits := tr.M.ForwardDense(tr.Pool, mb.Dense, embOut)
+	if prof != nil {
+		prof.Add("mlp", time.Since(t0))
+		t0 = time.Now()
+	}
 
-	dz := make([]float32, mb.N)
-	var lossVal float64
-	tr.profTime("rest", func() {
-		lossVal = loss.BCEWithLogits(logits, mb.Labels, dz)
-	})
+	dz := tr.ws.Dz(mb.N)
+	lossVal := loss.BCEWithLogits(logits, mb.Labels, dz)
+	if prof != nil {
+		prof.Add("rest", time.Since(t0))
+		t0 = time.Now()
+	}
 
-	var dEmb [][]float32
-	tr.profTime("mlp", func() {
-		dEmb = tr.M.BackwardDense(tr.Pool, dz)
-	})
+	dEmb := tr.M.BackwardDense(tr.Pool, dz)
+	if prof != nil {
+		prof.Add("mlp", time.Since(t0))
+		t0 = time.Now()
+	}
 
-	tr.profTime("embeddings", func() {
-		for t := range tr.M.Tables {
-			tr.embUpdate(t, mb.Sparse[t], dEmb[t])
-		}
-	})
+	for t := range tr.M.Tables {
+		tr.embUpdate(t, mb.Sparse[t], dEmb[t])
+	}
+	if prof != nil {
+		prof.Add("embeddings", time.Since(t0))
+		t0 = time.Now()
+	}
 
-	tr.profTime("mlp", func() {
-		tr.mlpStep()
-	})
+	tr.mlpStep()
+	if prof != nil {
+		prof.Add("mlp", time.Since(t0))
+	}
 	return lossVal
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/bf16"
 	"repro/internal/par"
 )
 
@@ -24,6 +25,24 @@ import (
 type Table struct {
 	M, E int
 	W    []float32
+
+	// ka carries one kernel call's parameters to the package-level parallel
+	// bodies, so the hot path dispatches through par.Pool.ForNArg /
+	// ForEachWorkerArg without allocating closures. A table runs one kernel
+	// at a time (kernels on distinct tables are independent).
+	ka kernArgs
+}
+
+// kernArgs is the per-call state shared by every Table kernel body.
+type kernArgs struct {
+	b     *Batch
+	out   []float32
+	dOut  []float32
+	dW    []float32
+	lr    float32
+	split *bf16.Split
+	quant func(float32) float32
+	seed  uint64
 }
 
 // NewTable allocates an M×E table initialized uniform in [-scale, scale].
@@ -81,6 +100,25 @@ func (b *Batch) Validate(m int) error {
 	return nil
 }
 
+// fwdBody computes the bag sums for bags [lo, hi).
+func fwdBody(arg any, tid, lo, hi int) {
+	t := arg.(*Table)
+	b, out, e := t.ka.b, t.ka.out, t.E
+	for bag := lo; bag < hi; bag++ {
+		y := out[bag*e : (bag+1)*e]
+		for i := range y {
+			y[i] = 0
+		}
+		start, end := b.Offsets[bag], b.Offsets[bag+1]
+		for s := start; s < end; s++ {
+			row := t.Row(int(b.Indices[s]))
+			for i := range y {
+				y[i] += row[i]
+			}
+		}
+	}
+}
+
 // Forward computes out[n] = Σ_{s∈bag n} W[I[s]] (Algorithm 1). out must
 // hold N*E float32s, laid out N rows of E. Parallel over bags; every bag
 // writes a disjoint output row so no synchronization is needed.
@@ -89,22 +127,22 @@ func (t *Table) Forward(p *par.Pool, b *Batch, out []float32) {
 	if len(out) != n*t.E {
 		panic(fmt.Sprintf("embedding: forward out len %d want %d", len(out), n*t.E))
 	}
-	e := t.E
-	p.ForN(n, func(tid, lo, hi int) {
-		for bag := lo; bag < hi; bag++ {
-			y := out[bag*e : (bag+1)*e]
-			for i := range y {
-				y[i] = 0
-			}
-			start, end := b.Offsets[bag], b.Offsets[bag+1]
-			for s := start; s < end; s++ {
-				row := t.Row(int(b.Indices[s]))
-				for i := range y {
-					y[i] += row[i]
-				}
-			}
+	t.ka.b, t.ka.out = b, out
+	p.ForNArg(n, fwdBody, t)
+	t.ka.b, t.ka.out = nil, nil
+}
+
+// bwdBody materializes per-lookup gradient rows for bags [lo, hi).
+func bwdBody(arg any, tid, lo, hi int) {
+	t := arg.(*Table)
+	b, dOut, dW, e := t.ka.b, t.ka.dOut, t.ka.dW, t.E
+	for bag := lo; bag < hi; bag++ {
+		g := dOut[bag*e : (bag+1)*e]
+		start, end := b.Offsets[bag], b.Offsets[bag+1]
+		for s := start; s < end; s++ {
+			copy(dW[int(s)*e:(int(s)+1)*e], g)
 		}
-	})
+	}
 }
 
 // Backward materializes the per-lookup gradient rows dW[s] = dOut[bag(s)]
@@ -118,16 +156,34 @@ func (t *Table) Backward(p *par.Pool, b *Batch, dOut, dW []float32) {
 	if len(dW) != b.NumLookups()*t.E {
 		panic("embedding: backward dW size mismatch")
 	}
-	e := t.E
-	p.ForN(n, func(tid, lo, hi int) {
-		for bag := lo; bag < hi; bag++ {
-			g := dOut[bag*e : (bag+1)*e]
-			start, end := b.Offsets[bag], b.Offsets[bag+1]
-			for s := start; s < end; s++ {
-				copy(dW[int(s)*e:(int(s)+1)*e], g)
+	t.ka.b, t.ka.dOut, t.ka.dW = b, dOut, dW
+	p.ForNArg(n, bwdBody, t)
+	t.ka.b, t.ka.dOut, t.ka.dW = nil, nil, nil
+}
+
+// fusedBody applies the fused backward+update for the rows tid owns.
+func fusedBody(arg any, tid, workers int) {
+	t := arg.(*Table)
+	b, dOut, lr, e := t.ka.b, t.ka.dOut, t.ka.lr, t.E
+	n := b.NumBags()
+	mStart, mEnd := par.Chunk(t.M, workers, tid)
+	for bag := 0; bag < n; bag++ {
+		start, end := b.Offsets[bag], b.Offsets[bag+1]
+		if start == end {
+			continue
+		}
+		g := dOut[bag*e : (bag+1)*e]
+		for s := start; s < end; s++ {
+			ind := int(b.Indices[s])
+			if ind < mStart || ind >= mEnd {
+				continue
+			}
+			row := t.Row(ind)
+			for i := range row {
+				row[i] -= lr * g[i]
 			}
 		}
-	})
+	}
 }
 
 // FusedBackwardUpdate applies W[I[s]] += -lr·dOut[bag(s)] directly, skipping
@@ -135,27 +191,7 @@ func (t *Table) Backward(p *par.Pool, b *Batch, dOut, dW []float32) {
 // standalone fused variant). It uses the race-free row partitioning of
 // Algorithm 4, so it is deterministic.
 func (t *Table) FusedBackwardUpdate(p *par.Pool, b *Batch, dOut []float32, lr float32) {
-	e := t.E
-	m := t.M
-	n := b.NumBags()
-	p.ForEachWorker(func(tid, workers int) {
-		mStart, mEnd := par.Chunk(m, workers, tid)
-		for bag := 0; bag < n; bag++ {
-			start, end := b.Offsets[bag], b.Offsets[bag+1]
-			if start == end {
-				continue
-			}
-			g := dOut[bag*e : (bag+1)*e]
-			for s := start; s < end; s++ {
-				ind := int(b.Indices[s])
-				if ind < mStart || ind >= mEnd {
-					continue
-				}
-				row := t.Row(ind)
-				for i := range row {
-					row[i] -= lr * g[i]
-				}
-			}
-		}
-	})
+	t.ka.b, t.ka.dOut, t.ka.lr = b, dOut, lr
+	p.ForEachWorkerArg(fusedBody, t)
+	t.ka.b, t.ka.dOut = nil, nil
 }

@@ -114,53 +114,71 @@ func atomicAddFloat32(addr *float32, delta float32) {
 	}
 }
 
-func (t *Table) updateAtomic(p *par.Pool, b *Batch, dW []float32, lr float32) {
-	e := t.E
-	p.ForN(b.NumLookups(), func(tid, lo, hi int) {
-		for s := lo; s < hi; s++ {
-			ind := int(b.Indices[s])
-			row := t.Row(ind)
-			src := dW[s*e : (s+1)*e]
-			for i := range row {
-				atomicAddFloat32(&row[i], -lr*src[i])
-			}
+// atomicBody applies the lookups in [lo, hi) with CAS float adds.
+func atomicBody(arg any, tid, lo, hi int) {
+	t := arg.(*Table)
+	b, dW, lr, e := t.ka.b, t.ka.dW, t.ka.lr, t.E
+	for s := lo; s < hi; s++ {
+		ind := int(b.Indices[s])
+		row := t.Row(ind)
+		src := dW[s*e : (s+1)*e]
+		for i := range row {
+			atomicAddFloat32(&row[i], -lr*src[i])
 		}
-	})
+	}
+}
+
+func (t *Table) updateAtomic(p *par.Pool, b *Batch, dW []float32, lr float32) {
+	t.ka.b, t.ka.dW, t.ka.lr = b, dW, lr
+	p.ForNArg(b.NumLookups(), atomicBody, t)
+	t.ka.b, t.ka.dW = nil, nil
+}
+
+// rtmBody applies the lookups in [lo, hi) under striped row locks.
+func rtmBody(arg any, tid, lo, hi int) {
+	t := arg.(*Table)
+	b, dW, lr, e := t.ka.b, t.ka.dW, t.ka.lr, t.E
+	for s := lo; s < hi; s++ {
+		ind := int(b.Indices[s])
+		src := dW[s*e : (s+1)*e]
+		mu := &rtmLocks[ind&(rtmStripes-1)]
+		mu.Lock()
+		row := t.Row(ind)
+		for i := range row {
+			row[i] -= lr * src[i]
+		}
+		mu.Unlock()
+	}
 }
 
 func (t *Table) updateRTM(p *par.Pool, b *Batch, dW []float32, lr float32) {
-	e := t.E
-	p.ForN(b.NumLookups(), func(tid, lo, hi int) {
-		for s := lo; s < hi; s++ {
-			ind := int(b.Indices[s])
-			src := dW[s*e : (s+1)*e]
-			mu := &rtmLocks[ind&(rtmStripes-1)]
-			mu.Lock()
-			row := t.Row(ind)
-			for i := range row {
-				row[i] -= lr * src[i]
-			}
-			mu.Unlock()
+	t.ka.b, t.ka.dW, t.ka.lr = b, dW, lr
+	p.ForNArg(b.NumLookups(), rtmBody, t)
+	t.ka.b, t.ka.dW = nil, nil
+}
+
+// raceFreeBody scans all lookups, applying only those owned by tid
+// (Algorithm 4).
+func raceFreeBody(arg any, tid, workers int) {
+	t := arg.(*Table)
+	b, dW, lr, e := t.ka.b, t.ka.dW, t.ka.lr, t.E
+	ns := b.NumLookups()
+	mStart, mEnd := par.Chunk(t.M, workers, tid)
+	for s := 0; s < ns; s++ {
+		ind := int(b.Indices[s])
+		if ind < mStart || ind >= mEnd {
+			continue
 		}
-	})
+		row := t.Row(ind)
+		src := dW[s*e : (s+1)*e]
+		for i := range row {
+			row[i] -= lr * src[i]
+		}
+	}
 }
 
 func (t *Table) updateRaceFree(p *par.Pool, b *Batch, dW []float32, lr float32) {
-	e := t.E
-	m := t.M
-	ns := b.NumLookups()
-	p.ForEachWorker(func(tid, workers int) {
-		mStart, mEnd := par.Chunk(m, workers, tid)
-		for s := 0; s < ns; s++ {
-			ind := int(b.Indices[s])
-			if ind < mStart || ind >= mEnd {
-				continue
-			}
-			row := t.Row(ind)
-			src := dW[s*e : (s+1)*e]
-			for i := range row {
-				row[i] -= lr * src[i]
-			}
-		}
-	})
+	t.ka.b, t.ka.dW, t.ka.lr = b, dW, lr
+	p.ForEachWorkerArg(raceFreeBody, t)
+	t.ka.b, t.ka.dW = nil, nil
 }

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// Benchmark fixtures shared by the root go-test benchmarks (bench_test.go)
+// and the dlrmbench -benchjson suite, so both always measure the same
+// workloads: a drift between the two would make the archived BENCH_*.json
+// trend a different kernel than the benchmarks developers run locally.
+
+// Fig5BlockedCase returns the packed operands of the Fig. 5 blocked forward
+// GEMM benchmark (N=256, C=K=512, the paper's mid-size layer shape).
+func Fig5BlockedCase() (x *tensor.Acts, w *tensor.Weights, y *tensor.Acts) {
+	rng := rand.New(rand.NewSource(1))
+	xD := tensor.NewDense(256, 512)
+	xD.Randomize(rng, 1)
+	wD := tensor.NewDense(512, 512)
+	wD.Randomize(rng, 1)
+	return tensor.PackActs(xD, 16, 32), tensor.PackWeights(wD, 32, 32),
+		tensor.NewActs(256, 512, 16, 32)
+}
+
+// Fig5Flops returns the per-call FLOP count of Fig5BlockedCase.
+func Fig5Flops() float64 { return 2 * 256 * 512 * 512 }
+
+// Fig7StepCase returns a warmed-up trainer and minibatch for one full
+// training iteration of the scaled Small config with the given embedding
+// update strategy — the workload behind the Fig. 7 benchmarks.
+func Fig7StepCase(strat embedding.Strategy) (*core.Trainer, *data.MiniBatch) {
+	cfg := core.Small.Scaled(1.0 / 64)
+	ds := &data.Random{Seed: 1, D: cfg.DenseIn, Tables: cfg.Tables,
+		Rows: cfg.Rows[0], Lookups: cfg.Lookups}
+	m := core.NewModel(cfg, 16, 1)
+	tr := core.NewTrainer(m, par.Default, strat, 0.1, core.FP32)
+	mb := ds.Batch(0, 128)
+	tr.Step(mb) // warmup: sizes the workspaces
+	return tr, mb
+}
+
+// Fig16StepCase returns a warmed-up trainer and minibatch for the scaled
+// MLPerf config at the given precision — the workload behind the Fig. 16
+// benchmarks.
+func Fig16StepCase(prec core.Precision) (*core.Trainer, *data.MiniBatch) {
+	rows := data.ScaleRows(data.CriteoTBRows, 1.0/16384)
+	cfg := core.Config{
+		Name: "MLPerf-mini", MB: 128, GlobalMB: 128, LocalMB: 128,
+		Lookups: 1, Tables: 26, EmbDim: 16, Rows: rows,
+		DenseIn: 13, BotHidden: []int{32}, TopHidden: []int{64, 32},
+	}
+	ds := data.NewClickLog(1, cfg.DenseIn, cfg.Rows, cfg.Lookups)
+	m := core.NewModel(cfg, 16, 1)
+	tr := core.NewTrainer(m, par.Default, embedding.RaceFree, 0.5, prec)
+	mb := ds.Batch(0, cfg.MB)
+	tr.Step(mb)
+	return tr, mb
+}
+
+// FusedEmbeddingCase returns the table, batch, and output gradient of the
+// §III-A fused backward+update sweep (500k×64 table, 2048 bags of 50).
+func FusedEmbeddingCase() (*embedding.Table, *embedding.Batch, []float32) {
+	rng := rand.New(rand.NewSource(4))
+	tab := embedding.NewTable(500_000, 64, rng, 0.01)
+	batch := embedding.MakeBatch(rng, embedding.Uniform{}, 2048, 50, tab.M)
+	dOut := make([]float32, 2048*64)
+	for i := range dOut {
+		dOut[i] = rng.Float32()
+	}
+	return tab, batch, dOut
+}

@@ -10,10 +10,18 @@
 //	weights     W  [Kb][Cb][bc][bk]
 //	activations X  [Cb][Nb][bn][bc]
 //	outputs     Y  [Kb][Nb][bn][bk]   (the Acts layout of the next layer)
+//
+// The blocked kernels are allocation-free in steady state: per-worker tile
+// pointer lists (Scratch) are cached on the pool via par.Attached, and the
+// parallel bodies are package-level functions dispatched through
+// par.Pool.ForNArg with a persistent per-pool argument block, so repeated
+// calls perform zero heap allocations (asserted by the allocation-regression
+// tests).
 package gemm
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/par"
 	"repro/internal/tensor"
@@ -28,6 +36,12 @@ import (
 // the JIT-ed kernel of the paper in pure Go: the inner loop broadcasts one
 // input scalar against a contiguous run of bk outputs, which the compiler
 // vectorizes after bounds-check elimination.
+//
+// This is the dense variant: like the paper's JIT-ed kernel it carries no
+// data-dependent branches, so on dense activations the unrolled FMA stream
+// runs unperturbed. Callers whose B tiles are sparse (many exact zeros, e.g.
+// one-hot or heavily ReLU-thinned inputs) should select
+// BatchReduceKernelSkipZeros instead.
 //
 // If zeroOut is true the output tile is cleared before accumulation.
 func BatchReduceKernel(aTiles, bTiles [][]float32, out []float32, bn, bc, bk int, zeroOut bool) {
@@ -45,6 +59,46 @@ func BatchReduceKernel(aTiles, bTiles [][]float32, out []float32, bn, bc, bk int
 			// Unroll the reduction dimension 4-wide: four broadcast
 			// multiply-adds per output store, which is what keeps the
 			// scalar kernel from being store-bound.
+			ci := 0
+			for ; ci+4 <= bc; ci += 4 {
+				x0, x1, x2, x3 := bRow[ci], bRow[ci+1], bRow[ci+2], bRow[ci+3]
+				a0 := a[ci*bk : ci*bk+bk]
+				a1 := a[(ci+1)*bk : (ci+1)*bk+bk]
+				a2 := a[(ci+2)*bk : (ci+2)*bk+bk]
+				a3 := a[(ci+3)*bk : (ci+3)*bk+bk]
+				for ki := range yRow {
+					yRow[ki] += x0*a0[ki] + x1*a1[ki] + x2*a2[ki] + x3*a3[ki]
+				}
+			}
+			for ; ci < bc; ci++ {
+				x := bRow[ci]
+				aRow := a[ci*bk : ci*bk+bk]
+				for ki := range yRow {
+					yRow[ki] += x * aRow[ki]
+				}
+			}
+		}
+	}
+}
+
+// BatchReduceKernelSkipZeros is the sparsity-aware variant of
+// BatchReduceKernel: groups of four (and single) activation scalars that are
+// exactly zero skip their multiply-add entirely. On activations with real
+// sparsity (embedding-style one-hot inputs, interaction gradients) the
+// skipped memory traffic wins; on dense activations the checks are pure
+// branch overhead, which is why the dense MLP path uses BatchReduceKernel.
+func BatchReduceKernelSkipZeros(aTiles, bTiles [][]float32, out []float32, bn, bc, bk int, zeroOut bool) {
+	if zeroOut {
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	for t := range aTiles {
+		a := aTiles[t]
+		b := bTiles[t]
+		for ni := 0; ni < bn; ni++ {
+			bRow := b[ni*bc : ni*bc+bc]
+			yRow := out[ni*bk : ni*bk+bk]
 			ci := 0
 			for ; ci+4 <= bc; ci += 4 {
 				x0, x1, x2, x3 := bRow[ci], bRow[ci+1], bRow[ci+2], bRow[ci+3]
@@ -73,100 +127,9 @@ func BatchReduceKernel(aTiles, bTiles [][]float32, out []float32, bn, bc, bk int
 	}
 }
 
-// Forward computes Y = X · Wᵀ over blocked tensors (logical Y[N×K] from
-// X[N×C] and W[K×C]) following Algorithm 5: each worker owns a set of output
-// blocks, gathers the A/B tile pointer lists over the reduction dimension
-// Cb, and issues one batch-reduce GEMM per output block.
-func Forward(p *par.Pool, w *tensor.Weights, x *tensor.Acts, y *tensor.Acts) {
-	if x.C != w.C || x.BC != w.BC {
-		panic(fmt.Sprintf("gemm: forward C mismatch x(C=%d,bc=%d) w(C=%d,bc=%d)", x.C, x.BC, w.C, w.BC))
-	}
-	if y.N != x.N || y.BN != x.BN || y.C != w.K || y.BC != w.BK {
-		panic(fmt.Sprintf("gemm: forward Y shape mismatch y(N=%d,C=%d) want (N=%d,K=%d)", y.N, y.C, x.N, w.K))
-	}
-	bn, bc, bk := x.BN, x.BC, w.BK
-	cb := w.Cb
-	run2DScratch(p, w.Kb, x.Nb, cb, func(s *Scratch, kb, nb int) {
-		for i := 0; i < cb; i++ {
-			s.A[i] = w.Block(kb, i)
-			s.B[i] = x.Block(i, nb)
-		}
-		BatchReduceKernel(s.A[:cb], s.B[:cb], y.Block(kb, nb), bn, bc, bk, true)
-	})
-}
-
-// BackwardData computes dX = dY · W over blocked tensors (logical dX[N×C]
-// from dY[N×K] and W[K×C]). It reuses the forward kernel with the logically
-// transposed weights; callers that run many iterations should pre-transpose
-// once per weight update via tensor.Weights.TransposeBlocked.
-func BackwardData(p *par.Pool, wT *tensor.Weights, dy *tensor.Acts, dx *tensor.Acts) {
-	// wT is W transposed: logical C×K blocked [Cb][Kb][bk][bc].
-	Forward(p, wT, dy, dx)
-}
-
-// BackwardWeights computes dW = dYᵀ · X over blocked tensors (logical
-// dW[K×C] from dY[N×K] and X[N×C]), reducing over the minibatch dimension.
-// The activation layout [Cb][Nb][bn][bc] was chosen precisely so this pass
-// sees the same contiguous tile accesses as the forward pass.
-func BackwardWeights(p *par.Pool, dy *tensor.Acts, x *tensor.Acts, dw *tensor.Weights) {
-	if dy.N != x.N || dy.BN != x.BN {
-		panic("gemm: backwardWeights N mismatch")
-	}
-	if dw.K != dy.C || dw.BK != dy.BC || dw.C != x.C || dw.BC != x.BC {
-		panic("gemm: backwardWeights dW shape mismatch")
-	}
-	bn, bc, bk := x.BN, x.BC, dw.BK
-	nb := x.Nb
-	p.Run2D(dw.Kb, dw.Cb, func(tid, kb, cb int) {
-		out := dw.Block(kb, cb)
-		for i := range out {
-			out[i] = 0
-		}
-		for n := 0; n < nb; n++ {
-			dyTile := dy.Block(kb, n) // bn×bk, sample major
-			xTile := x.Block(cb, n)   // bn×bc, sample major
-			// Reduce over the samples 4-wide per output store (see
-			// BatchReduceKernel).
-			ni := 0
-			for ; ni+4 <= bn; ni += 4 {
-				dy0 := dyTile[ni*bk : ni*bk+bk]
-				dy1 := dyTile[(ni+1)*bk : (ni+1)*bk+bk]
-				dy2 := dyTile[(ni+2)*bk : (ni+2)*bk+bk]
-				dy3 := dyTile[(ni+3)*bk : (ni+3)*bk+bk]
-				for ci := 0; ci < bc; ci++ {
-					x0 := xTile[ni*bc+ci]
-					x1 := xTile[(ni+1)*bc+ci]
-					x2 := xTile[(ni+2)*bc+ci]
-					x3 := xTile[(ni+3)*bc+ci]
-					if x0 == 0 && x1 == 0 && x2 == 0 && x3 == 0 {
-						continue
-					}
-					dwRow := out[ci*bk : ci*bk+bk]
-					for ki := range dwRow {
-						dwRow[ki] += x0*dy0[ki] + x1*dy1[ki] + x2*dy2[ki] + x3*dy3[ki]
-					}
-				}
-			}
-			for ; ni < bn; ni++ {
-				dyRow := dyTile[ni*bk : ni*bk+bk]
-				xRow := xTile[ni*bc : ni*bc+bc]
-				for ci := 0; ci < bc; ci++ {
-					xv := xRow[ci]
-					if xv == 0 {
-						continue
-					}
-					dwRow := out[ci*bk : ci*bk+bk]
-					for ki := range dwRow {
-						dwRow[ki] += xv * dyRow[ki]
-					}
-				}
-			}
-		}
-	})
-}
-
 // Scratch holds per-worker tile pointer lists so the hot loop does not
-// allocate. Capacity is the reduction block count.
+// allocate. Capacity is the reduction block count; it grows monotonically
+// and is cached per (pool, worker) across calls.
 type Scratch struct {
 	A, B [][]float32
 }
@@ -176,15 +139,257 @@ func newScratch(n int) *Scratch {
 	return &Scratch{A: make([][]float32, n), B: make([][]float32, n)}
 }
 
-// run2DScratch partitions a rows×cols output-block grid across the pool,
-// giving each worker a private Scratch sized for the reduction dimension.
-// This realizes line 1 of Algorithm 5 ("assign output work items").
-func run2DScratch(p *par.Pool, rows, cols, scratchN int, body func(s *Scratch, row, col int)) {
-	total := rows * cols
-	p.ForN(total, func(tid, lo, hi int) {
-		s := newScratch(scratchN)
-		for i := lo; i < hi; i++ {
-			body(s, i/cols, i%cols)
+// gemmKey identifies this package's per-pool kernel state.
+var gemmKey = par.NewStateKey("gemm")
+
+// poolState is the per-pool kernel state: cached per-worker scratch plus the
+// argument blocks the static parallel bodies read. mu serializes kernels
+// submitted to the same pool from different goroutines (e.g. simulated
+// ranks sharing a compute pool).
+type poolState struct {
+	mu      sync.Mutex
+	scratch []*Scratch
+	fwd     fwdArgs
+	bwdW    bwdWArgs
+}
+
+func newPoolState(p *par.Pool) any {
+	return &poolState{scratch: make([]*Scratch, p.NumWorkers())}
+}
+
+func state(p *par.Pool) *poolState {
+	return p.Attached(gemmKey, newPoolState).(*poolState)
+}
+
+// worker returns tid's cached Scratch resized to hold n tiles.
+func (st *poolState) worker(tid, n int) *Scratch {
+	s := st.scratch[tid]
+	if s == nil || cap(s.A) < n {
+		s = newScratch(n)
+		st.scratch[tid] = s
+	}
+	s.A, s.B = s.A[:n], s.B[:n]
+	return s
+}
+
+// fwdArgs carries one Forward call's parameters to the static body.
+type fwdArgs struct {
+	st         *poolState
+	w          *tensor.Weights
+	x, y       *tensor.Acts
+	cols       int // Nb: output-block grid columns
+	cb         int // reduction block count
+	bn, bc, bk int
+	skipZeros  bool
+}
+
+func fwdBody(arg any, tid, lo, hi int) {
+	a := arg.(*fwdArgs)
+	s := a.st.worker(tid, a.cb)
+	kern := BatchReduceKernel
+	if a.skipZeros {
+		kern = BatchReduceKernelSkipZeros
+	}
+	for i := lo; i < hi; i++ {
+		kb, nb := i/a.cols, i%a.cols
+		for j := 0; j < a.cb; j++ {
+			s.A[j] = a.w.Block(kb, j)
+			s.B[j] = a.x.Block(j, nb)
 		}
-	})
+		kern(s.A, s.B, a.y.Block(kb, nb), a.bn, a.bc, a.bk, true)
+	}
+}
+
+// Forward computes Y = X · Wᵀ over blocked tensors (logical Y[N×K] from
+// X[N×C] and W[K×C]) following Algorithm 5: each worker owns a set of output
+// blocks, gathers the A/B tile pointer lists over the reduction dimension
+// Cb, and issues one batch-reduce GEMM per output block. Dense micro-kernel;
+// see ForwardSkipZeros for sparse activations.
+func Forward(p *par.Pool, w *tensor.Weights, x *tensor.Acts, y *tensor.Acts) {
+	forward(p, w, x, y, false)
+}
+
+// ForwardSkipZeros is Forward with the sparsity-aware micro-kernel, for
+// callers whose activations carry many exact zeros (embedding-style inputs,
+// ReLU-thinned tensors on the backward-by-data path).
+func ForwardSkipZeros(p *par.Pool, w *tensor.Weights, x *tensor.Acts, y *tensor.Acts) {
+	forward(p, w, x, y, true)
+}
+
+func forward(p *par.Pool, w *tensor.Weights, x *tensor.Acts, y *tensor.Acts, skipZeros bool) {
+	if x.C != w.C || x.BC != w.BC {
+		panic(fmt.Sprintf("gemm: forward C mismatch x(C=%d,bc=%d) w(C=%d,bc=%d)", x.C, x.BC, w.C, w.BC))
+	}
+	if y.N != x.N || y.BN != x.BN || y.C != w.K || y.BC != w.BK {
+		panic(fmt.Sprintf("gemm: forward Y shape mismatch y(N=%d,C=%d) want (N=%d,K=%d)", y.N, y.C, x.N, w.K))
+	}
+	st := state(p)
+	st.mu.Lock()
+	defer st.mu.Unlock() // deferred so a panicking kernel cannot wedge the state
+	a := &st.fwd
+	a.st, a.w, a.x, a.y = st, w, x, y
+	a.cols, a.cb = x.Nb, w.Cb
+	a.bn, a.bc, a.bk = x.BN, x.BC, w.BK
+	a.skipZeros = skipZeros
+	p.ForNArg(w.Kb*x.Nb, fwdBody, a)
+	a.w, a.x, a.y = nil, nil, nil
+}
+
+// BackwardData computes dX = dY · W over blocked tensors (logical dX[N×C]
+// from dY[N×K] and W[K×C]). It reuses the forward kernel with the logically
+// transposed weights; callers that run many iterations should pre-transpose
+// once per weight update via tensor.Weights.TransposeBlocked.
+func BackwardData(p *par.Pool, wT *tensor.Weights, dy *tensor.Acts, dx *tensor.Acts) {
+	// wT is W transposed: logical C×K blocked [Cb][Kb][bk][bc].
+	forward(p, wT, dy, dx, false)
+}
+
+// BackwardDataSkipZeros is BackwardData with the sparsity-aware kernel: dY
+// downstream of a ReLU carries exact zeros wherever the unit was inactive.
+func BackwardDataSkipZeros(p *par.Pool, wT *tensor.Weights, dy *tensor.Acts, dx *tensor.Acts) {
+	forward(p, wT, dy, dx, true)
+}
+
+// bwdWArgs carries one BackwardWeights call's parameters to the static body.
+type bwdWArgs struct {
+	dy, x      *tensor.Acts
+	dw         *tensor.Weights
+	cols       int // Cb: weight-block grid columns
+	nb         int
+	bn, bc, bk int
+	skipZeros  bool
+}
+
+func bwdWBody(arg any, tid, lo, hi int) {
+	a := arg.(*bwdWArgs)
+	for i := lo; i < hi; i++ {
+		kb, cb := i/a.cols, i%a.cols
+		out := a.dw.Block(kb, cb)
+		for j := range out {
+			out[j] = 0
+		}
+		if a.skipZeros {
+			bwdWBlockSkipZeros(a, kb, cb, out)
+		} else {
+			bwdWBlock(a, kb, cb, out)
+		}
+	}
+}
+
+// bwdWBlock accumulates one dW block, dense inner loops.
+func bwdWBlock(a *bwdWArgs, kb, cb int, out []float32) {
+	bn, bc, bk := a.bn, a.bc, a.bk
+	for n := 0; n < a.nb; n++ {
+		dyTile := a.dy.Block(kb, n) // bn×bk, sample major
+		xTile := a.x.Block(cb, n)   // bn×bc, sample major
+		// Reduce over the samples 4-wide per output store (see
+		// BatchReduceKernel).
+		ni := 0
+		for ; ni+4 <= bn; ni += 4 {
+			dy0 := dyTile[ni*bk : ni*bk+bk]
+			dy1 := dyTile[(ni+1)*bk : (ni+1)*bk+bk]
+			dy2 := dyTile[(ni+2)*bk : (ni+2)*bk+bk]
+			dy3 := dyTile[(ni+3)*bk : (ni+3)*bk+bk]
+			for ci := 0; ci < bc; ci++ {
+				x0 := xTile[ni*bc+ci]
+				x1 := xTile[(ni+1)*bc+ci]
+				x2 := xTile[(ni+2)*bc+ci]
+				x3 := xTile[(ni+3)*bc+ci]
+				dwRow := out[ci*bk : ci*bk+bk]
+				for ki := range dwRow {
+					dwRow[ki] += x0*dy0[ki] + x1*dy1[ki] + x2*dy2[ki] + x3*dy3[ki]
+				}
+			}
+		}
+		for ; ni < bn; ni++ {
+			dyRow := dyTile[ni*bk : ni*bk+bk]
+			xRow := xTile[ni*bc : ni*bc+bc]
+			for ci := 0; ci < bc; ci++ {
+				xv := xRow[ci]
+				dwRow := out[ci*bk : ci*bk+bk]
+				for ki := range dwRow {
+					dwRow[ki] += xv * dyRow[ki]
+				}
+			}
+		}
+	}
+}
+
+// bwdWBlockSkipZeros accumulates one dW block skipping all-zero activation
+// groups — profitable when X is a ReLU output with real sparsity.
+func bwdWBlockSkipZeros(a *bwdWArgs, kb, cb int, out []float32) {
+	bn, bc, bk := a.bn, a.bc, a.bk
+	for n := 0; n < a.nb; n++ {
+		dyTile := a.dy.Block(kb, n)
+		xTile := a.x.Block(cb, n)
+		ni := 0
+		for ; ni+4 <= bn; ni += 4 {
+			dy0 := dyTile[ni*bk : ni*bk+bk]
+			dy1 := dyTile[(ni+1)*bk : (ni+1)*bk+bk]
+			dy2 := dyTile[(ni+2)*bk : (ni+2)*bk+bk]
+			dy3 := dyTile[(ni+3)*bk : (ni+3)*bk+bk]
+			for ci := 0; ci < bc; ci++ {
+				x0 := xTile[ni*bc+ci]
+				x1 := xTile[(ni+1)*bc+ci]
+				x2 := xTile[(ni+2)*bc+ci]
+				x3 := xTile[(ni+3)*bc+ci]
+				if x0 == 0 && x1 == 0 && x2 == 0 && x3 == 0 {
+					continue
+				}
+				dwRow := out[ci*bk : ci*bk+bk]
+				for ki := range dwRow {
+					dwRow[ki] += x0*dy0[ki] + x1*dy1[ki] + x2*dy2[ki] + x3*dy3[ki]
+				}
+			}
+		}
+		for ; ni < bn; ni++ {
+			dyRow := dyTile[ni*bk : ni*bk+bk]
+			xRow := xTile[ni*bc : ni*bc+bc]
+			for ci := 0; ci < bc; ci++ {
+				xv := xRow[ci]
+				if xv == 0 {
+					continue
+				}
+				dwRow := out[ci*bk : ci*bk+bk]
+				for ki := range dwRow {
+					dwRow[ki] += xv * dyRow[ki]
+				}
+			}
+		}
+	}
+}
+
+// BackwardWeights computes dW = dYᵀ · X over blocked tensors (logical
+// dW[K×C] from dY[N×K] and X[N×C]), reducing over the minibatch dimension.
+// The activation layout [Cb][Nb][bn][bc] was chosen precisely so this pass
+// sees the same contiguous tile accesses as the forward pass. Dense inner
+// loops; see BackwardWeightsSkipZeros for sparse activations.
+func BackwardWeights(p *par.Pool, dy *tensor.Acts, x *tensor.Acts, dw *tensor.Weights) {
+	backwardWeights(p, dy, x, dw, false)
+}
+
+// BackwardWeightsSkipZeros is BackwardWeights with the sparsity-aware inner
+// loop, for callers whose saved activations carry many exact zeros (e.g.
+// post-ReLU hidden activations).
+func BackwardWeightsSkipZeros(p *par.Pool, dy *tensor.Acts, x *tensor.Acts, dw *tensor.Weights) {
+	backwardWeights(p, dy, x, dw, true)
+}
+
+func backwardWeights(p *par.Pool, dy *tensor.Acts, x *tensor.Acts, dw *tensor.Weights, skipZeros bool) {
+	if dy.N != x.N || dy.BN != x.BN {
+		panic("gemm: backwardWeights N mismatch")
+	}
+	if dw.K != dy.C || dw.BK != dy.BC || dw.C != x.C || dw.BC != x.BC {
+		panic("gemm: backwardWeights dW shape mismatch")
+	}
+	st := state(p)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a := &st.bwdW
+	a.dy, a.x, a.dw = dy, x, dw
+	a.cols, a.nb = dw.Cb, x.Nb
+	a.bn, a.bc, a.bk = x.BN, x.BC, dw.BK
+	a.skipZeros = skipZeros
+	p.ForNArg(dw.Kb*dw.Cb, bwdWBody, a)
+	a.dy, a.x, a.dw = nil, nil, nil
 }

@@ -4,6 +4,10 @@
 // sample the Gram matrix of the stacked feature vectors — a batched GEMM —
 // and keeps the strictly-lower triangle, concatenated after the dense
 // features.
+//
+// Both operators are allocation-free in steady state: per-worker feature
+// pointer lists are cached on the operator and the parallel bodies are
+// package-level functions dispatched through par.Pool.ForNArg.
 package interaction
 
 import (
@@ -29,6 +33,12 @@ var (
 	_ Op = (*Concat)(nil)
 )
 
+// dotScratch is one worker's feature/gradient pointer lists, reused across
+// calls so the hot loop does not allocate.
+type dotScratch struct {
+	feats, grads [][]float32
+}
+
 // Dot is the self dot-product interaction over S sparse features plus the
 // dense feature, all of dimension E. Its forward output per sample is the
 // dense feature followed by the (S+1)·S/2 strictly-lower-triangular entries
@@ -40,6 +50,13 @@ type Dot struct {
 	savedBottom []float32   // N×E
 	savedEmb    [][]float32 // S slices of N×E
 	n           int
+
+	// per-worker scratch plus the per-call state the static bodies read
+	ws         []dotScratch
+	curOut     []float32
+	curDOut    []float32
+	curDBottom []float32
+	curDEmb    [][]float32
 }
 
 // NewDot returns a Dot interaction for S embedding tables of dimension E.
@@ -51,6 +68,52 @@ func (d *Dot) OutputDim() int { return d.E + (d.S+1)*d.S/2 }
 // NumPairs returns the number of interaction terms (S+1)·S/2.
 func (d *Dot) NumPairs() int { return (d.S + 1) * d.S / 2 }
 
+// ensureScratch sizes the per-worker pointer lists for the pool.
+func (d *Dot) ensureScratch(workers int) {
+	if len(d.ws) >= workers {
+		return
+	}
+	ws := make([]dotScratch, workers)
+	copy(ws, d.ws)
+	for i := range ws {
+		if ws[i].feats == nil {
+			ws[i].feats = make([][]float32, d.S+1)
+			ws[i].grads = make([][]float32, d.S+1)
+		}
+	}
+	d.ws = ws
+}
+
+// dotFwdBody computes the interaction rows for samples [lo, hi).
+func dotFwdBody(arg any, tid, lo, hi int) {
+	d := arg.(*Dot)
+	e, s, od := d.E, d.S, d.OutputDim()
+	bottom, emb, out := d.savedBottom, d.savedEmb, d.curOut
+	// feats[i] points at row vector i of sample: 0=bottom, 1..S=tables.
+	feats := d.ws[tid].feats
+	for smp := lo; smp < hi; smp++ {
+		feats[0] = bottom[smp*e : (smp+1)*e]
+		for t := 0; t < s; t++ {
+			feats[t+1] = emb[t][smp*e : (smp+1)*e]
+		}
+		row := out[smp*od : (smp+1)*od]
+		copy(row[:e], feats[0])
+		pos := e
+		for i := 1; i <= s; i++ {
+			fi := feats[i]
+			for j := 0; j < i; j++ {
+				fj := feats[j]
+				var acc float32
+				for k := 0; k < e; k++ {
+					acc += fi[k] * fj[k]
+				}
+				row[pos] = acc
+				pos++
+			}
+		}
+	}
+}
+
 // Forward computes the interaction for a minibatch. bottom is N×E row-major
 // (the bottom-MLP output); emb[t] is N×E row-major (table t's bag outputs).
 // out must hold N×OutputDim().
@@ -61,32 +124,53 @@ func (d *Dot) Forward(p *par.Pool, n int, bottom []float32, emb [][]float32, out
 		panic(fmt.Sprintf("interaction: out len %d want %d", len(out), n*od))
 	}
 	d.savedBottom, d.savedEmb, d.n = bottom, emb, n
-	e, s := d.E, d.S
-	p.ForN(n, func(tid, lo, hi int) {
-		// feats[i] points at row vector i of sample: 0=bottom, 1..S=tables.
-		feats := make([][]float32, s+1)
-		for smp := lo; smp < hi; smp++ {
-			feats[0] = bottom[smp*e : (smp+1)*e]
-			for t := 0; t < s; t++ {
-				feats[t+1] = emb[t][smp*e : (smp+1)*e]
+	d.ensureScratch(p.NumWorkers())
+	d.curOut = out
+	p.ForNArg(n, dotFwdBody, d)
+	d.curOut = nil
+}
+
+// dotBwdBody distributes the output gradient for samples [lo, hi).
+func dotBwdBody(arg any, tid, lo, hi int) {
+	d := arg.(*Dot)
+	e, s, od := d.E, d.S, d.OutputDim()
+	bottom, emb := d.savedBottom, d.savedEmb
+	dOut, dBottom, dEmb := d.curDOut, d.curDBottom, d.curDEmb
+	feats, grads := d.ws[tid].feats, d.ws[tid].grads
+	for smp := lo; smp < hi; smp++ {
+		feats[0] = bottom[smp*e : (smp+1)*e]
+		grads[0] = dBottom[smp*e : (smp+1)*e]
+		for t := 0; t < s; t++ {
+			feats[t+1] = emb[t][smp*e : (smp+1)*e]
+			grads[t+1] = dEmb[t][smp*e : (smp+1)*e]
+		}
+		row := dOut[smp*od : (smp+1)*od]
+		// Concat part: dBottom starts as the dense slice of dOut.
+		copy(grads[0], row[:e])
+		for t := 1; t <= s; t++ {
+			g := grads[t]
+			for k := range g {
+				g[k] = 0
 			}
-			row := out[smp*od : (smp+1)*od]
-			copy(row[:e], feats[0])
-			pos := e
-			for i := 1; i <= s; i++ {
-				fi := feats[i]
-				for j := 0; j < i; j++ {
-					fj := feats[j]
-					var acc float32
-					for k := 0; k < e; k++ {
-						acc += fi[k] * fj[k]
-					}
-					row[pos] = acc
-					pos++
+		}
+		// Dot part: out[pos] = <f_i, f_j> ⇒ df_i += g·f_j, df_j += g·f_i.
+		pos := e
+		for i := 1; i <= s; i++ {
+			fi, gi := feats[i], grads[i]
+			for j := 0; j < i; j++ {
+				fj, gj := feats[j], grads[j]
+				g := row[pos]
+				pos++
+				if g == 0 {
+					continue
+				}
+				for k := 0; k < e; k++ {
+					gi[k] += g * fj[k]
+					gj[k] += g * fi[k]
 				}
 			}
 		}
-	})
+	}
 }
 
 // Backward consumes dOut (N×OutputDim) and writes gradients for the bottom
@@ -98,45 +182,10 @@ func (d *Dot) Backward(p *par.Pool, dOut, dBottom []float32, dEmb [][]float32) {
 	if len(dOut) != n*od || len(dBottom) != n*e || len(dEmb) != s {
 		panic("interaction: backward size mismatch")
 	}
-	bottom, emb := d.savedBottom, d.savedEmb
-	p.ForN(n, func(tid, lo, hi int) {
-		feats := make([][]float32, s+1)
-		grads := make([][]float32, s+1)
-		for smp := lo; smp < hi; smp++ {
-			feats[0] = bottom[smp*e : (smp+1)*e]
-			grads[0] = dBottom[smp*e : (smp+1)*e]
-			for t := 0; t < s; t++ {
-				feats[t+1] = emb[t][smp*e : (smp+1)*e]
-				grads[t+1] = dEmb[t][smp*e : (smp+1)*e]
-			}
-			row := dOut[smp*od : (smp+1)*od]
-			// Concat part: dBottom starts as the dense slice of dOut.
-			copy(grads[0], row[:e])
-			for t := 1; t <= s; t++ {
-				g := grads[t]
-				for k := range g {
-					g[k] = 0
-				}
-			}
-			// Dot part: out[pos] = <f_i, f_j> ⇒ df_i += g·f_j, df_j += g·f_i.
-			pos := e
-			for i := 1; i <= s; i++ {
-				fi, gi := feats[i], grads[i]
-				for j := 0; j < i; j++ {
-					fj, gj := feats[j], grads[j]
-					g := row[pos]
-					pos++
-					if g == 0 {
-						continue
-					}
-					for k := 0; k < e; k++ {
-						gi[k] += g * fj[k]
-						gj[k] += g * fi[k]
-					}
-				}
-			}
-		}
-	})
+	d.ensureScratch(p.NumWorkers())
+	d.curDOut, d.curDBottom, d.curDEmb = dOut, dBottom, dEmb
+	p.ForNArg(n, dotBwdBody, d)
+	d.curDOut, d.curDBottom, d.curDEmb = nil, nil, nil
 }
 
 func (d *Dot) check(n int, bottom []float32, emb [][]float32) {
@@ -158,6 +207,14 @@ func (d *Dot) check(n int, bottom []float32, emb [][]float32) {
 type Concat struct {
 	S, E int
 	n    int
+
+	// per-call state for the static bodies
+	curBottom  []float32
+	curEmb     [][]float32
+	curOut     []float32
+	curDOut    []float32
+	curDBottom []float32
+	curDEmb    [][]float32
 }
 
 // NewConcat returns a Concat interaction for S tables of dimension E.
@@ -165,6 +222,20 @@ func NewConcat(s, e int) *Concat { return &Concat{S: s, E: e} }
 
 // OutputDim returns (S+1)·E.
 func (c *Concat) OutputDim() int { return (c.S + 1) * c.E }
+
+// concatFwdBody writes [bottom | emb_1 | ... | emb_S] rows for [lo, hi).
+func concatFwdBody(arg any, tid, lo, hi int) {
+	c := arg.(*Concat)
+	od, e := c.OutputDim(), c.E
+	bottom, emb, out := c.curBottom, c.curEmb, c.curOut
+	for smp := lo; smp < hi; smp++ {
+		row := out[smp*od : (smp+1)*od]
+		copy(row[:e], bottom[smp*e:(smp+1)*e])
+		for t := 0; t < c.S; t++ {
+			copy(row[(t+1)*e:(t+2)*e], emb[t][smp*e:(smp+1)*e])
+		}
+	}
+}
 
 // Forward writes [bottom | emb_1 | ... | emb_S] per sample into out
 // (N×OutputDim).
@@ -174,29 +245,28 @@ func (c *Concat) Forward(p *par.Pool, n int, bottom []float32, emb [][]float32, 
 		panic("interaction: concat out size mismatch")
 	}
 	c.n = n
-	e := c.E
-	p.ForN(n, func(tid, lo, hi int) {
-		for smp := lo; smp < hi; smp++ {
-			row := out[smp*od : (smp+1)*od]
-			copy(row[:e], bottom[smp*e:(smp+1)*e])
-			for t := 0; t < c.S; t++ {
-				copy(row[(t+1)*e:(t+2)*e], emb[t][smp*e:(smp+1)*e])
-			}
+	c.curBottom, c.curEmb, c.curOut = bottom, emb, out
+	p.ForNArg(n, concatFwdBody, c)
+	c.curBottom, c.curEmb, c.curOut = nil, nil, nil
+}
+
+// concatBwdBody splits dOut rows back into dBottom and dEmb for [lo, hi).
+func concatBwdBody(arg any, tid, lo, hi int) {
+	c := arg.(*Concat)
+	od, e := c.OutputDim(), c.E
+	dOut, dBottom, dEmb := c.curDOut, c.curDBottom, c.curDEmb
+	for smp := lo; smp < hi; smp++ {
+		row := dOut[smp*od : (smp+1)*od]
+		copy(dBottom[smp*e:(smp+1)*e], row[:e])
+		for t := 0; t < c.S; t++ {
+			copy(dEmb[t][smp*e:(smp+1)*e], row[(t+1)*e:(t+2)*e])
 		}
-	})
+	}
 }
 
 // Backward splits dOut back into dBottom and dEmb.
 func (c *Concat) Backward(p *par.Pool, dOut, dBottom []float32, dEmb [][]float32) {
-	od := c.OutputDim()
-	e := c.E
-	p.ForN(c.n, func(tid, lo, hi int) {
-		for smp := lo; smp < hi; smp++ {
-			row := dOut[smp*od : (smp+1)*od]
-			copy(dBottom[smp*e:(smp+1)*e], row[:e])
-			for t := 0; t < c.S; t++ {
-				copy(dEmb[t][smp*e:(smp+1)*e], row[(t+1)*e:(t+2)*e])
-			}
-		}
-	})
+	c.curDOut, c.curDBottom, c.curDEmb = dOut, dBottom, dEmb
+	p.ForNArg(c.n, concatBwdBody, c)
+	c.curDOut, c.curDBottom, c.curDEmb = nil, nil, nil
 }

@@ -45,10 +45,24 @@ func BlockPick(dim, cap int) int {
 
 // Layer is one fully-connected layer y = act(W·x + bias) over blocked
 // tensors, with storage for the gradients the optimizer consumes.
+//
+// Layers own their activation workspaces: Forward writes into a per-layer
+// output tensor reused across calls (reallocated only when the minibatch
+// shape changes), and Backward likewise reuses per-layer dz/dx tensors.
+// Consequently the tensor returned by Forward is overwritten by the next
+// Forward call on the same layer — callers that need to retain an output
+// across steps must Clone it.
 type Layer struct {
 	C, K       int // input/output features
 	BN, BC, BK int // block sizes (BN fixed by the owning MLP)
 	Act        Activation
+
+	// SparseInput marks layers whose input activations carry many exact
+	// zeros (e.g. the output of an upstream ReLU). Such layers select the
+	// sparsity-aware GEMM kernels for the passes that stream the input
+	// (forward, backward-by-weights); dense layers use the branch-free
+	// kernels.
+	SparseInput bool
 
 	W    *tensor.Weights
 	Bias []float32
@@ -57,13 +71,21 @@ type Layer struct {
 	DW    *tensor.Weights
 	DBias []float32
 
-	// Cached transpose for backward-by-data; rebuilt after every weight
-	// change (see InvalidateTranspose).
-	wT *tensor.Weights
+	// Cached transpose for backward-by-data; re-transposed in place after
+	// every weight change (see InvalidateTranspose).
+	wT      *tensor.Weights
+	wTValid bool
 
 	// Saved forward tensors for backward.
 	savedX *tensor.Acts
 	savedY *tensor.Acts
+
+	// Reused workspaces (see type comment) and the per-call state the
+	// static parallel bodies read; keeping the bodies package-level
+	// functions and the state on the layer makes the hot path
+	// allocation-free (no closure captures).
+	y, dz, dx *tensor.Acts
+	cur       *tensor.Acts // tensor the current parallel body operates on
 }
 
 // NewLayer constructs a layer with Kaiming-uniform init (scale 1/√C), which
@@ -88,61 +110,79 @@ func NewLayer(c, k, bn int, act Activation, rng *rand.Rand) *Layer {
 	return l
 }
 
-// InvalidateTranspose discards the cached Wᵀ; the optimizer must call this
-// (or Layer.Step does) after mutating W.
-func (l *Layer) InvalidateTranspose() { l.wT = nil }
+// InvalidateTranspose marks the cached Wᵀ stale; the optimizer must call
+// this (or Layer.Step does) after mutating W. The transpose buffer itself is
+// kept and rewritten in place on the next backward-by-data pass.
+func (l *Layer) InvalidateTranspose() { l.wTValid = false }
 
-// transposed returns the cached blocked transpose of W.
+// transposed returns the cached blocked transpose of W, re-transposing into
+// the persistent buffer when stale.
 func (l *Layer) transposed() *tensor.Weights {
-	if l.wT == nil {
-		l.wT = l.W.TransposeBlocked()
+	if !l.wTValid {
+		if l.wT == nil {
+			l.wT = tensor.NewWeights(l.W.C, l.W.K, l.W.BC, l.W.BK)
+		}
+		l.W.TransposeBlockedInto(l.wT)
+		l.wTValid = true
 	}
 	return l.wT
 }
 
-// Forward computes y = act(W·x + bias). The input and output tensors are
-// retained until the next Backward call.
+// Forward computes y = act(W·x + bias). The input tensor is retained until
+// the next Backward call; the returned output is a per-layer workspace
+// overwritten by the next Forward.
 func (l *Layer) Forward(p *par.Pool, x *tensor.Acts) *tensor.Acts {
 	if x.C != l.C {
 		panic(fmt.Sprintf("mlp: layer forward C=%d want %d", x.C, l.C))
 	}
-	y := tensor.NewActs(x.N, l.K, x.BN, l.BK)
-	gemm.Forward(p, l.W, x, y)
+	y := tensor.EnsureActs(&l.y, x.N, l.K, x.BN, l.BK)
+	if l.SparseInput {
+		gemm.ForwardSkipZeros(p, l.W, x, y)
+	} else {
+		gemm.Forward(p, l.W, x, y)
+	}
 	l.applyBiasAct(p, y)
 	l.savedX = x
 	l.savedY = y
 	return y
 }
 
+// biasActBody is the fused bias+activation epilogue over one output block.
+func biasActBody(arg any, tid, kb, nb int) {
+	l := arg.(*Layer)
+	y := l.cur
+	bk, bn := y.BC, y.BN // y's "C" is this layer's K
+	blk := y.Block(kb, nb)
+	bias := l.Bias[kb*bk : (kb+1)*bk]
+	for ni := 0; ni < bn; ni++ {
+		row := blk[ni*bk : (ni+1)*bk]
+		switch l.Act {
+		case None:
+			for i := range row {
+				row[i] += bias[i]
+			}
+		case ReLU:
+			for i := range row {
+				v := row[i] + bias[i]
+				if v < 0 {
+					v = 0
+				}
+				row[i] = v
+			}
+		case Sigmoid:
+			for i := range row {
+				row[i] = sigmoid32(row[i] + bias[i])
+			}
+		}
+	}
+}
+
 // applyBiasAct adds the bias and applies the activation in one sweep over
 // the blocked output — the fused epilogue.
 func (l *Layer) applyBiasAct(p *par.Pool, y *tensor.Acts) {
-	bk, bn := y.BC, y.BN // y's "C" is this layer's K
-	p.Run2D(y.Cb, y.Nb, func(tid, kb, nb int) {
-		blk := y.Block(kb, nb)
-		bias := l.Bias[kb*bk : (kb+1)*bk]
-		for ni := 0; ni < bn; ni++ {
-			row := blk[ni*bk : (ni+1)*bk]
-			switch l.Act {
-			case None:
-				for i := range row {
-					row[i] += bias[i]
-				}
-			case ReLU:
-				for i := range row {
-					v := row[i] + bias[i]
-					if v < 0 {
-						v = 0
-					}
-					row[i] = v
-				}
-			case Sigmoid:
-				for i := range row {
-					row[i] = sigmoid32(row[i] + bias[i])
-				}
-			}
-		}
-	})
+	l.cur = y
+	p.Run2DArg(y.Cb, y.Nb, biasActBody, l)
+	l.cur = nil
 }
 
 func sigmoid32(x float32) float32 {
@@ -151,26 +191,61 @@ func sigmoid32(x float32) float32 {
 
 // Backward consumes dY (gradient w.r.t. the activated output), writes DW and
 // DBias, and returns dX. When wantDX is false (first layer of the bottom
-// MLP) the backward-by-data GEMM is skipped.
+// MLP) the backward-by-data GEMM is skipped. The returned dX is a per-layer
+// workspace overwritten by the next Backward.
 func (l *Layer) Backward(p *par.Pool, dy *tensor.Acts, wantDX bool) *tensor.Acts {
 	if l.savedX == nil || l.savedY == nil {
 		panic("mlp: Backward before Forward")
 	}
-	// Backprop through the activation in place on a copy of dy so callers
-	// may reuse their gradient tensor.
-	dz := dy.Clone()
+	// Backprop through the activation on a copy of dy so callers may reuse
+	// their gradient tensor; the copy lives in the layer's workspace.
+	dz := tensor.EnsureActs(&l.dz, dy.N, dy.C, dy.BN, dy.BC)
+	copy(dz.Data, dy.Data)
 	l.backwardAct(p, dz)
 
 	// Bias gradient: column sums of dz.
 	l.biasGrad(p, dz)
 
-	gemm.BackwardWeights(p, dz, l.savedX, l.DW)
+	if l.SparseInput {
+		gemm.BackwardWeightsSkipZeros(p, dz, l.savedX, l.DW)
+	} else {
+		gemm.BackwardWeights(p, dz, l.savedX, l.DW)
+	}
 	if !wantDX {
 		return nil
 	}
-	dx := tensor.NewActs(dz.N, l.C, dz.BN, l.BC)
-	gemm.BackwardData(p, l.transposed(), dz, dx)
+	dx := tensor.EnsureActs(&l.dx, dz.N, l.C, dz.BN, l.BC)
+	if l.Act == ReLU {
+		// dz was just zeroed wherever this layer's ReLU was inactive, so
+		// the sparsity-aware kernel skips real work here.
+		gemm.BackwardDataSkipZeros(p, l.transposed(), dz, dx)
+	} else {
+		gemm.BackwardData(p, l.transposed(), dz, dx)
+	}
 	return dx
+}
+
+// backActBody multiplies one chunk of dz by act'(y) using the saved output.
+func backActBody(arg any, tid, lo, hi int) {
+	l := arg.(*Layer)
+	dz, y := l.cur, l.savedY
+	start, end := lo*64, hi*64
+	if end > len(dz.Data) {
+		end = len(dz.Data)
+	}
+	switch l.Act {
+	case ReLU:
+		for i := start; i < end; i++ {
+			if y.Data[i] <= 0 {
+				dz.Data[i] = 0
+			}
+		}
+	case Sigmoid:
+		for i := start; i < end; i++ {
+			s := y.Data[i]
+			dz.Data[i] *= s * (1 - s)
+		}
+	}
 }
 
 // backwardAct multiplies dz by act'(y) elementwise using the saved output.
@@ -178,48 +253,39 @@ func (l *Layer) backwardAct(p *par.Pool, dz *tensor.Acts) {
 	if l.Act == None {
 		return
 	}
-	y := l.savedY
-	p.ForN(len(dz.Data)/64+1, func(tid, lo, hi int) {
-		start, end := lo*64, hi*64
-		if end > len(dz.Data) {
-			end = len(dz.Data)
+	l.cur = dz
+	p.ForNArg(len(dz.Data)/64+1, backActBody, l)
+	l.cur = nil
+}
+
+// biasGradBody writes DBias[k] = Σ_n dz[n][k] for the feature blocks in
+// [lo, hi).
+func biasGradBody(arg any, tid, lo, hi int) {
+	l := arg.(*Layer)
+	dz := l.cur
+	bk := dz.BC
+	for kb := lo; kb < hi; kb++ {
+		out := l.DBias[kb*bk : (kb+1)*bk]
+		for i := range out {
+			out[i] = 0
 		}
-		switch l.Act {
-		case ReLU:
-			for i := start; i < end; i++ {
-				if y.Data[i] <= 0 {
-					dz.Data[i] = 0
+		for nb := 0; nb < dz.Nb; nb++ {
+			blk := dz.Block(kb, nb)
+			for ni := 0; ni < dz.BN; ni++ {
+				row := blk[ni*bk : (ni+1)*bk]
+				for i := range out {
+					out[i] += row[i]
 				}
 			}
-		case Sigmoid:
-			for i := start; i < end; i++ {
-				s := y.Data[i]
-				dz.Data[i] *= s * (1 - s)
-			}
 		}
-	})
+	}
 }
 
 // biasGrad writes DBias[k] = Σ_n dz[n][k].
 func (l *Layer) biasGrad(p *par.Pool, dz *tensor.Acts) {
-	bk := dz.BC
-	p.ForN(dz.Cb, func(tid, lo, hi int) {
-		for kb := lo; kb < hi; kb++ {
-			out := l.DBias[kb*bk : (kb+1)*bk]
-			for i := range out {
-				out[i] = 0
-			}
-			for nb := 0; nb < dz.Nb; nb++ {
-				blk := dz.Block(kb, nb)
-				for ni := 0; ni < dz.BN; ni++ {
-					row := blk[ni*bk : (ni+1)*bk]
-					for i := range out {
-						out[i] += row[i]
-					}
-				}
-			}
-		}
-	})
+	l.cur = dz
+	p.ForNArg(dz.Cb, biasGradBody, l)
+	l.cur = nil
 }
 
 // Step applies plain SGD: W -= lr·DW, Bias -= lr·DBias, and invalidates the
@@ -256,7 +322,14 @@ func New(sizes []int, bn int, hiddenAct, lastAct Activation, rng *rand.Rand) *ML
 		if i+2 == len(sizes) {
 			act = lastAct
 		}
-		m.Layers = append(m.Layers, NewLayer(sizes[i], sizes[i+1], bn, act, rng))
+		l := NewLayer(sizes[i], sizes[i+1], bn, act, rng)
+		// Hidden layers past the first consume the upstream activation's
+		// output; when that activation is ReLU the input carries exact
+		// zeros, so those layers select the sparsity-aware GEMM kernels.
+		// The first layer sees the dense framework input and keeps the
+		// branch-free kernels (the Fig. 5 configuration).
+		l.SparseInput = i > 0 && hiddenAct == ReLU
+		m.Layers = append(m.Layers, l)
 	}
 	return m
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -122,6 +123,179 @@ func TestRun2DCoversGrid(t *testing.T) {
 			if grid[r][c] != 1 {
 				t.Fatalf("cell (%d,%d) visited %d times", r, c, grid[r][c])
 			}
+		}
+	}
+}
+
+type sumArgs struct {
+	counts []int32
+}
+
+func sumBody(arg any, tid, lo, hi int) {
+	a := arg.(*sumArgs)
+	for i := lo; i < hi; i++ {
+		atomic.AddInt32(&a.counts[i], 1)
+	}
+}
+
+func TestForNArgVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		p := NewPool(workers)
+		const n = 1000
+		a := &sumArgs{counts: make([]int32, n)}
+		p.ForNArg(n, sumBody, a)
+		for i, c := range a.counts {
+			if c != 1 {
+				t.Fatalf("workers=%d index %d visited %d times", workers, i, c)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestForNArgZeroAllocs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	a := &sumArgs{counts: make([]int32, 256)}
+	allocs := testing.AllocsPerRun(100, func() {
+		p.ForNArg(256, sumBody, a)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForNArg allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestPoolReuseManyRegions(t *testing.T) {
+	// Persistent workers must survive thousands of handoffs.
+	p := NewPool(7)
+	defer p.Close()
+	var total int64
+	for i := 0; i < 2000; i++ {
+		p.ForN(97, func(tid, lo, hi int) {
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+	}
+	if total != 2000*97 {
+		t.Fatalf("total=%d want %d", total, 2000*97)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	// Simulated ranks share one pool (see core/dist_test.go); regions from
+	// different goroutines must serialize, not corrupt each other.
+	p := NewPool(3)
+	defer p.Close()
+	const goroutines, n = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	results := make([][]int32, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			counts := make([]int32, n)
+			for iter := 0; iter < 50; iter++ {
+				p.ForN(n, func(tid, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+			}
+			results[g] = counts
+		}(g)
+	}
+	wg.Wait()
+	for g, counts := range results {
+		for i, c := range counts {
+			if c != 50 {
+				t.Fatalf("goroutine %d index %d visited %d times, want 50", g, i, c)
+			}
+		}
+	}
+}
+
+func TestPanicInBodyDoesNotWedgePool(t *testing.T) {
+	// A panic in tid 0's chunk (the submitter's inline share) that is
+	// recovered upstream must leave the pool usable: mutex released,
+	// WaitGroup drained.
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic to propagate")
+			}
+		}()
+		p.ForN(100, func(tid, lo, hi int) {
+			if tid == 0 {
+				panic("kernel failure")
+			}
+		})
+	}()
+	var total int32
+	p.ForN(50, func(tid, lo, hi int) {
+		atomic.AddInt32(&total, int32(hi-lo))
+	})
+	if total != 50 {
+		t.Fatalf("pool wedged after recovered panic: total=%d", total)
+	}
+}
+
+func TestCloseFallsBackToSerial(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close() // idempotent
+	var visited int32
+	p.ForN(100, func(tid, lo, hi int) {
+		if tid != 0 {
+			t.Errorf("closed pool used helper tid %d", tid)
+		}
+		atomic.AddInt32(&visited, int32(hi-lo))
+	})
+	if visited != 100 {
+		t.Fatalf("visited %d want 100", visited)
+	}
+	p.ForEachWorker(func(tid, workers int) {
+		if workers != 1 {
+			t.Errorf("closed pool reported %d workers", workers)
+		}
+	})
+}
+
+var testKey = NewStateKey("par-test")
+
+type attachState struct{ created int32 }
+
+func newAttachState(p *Pool) any { return &attachState{created: 1} }
+
+func TestAttachedCreatesOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	v1 := p.Attached(testKey, newAttachState).(*attachState)
+	v2 := p.Attached(testKey, newAttachState).(*attachState)
+	if v1 != v2 {
+		t.Fatal("Attached returned different values for the same key")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if p.Attached(testKey, newAttachState) != v1 {
+			t.Fatal("Attached changed value")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Attached hit path allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestRun2DArgCoversGrid(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const rows, cols = 13, 7
+	a := &sumArgs{counts: make([]int32, rows*cols)}
+	p.Run2DArg(rows, cols, func(arg any, tid, r, c int) {
+		atomic.AddInt32(&arg.(*sumArgs).counts[r*cols+c], 1)
+	}, a)
+	for i, c := range a.counts {
+		if c != 1 {
+			t.Fatalf("cell %d visited %d times", i, c)
 		}
 	}
 }

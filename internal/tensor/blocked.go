@@ -32,6 +32,19 @@ func NewActs(n, c, bn, bc int) *Acts {
 	}
 }
 
+// EnsureActs returns *buf if it already has the requested blocked shape,
+// otherwise allocates a replacement and stores it back through buf — the
+// shape-keyed workspace reuse every steady-state activation tensor goes
+// through (see docs/PERF.md).
+func EnsureActs(buf **Acts, n, c, bn, bc int) *Acts {
+	a := *buf
+	if a == nil || a.N != n || a.C != c || a.BN != bn || a.BC != bc {
+		a = NewActs(n, c, bn, bc)
+		*buf = a
+	}
+	return a
+}
+
 // Block returns the (cb, nb) tile as a bn*bc slice, sample-major (row n is
 // tile[n*bc : n*bc+bc]).
 func (a *Acts) Block(cb, nb int) []float32 {
@@ -73,6 +86,18 @@ func (a *Acts) Clone() *Acts {
 // PackActs converts a row-major N×C matrix into the blocked layout.
 func PackActs(d *Dense, bn, bc int) *Acts {
 	a := NewActs(d.Rows, d.Cols, bn, bc)
+	a.PackFrom(d)
+	return a
+}
+
+// PackFrom fills the blocked tensor from a row-major matrix of the same
+// logical shape, reusing a's storage — the steady-state counterpart of
+// PackActs.
+func (a *Acts) PackFrom(d *Dense) {
+	if d.Rows != a.N || d.Cols != a.C {
+		panic(fmt.Sprintf("tensor: PackFrom shape %dx%d into %dx%d", d.Rows, d.Cols, a.N, a.C))
+	}
+	bn, bc := a.BN, a.BC
 	for cb := 0; cb < a.Cb; cb++ {
 		for nb := 0; nb < a.Nb; nb++ {
 			blk := a.Block(cb, nb)
@@ -83,12 +108,21 @@ func PackActs(d *Dense, bn, bc int) *Acts {
 			}
 		}
 	}
-	return a
 }
 
 // Unpack converts the blocked tensor back to a row-major N×C matrix.
 func (a *Acts) Unpack() *Dense {
 	d := NewDense(a.N, a.C)
+	a.UnpackInto(d)
+	return d
+}
+
+// UnpackInto writes the row-major image of the blocked tensor into d,
+// reusing d's storage — the steady-state counterpart of Unpack.
+func (a *Acts) UnpackInto(d *Dense) {
+	if d.Rows != a.N || d.Cols != a.C {
+		panic(fmt.Sprintf("tensor: UnpackInto shape %dx%d into %dx%d", a.N, a.C, d.Rows, d.Cols))
+	}
 	for cb := 0; cb < a.Cb; cb++ {
 		for nb := 0; nb < a.Nb; nb++ {
 			blk := a.Block(cb, nb)
@@ -98,7 +132,6 @@ func (a *Acts) Unpack() *Dense {
 			}
 		}
 	}
-	return d
 }
 
 // Weights is a weight tensor in the paper's [Kb][Cb][bc][bk] blocked layout
@@ -190,6 +223,18 @@ func (w *Weights) Unpack() *Dense {
 // computes dX = dY · Wᵀ and reuses the forward kernel with this tensor.
 func (w *Weights) TransposeBlocked() *Weights {
 	t := NewWeights(w.C, w.K, w.BC, w.BK)
+	w.TransposeBlockedInto(t)
+	return t
+}
+
+// TransposeBlockedInto writes the logical transpose into t, which must have
+// the swapped shape and block factors. Layers re-transpose after every
+// weight update, so the steady-state path reuses one buffer.
+func (w *Weights) TransposeBlockedInto(t *Weights) {
+	if t.K != w.C || t.C != w.K || t.BK != w.BC || t.BC != w.BK {
+		panic(fmt.Sprintf("tensor: TransposeBlockedInto %dx%d/%dx%d into %dx%d/%dx%d",
+			w.K, w.C, w.BK, w.BC, t.K, t.C, t.BK, t.BC))
+	}
 	for kb := 0; kb < w.Kb; kb++ {
 		for cb := 0; cb < w.Cb; cb++ {
 			src := w.Block(kb, cb)
@@ -202,5 +247,4 @@ func (w *Weights) TransposeBlocked() *Weights {
 			}
 		}
 	}
-	return t
 }

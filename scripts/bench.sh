@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# bench.sh — record this commit's performance as machine-readable JSON.
+#
+# Runs the curated kernel micro-benchmarks (the ones behind the paper's
+# figures) via `dlrmbench -benchjson` and writes BENCH_<date>.json in the
+# repo root (or $1 if given). Future PRs diff these files to track the perf
+# trajectory: ns_per_op for speed, allocs_per_op for the zero-allocation
+# steady-state invariant.
+#
+# Usage:
+#   scripts/bench.sh                # writes ./BENCH_YYYY-MM-DD.json
+#   scripts/bench.sh out/perf.json  # custom path
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%F).json}"
+
+go run ./cmd/dlrmbench -benchjson "$out"
+
+# Also append the raw `go test -bench` view for the full benchmark index;
+# useful for eyeballing but the JSON is the canonical record.
+echo
+echo "Spot check (go test -bench, 1 iteration):"
+go test -run '^$' -bench 'Fig5BlockedFWD|Fig7RaceFree|Fig16FP32' -benchtime=1x -benchmem . | grep -E 'Benchmark|ok'
