@@ -123,6 +123,27 @@ func writeBenchJSON(path string) error {
 		})
 	}
 
+	// Figs. 9/12: the 64-rank simulated-cluster runs (host wall time; the
+	// virtual iteration time rides along as a metric). These track the
+	// distributed-path allocation/dispatch overhead across commits the same
+	// way the Fig. 7/16 entries track the single-socket step.
+	for _, c := range []struct {
+		name string
+		mk   func() (core.DistConfig, func())
+	}{
+		{"Fig9Strong64R", experiments.Fig9DistCase},
+		{"Fig12Weak64R", experiments.Fig12DistCase},
+	} {
+		dc, done := c.mk()
+		runBench(report, c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := core.RunDistributed(dc)
+				b.ReportMetric(res.IterSeconds*1e3, "virtual-ms/iter")
+			}
+		})
+		done()
+	}
+
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -14,16 +14,26 @@ import (
 	"repro/internal/perfmodel"
 )
 
+// pools and workspaces are shared by every run in the sweep, so rank worker
+// teams and communication buffers persist across RunDistributed calls.
+var (
+	pools      = cluster.NewPools()
+	workspaces = core.NewDistWorkspaces()
+)
+
 func run(cfg core.Config, topo fabric.Topology, sock perfmodel.Socket, ranks int, v core.Variant) *core.DistResult {
 	gn := cfg.GlobalMB - cfg.GlobalMB%ranks
 	return core.RunDistributed(core.DistConfig{
 		Cfg: cfg, Ranks: ranks, GlobalN: gn, Iters: 3,
 		Variant: v, Topo: topo, Socket: sock,
 		LoaderGlobalMB: cfg.Name == "MLPerf",
+		Pools:          pools,
+		Workspaces:     workspaces,
 	})
 }
 
 func main() {
+	defer pools.Close()
 	cfg := core.MLPerf
 
 	fmt.Println("MLPerf strong scaling on the simulated OPA cluster (GN=16384):")
@@ -53,6 +63,7 @@ func main() {
 			Variant:  core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
 			Blocking: true,
 			Topo:     hyper, Socket: perfmodel.SKX8180,
+			Pools: pools, Workspaces: workspaces,
 		})
 		fmt.Printf("%-6d  %7.1fms  %9.1fms  %9.1fms\n", r,
 			res.ComputePerIter*1e3,

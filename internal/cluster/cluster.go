@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/fabric"
+	"repro/internal/par"
 	"repro/internal/perfmodel"
 )
 
@@ -68,6 +69,13 @@ type Config struct {
 	// CallOverhead is the per-collective framework cost in seconds (enqueue,
 	// flat-buffer bookkeeping); the "Framework" component of Figs. 11/14.
 	CallOverhead float64
+
+	// Pools supplies each rank's persistent compute worker pool (the
+	// NUMA-style one-pool-per-socket layout). When nil, Run creates a
+	// transient set and closes it when the job finishes; callers running
+	// many jobs (figure sweeps, benchmarks) pass a shared *Pools so the
+	// worker goroutines persist across runs.
+	Pools *Pools
 }
 
 // commSlowdown returns the factor by which collective durations stretch
@@ -139,25 +147,33 @@ func (s *Stats) TotalWait() float64 {
 type Engine struct {
 	Cfg Config
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	slots map[int64]*slot
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active []*slot // in-flight collectives (at most a handful; linear scan)
+	free   *slot   // recycled slot free list — steady state allocates none
+	pools  *Pools
 }
 
 type slot struct {
+	seq      int64
 	payloads []any
 	ready    []float64
 	arrived  int
 	done     bool
-	results  []any
 	finish   float64
 	dur      float64
+	next     *slot // free-list link
 }
 
-// LeaderFunc computes a collective's per-rank results and its duration from
-// the gathered per-rank payloads. It runs exactly once per collective, on
-// the last-arriving rank.
-type LeaderFunc func(payloads []any, start float64) (results []any, dur float64)
+// LeaderFunc computes a collective's virtual duration — and, for data-moving
+// collectives, performs the data movement by writing into the per-rank
+// payload records — from the gathered per-rank payloads. It runs exactly
+// once per collective, on the last-arriving rank, with that rank's arg.
+// Bodies are SPMD, so every rank's arg must describe the same collective;
+// leaders should be package-level functions and args pointers to persistent
+// per-rank state so that issuing a collective performs no heap allocation
+// (the same static-body convention as par.ForNArg).
+type LeaderFunc func(arg any, payloads []any, start float64) (dur float64)
 
 // Rank is the per-goroutine handle: virtual clocks plus statistics.
 type Rank struct {
@@ -170,7 +186,16 @@ type Rank struct {
 	Stats    Stats
 }
 
-// Handle identifies an in-flight collective for a later Wait.
+// Pool returns this rank's persistent compute worker pool, lazily created
+// from the engine's Pools set and sized to the socket's compute cores
+// (communication cores excluded under CCL), capped at GOMAXPROCS.
+func (r *Rank) Pool() *par.Pool {
+	return r.Eng.pools.Get(r.ID, r.ComputeCores())
+}
+
+// Handle identifies an in-flight collective for a later Wait. It is a plain
+// value (the zero Handle is an already-complete no-op), so issuing and
+// waiting on collectives never allocates.
 type Handle struct {
 	Label  string
 	finish float64
@@ -187,8 +212,13 @@ func Run(cfg Config, body func(r *Rank)) []Stats {
 	if cfg.Topo != nil && cfg.Topo.NumSockets() < cfg.Ranks {
 		panic(fmt.Sprintf("cluster: topology has %d sockets for %d ranks", cfg.Topo.NumSockets(), cfg.Ranks))
 	}
-	e := &Engine{Cfg: cfg, slots: map[int64]*slot{}}
+	e := &Engine{Cfg: cfg}
 	e.cond = sync.NewCond(&e.mu)
+	e.pools = cfg.Pools
+	ownedPools := e.pools == nil
+	if ownedPools {
+		e.pools = NewPools()
+	}
 	channels := 1
 	if cfg.Backend == CCLBackend {
 		channels = cfg.CCLChannels
@@ -205,6 +235,9 @@ func Run(cfg Config, body func(r *Rank)) []Stats {
 		}(id)
 	}
 	wg.Wait()
+	if ownedPools {
+		e.pools.Close()
+	}
 	return stats
 }
 
@@ -252,14 +285,17 @@ func (r *Rank) Prep(label string, seconds float64) {
 }
 
 // Collective issues one collective operation. payload carries this rank's
-// contribution (real data); lead computes everyone's results and the
-// operation's virtual duration once all ranks have arrived. The call
-// returns this rank's result and a Handle for Wait. Under Blocking configs
-// the wait happens before returning.
+// contribution (a pointer to real data and/or receive buffers); lead runs
+// once, on the last-arriving rank with that rank's arg, moving data between
+// the payload records and returning the operation's virtual duration. The
+// call returns a Handle for Wait; the moved data is already in place when
+// Collective returns (the rendezvous is synchronous — only *time* is
+// deferred to Wait). Under Blocking configs the wait happens before
+// returning.
 //
 // Channel selection: MPI has one FIFO channel; CCL spreads labels across
 // its channels so independent collectives progress concurrently.
-func (r *Rank) Collective(label string, payload any, lead LeaderFunc) (any, *Handle) {
+func (r *Rank) Collective(label string, payload, arg any, lead LeaderFunc) Handle {
 	cfg := r.Eng.Cfg
 	r.now += cfg.CallOverhead
 	r.Stats.Prep[label] += cfg.CallOverhead
@@ -274,50 +310,84 @@ func (r *Rank) Collective(label string, payload any, lead LeaderFunc) (any, *Han
 	}
 	seq := r.seq
 	r.seq++
-	res, finish, dur := r.Eng.exchange(seq, r.ID, payload, ready, lead)
+	finish, dur := r.Eng.exchange(seq, r.ID, payload, ready, arg, lead)
 	r.commFree[ch] = finish
 	r.Stats.CommBusy[label] += dur
-	h := &Handle{Label: label, finish: finish}
+	h := Handle{Label: label, finish: finish}
 	if cfg.Blocking {
 		r.Wait(h)
 	}
-	return res, h
+	return h
 }
 
 // Wait blocks the compute stream until the collective completes, recording
-// the exposed wait time under the handle's label.
-func (r *Rank) Wait(h *Handle) {
-	if h == nil {
-		return
-	}
+// the exposed wait time under the handle's label. The zero Handle is a
+// no-op.
+func (r *Rank) Wait(h Handle) {
 	if h.finish > r.now {
 		r.Stats.Wait[h.Label] += h.finish - r.now
 		r.now = h.finish
 	}
 }
 
+func barrierLead(any, []any, float64) float64 { return 0 }
+
 // Barrier synchronizes all ranks' compute clocks (zero-duration collective)
 // and waits immediately.
 func (r *Rank) Barrier() {
-	_, h := r.Collective("barrier", nil, func(_ []any, start float64) ([]any, float64) {
-		return nil, 0
-	})
-	r.Wait(h)
+	r.Wait(r.Collective("barrier", nil, nil, barrierLead))
 }
 
-// exchange is the rendezvous: gathers payloads and ready times from all
-// ranks, runs the leader once, and releases everyone with their result.
-func (e *Engine) exchange(seq int64, rank int, payload any, ready float64, lead LeaderFunc) (any, float64, float64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.slots[seq]
-	if !ok {
+// slotFor returns the rendezvous slot for sequence number seq, reusing a
+// recycled slot (or allocating one, only until the free list warms up) when
+// this rank is the first to arrive. Caller holds e.mu.
+func (e *Engine) slotFor(seq int64) *slot {
+	for _, s := range e.active {
+		if s.seq == seq {
+			return s
+		}
+	}
+	s := e.free
+	if s != nil {
+		e.free = s.next
+		s.next = nil
+	} else {
 		s = &slot{
 			payloads: make([]any, e.Cfg.Ranks),
 			ready:    make([]float64, e.Cfg.Ranks),
 		}
-		e.slots[seq] = s
 	}
+	s.seq, s.arrived, s.done, s.finish, s.dur = seq, 0, false, 0, 0
+	e.active = append(e.active, s)
+	return s
+}
+
+// release clears a drained slot's payload references and recycles it.
+// Caller holds e.mu.
+func (e *Engine) release(s *slot) {
+	for i := range s.payloads {
+		s.payloads[i] = nil
+	}
+	last := len(e.active) - 1
+	for i, a := range e.active {
+		if a == s {
+			e.active[i] = e.active[last]
+			e.active[last] = nil
+			e.active = e.active[:last]
+			break
+		}
+	}
+	s.next = e.free
+	e.free = s
+}
+
+// exchange is the rendezvous: gathers payloads and ready times from all
+// ranks, runs the leader once, and releases everyone once the data has
+// moved and the duration is known.
+func (e *Engine) exchange(seq int64, rank int, payload any, ready float64, arg any, lead LeaderFunc) (float64, float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.slotFor(seq)
 	s.payloads[rank] = payload
 	s.ready[rank] = ready
 	s.arrived++
@@ -328,9 +398,7 @@ func (e *Engine) exchange(seq int64, rank int, payload any, ready float64, lead 
 				start = t
 			}
 		}
-		results, dur := lead(s.payloads, start)
-		dur *= e.Cfg.commSlowdown()
-		s.results = results
+		dur := lead(arg, s.payloads, start) * e.Cfg.commSlowdown()
 		s.dur = dur
 		s.finish = start + dur
 		s.done = true
@@ -340,16 +408,13 @@ func (e *Engine) exchange(seq int64, rank int, payload any, ready float64, lead 
 			e.cond.Wait()
 		}
 	}
-	var res any
-	if s.results != nil {
-		res = s.results[rank]
-	}
-	// Last rank out cleans up the slot.
+	finish, dur := s.finish, s.dur
+	// Last rank out recycles the slot.
 	s.arrived--
 	if s.arrived == 0 {
-		delete(e.slots, seq)
+		e.release(s)
 	}
-	return res, s.finish, s.dur
+	return finish, dur
 }
 
 func hashLabel(s string) int {

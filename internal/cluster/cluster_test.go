@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"math"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/fabric"
+	"repro/internal/par"
 	"repro/internal/perfmodel"
 )
 
@@ -20,26 +22,35 @@ func testCfg(ranks int, b Backend) Config {
 	}
 }
 
-// fixedDur returns a leader that sums float64 payloads and takes dur.
-func sumLeader(dur float64) LeaderFunc {
-	return func(payloads []any, start float64) ([]any, float64) {
-		var sum float64
-		for _, p := range payloads {
-			sum += p.(float64)
-		}
-		out := make([]any, len(payloads))
-		for i := range out {
-			out[i] = sum
-		}
-		return out, dur
+// sumXchg is the payload/args record of the test collective: v carries one
+// rank's contribution in and the reduced sum out; dur is the modeled
+// duration (read from the leader rank's record, identical on all ranks).
+type sumXchg struct{ v, dur float64 }
+
+func sumLead(arg any, payloads []any, _ float64) float64 {
+	a := arg.(*sumXchg)
+	var sum float64
+	for _, p := range payloads {
+		sum += p.(*sumXchg).v
 	}
+	for _, p := range payloads {
+		p.(*sumXchg).v = sum
+	}
+	return a.dur
+}
+
+// sumCollective issues the test collective and returns the reduced value.
+func sumCollective(r *Rank, label string, v, dur float64) (float64, Handle) {
+	x := &sumXchg{v: v, dur: dur}
+	h := r.Collective(label, x, x, sumLead)
+	return x.v, h
 }
 
 func TestCollectiveMovesData(t *testing.T) {
 	stats := Run(testCfg(4, MPIBackend), func(r *Rank) {
-		res, h := r.Collective("sum", float64(r.ID+1), sumLeader(0.001))
+		res, h := sumCollective(r, "sum", float64(r.ID+1), 0.001)
 		r.Wait(h)
-		if res.(float64) != 10 { // 1+2+3+4
+		if res != 10 { // 1+2+3+4
 			t.Errorf("rank %d got %v want 10", r.ID, res)
 		}
 	})
@@ -52,7 +63,7 @@ func TestVirtualTimeAdvances(t *testing.T) {
 	// CCL with 4 comm cores has no comm slowdown, so durations are exact.
 	stats := Run(testCfg(2, CCLBackend), func(r *Rank) {
 		r.Compute(0.5)
-		_, h := r.Collective("op", float64(0), sumLeader(0.25))
+		_, h := sumCollective(r, "op", 0, 0.25)
 		r.Wait(h)
 		if got := r.Now(); math.Abs(got-0.75) > 1e-6 {
 			t.Errorf("rank %d time %g want 0.75", r.ID, got)
@@ -71,7 +82,7 @@ func TestVirtualTimeAdvances(t *testing.T) {
 func TestCollectiveStartsAtSlowestRank(t *testing.T) {
 	Run(testCfg(3, CCLBackend), func(r *Rank) {
 		r.Compute(float64(r.ID) * 0.1) // rank 2 arrives at 0.2
-		_, h := r.Collective("op", float64(0), sumLeader(0.05))
+		_, h := sumCollective(r, "op", 0, 0.05)
 		r.Wait(h)
 		want := 0.25
 		if math.Abs(r.Now()-want) > 1e-6 {
@@ -83,7 +94,7 @@ func TestCollectiveStartsAtSlowestRank(t *testing.T) {
 func TestOverlapHidesCommunication(t *testing.T) {
 	// Enqueue a 0.2s collective, compute 0.3s, then wait: exposed wait ≈ 0.
 	stats := Run(testCfg(2, CCLBackend), func(r *Rank) {
-		_, h := r.Collective("ar", float64(0), sumLeader(0.2))
+		_, h := sumCollective(r, "ar", 0, 0.2)
 		r.Compute(0.3)
 		r.Wait(h)
 	})
@@ -96,7 +107,7 @@ func TestOverlapHidesCommunication(t *testing.T) {
 	cfg := testCfg(2, CCLBackend)
 	cfg.Blocking = true
 	stats = Run(cfg, func(r *Rank) {
-		_, h := r.Collective("ar", float64(0), sumLeader(0.2))
+		_, h := sumCollective(r, "ar", 0, 0.2)
 		r.Compute(0.3)
 		r.Wait(h) // no-op: already waited at enqueue
 	})
@@ -111,8 +122,8 @@ func TestMPIFIFOInOrderCompletion(t *testing.T) {
 	// Under MPI, a wait on the second collective (alltoall) pays for the
 	// first (allreduce) queued before it — §VI-D's in-order artifact.
 	stats := Run(testCfg(2, MPIBackend), func(r *Rank) {
-		_, h1 := r.Collective("allreduce", float64(0), sumLeader(0.4))
-		_, h2 := r.Collective("alltoall", float64(0), sumLeader(0.1))
+		_, h1 := sumCollective(r, "allreduce", 0, 0.4)
+		_, h2 := sumCollective(r, "alltoall", 0, 0.1)
 		r.Wait(h2) // only waits the alltoall handle
 		r.Wait(h1)
 	})
@@ -134,8 +145,8 @@ func TestCCLChannelsOverlapIndependentOps(t *testing.T) {
 	cfg := testCfg(2, CCLBackend)
 	cfg.CCLChannels = 4
 	stats := Run(cfg, func(r *Rank) {
-		_, h1 := r.Collective("allreduce", float64(0), sumLeader(0.4))
-		_, h2 := r.Collective("alltoall", float64(0), sumLeader(0.1))
+		_, h1 := sumCollective(r, "allreduce", 0, 0.4)
+		_, h2 := sumCollective(r, "alltoall", 0, 0.1)
 		r.Wait(h2)
 		r.Wait(h1)
 	})
@@ -149,7 +160,7 @@ func TestCCLChannelsOverlapIndependentOps(t *testing.T) {
 
 func TestMPIInterferenceInflatesOverlappedCompute(t *testing.T) {
 	stats := Run(testCfg(2, MPIBackend), func(r *Rank) {
-		_, h := r.Collective("ar", float64(0), sumLeader(1.0))
+		_, h := sumCollective(r, "ar", 0, 1.0)
 		r.Compute(0.5) // overlaps the in-flight allreduce → inflated 1.3×
 		r.Wait(h)
 	})
@@ -160,7 +171,7 @@ func TestMPIInterferenceInflatesOverlappedCompute(t *testing.T) {
 	}
 	// CCL does not inflate.
 	stats = Run(testCfg(2, CCLBackend), func(r *Rank) {
-		_, h := r.Collective("ar", float64(0), sumLeader(1.0))
+		_, h := sumCollective(r, "ar", 0, 1.0)
 		r.Compute(0.5)
 		r.Wait(h)
 	})
@@ -200,7 +211,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		return Run(testCfg(8, CCLBackend), func(r *Rank) {
 			for i := 0; i < 5; i++ {
 				r.Compute(0.01 * float64(r.ID+1))
-				_, h := r.Collective("a2a", float64(r.ID), sumLeader(0.02))
+				_, h := sumCollective(r, "a2a", float64(r.ID), 0.02)
 				r.Compute(0.005)
 				r.Wait(h)
 			}
@@ -217,9 +228,9 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 func TestLeaderRunsExactlyOnce(t *testing.T) {
 	var calls int32
 	Run(testCfg(6, MPIBackend), func(r *Rank) {
-		_, h := r.Collective("x", nil, func(p []any, start float64) ([]any, float64) {
+		h := r.Collective("x", nil, nil, func(arg any, p []any, start float64) float64 {
 			atomic.AddInt32(&calls, 1)
-			return nil, 0.001
+			return 0.001
 		})
 		r.Wait(h)
 	})
@@ -239,9 +250,9 @@ func TestPrepAccounting(t *testing.T) {
 
 func TestSingleRankCollectives(t *testing.T) {
 	Run(testCfg(1, CCLBackend), func(r *Rank) {
-		res, h := r.Collective("solo", float64(7), sumLeader(0.01))
+		res, h := sumCollective(r, "solo", 7, 0.01)
 		r.Wait(h)
-		if res.(float64) != 7 {
+		if res != 7 {
 			t.Fatalf("single-rank collective result %v", res)
 		}
 	})
@@ -254,4 +265,82 @@ func TestConfigValidationPanics(t *testing.T) {
 		}
 	}()
 	Run(Config{Ranks: 0}, func(r *Rank) {})
+}
+
+func TestRankPoolsPersistAcrossRuns(t *testing.T) {
+	ps := NewPools()
+	defer ps.Close()
+	cfg := testCfg(2, CCLBackend)
+	cfg.Pools = ps
+	grab := func() [2]any {
+		var got [2]any
+		Run(cfg, func(r *Rank) { got[r.ID] = r.Pool() })
+		return got
+	}
+	a, b := grab(), grab()
+	for id := range a {
+		if a[id] == nil || a[id] != b[id] {
+			t.Fatalf("rank %d pool not persistent across runs: %p vs %p", id, a[id], b[id])
+		}
+	}
+	if a[0] == a[1] {
+		t.Fatal("ranks must own distinct pools")
+	}
+}
+
+func TestRankPoolsResizeOnCoreChange(t *testing.T) {
+	ps := NewPools()
+	defer ps.Close()
+	// Worker counts are capped at GOMAXPROCS, so exercise the resize path
+	// directly through Get.
+	p1 := ps.Get(0, 1)
+	if p1.NumWorkers() != 1 {
+		t.Fatalf("want 1 worker, got %d", p1.NumWorkers())
+	}
+	if again := ps.Get(0, 1); again != p1 {
+		t.Fatal("same size must return the same pool")
+	}
+	mx := runtime.GOMAXPROCS(0)
+	if mx < 2 {
+		return // resize unobservable on a single-proc host
+	}
+	p2 := ps.Get(0, 2)
+	if p2 == p1 {
+		t.Fatal("core-count change must rebuild the pool")
+	}
+	if p2.NumWorkers() != 2 {
+		t.Fatalf("want 2 workers, got %d", p2.NumWorkers())
+	}
+}
+
+func TestTransientPoolsClosedAfterRun(t *testing.T) {
+	// With no Config.Pools, Run owns the set and closes it on exit; the
+	// rank body can still use its pool during the run.
+	var pool *par.Pool
+	Run(testCfg(1, MPIBackend), func(r *Rank) {
+		pool = r.Pool()
+		if pool.Closed() {
+			t.Error("transient pool closed during its own run")
+		}
+		n := 0
+		pool.ForN(4, func(tid, lo, hi int) { n += hi - lo })
+		if n != 4 {
+			t.Errorf("pool region covered %d items, want 4", n)
+		}
+	})
+	if pool == nil {
+		t.Fatal("rank had no pool")
+	}
+	if !pool.Closed() {
+		t.Fatal("transient pool set must be closed when Run returns (worker-goroutine leak)")
+	}
+	// A shared set, by contrast, stays open across Run.
+	ps := NewPools()
+	defer ps.Close()
+	cfg := testCfg(1, MPIBackend)
+	cfg.Pools = ps
+	Run(cfg, func(r *Rank) { pool = r.Pool() })
+	if pool.Closed() {
+		t.Fatal("Run must not close a caller-owned Pools set")
+	}
 }

@@ -62,22 +62,26 @@ func (c *Comm) AllreduceTimeAlgo(algo AllreduceAlgo, bytes float64) float64 {
 		vol := bytes / 2
 		for k := 0; k < steps; k++ {
 			dist := 1 << k
-			flows := make([]fabric.Flow, 0, r)
+			c.flows = c.flows[:0]
 			for i := 0; i < r; i++ {
-				flows = append(flows, fabric.Flow{Src: i, Dst: (i + dist) % r, Bytes: vol})
+				c.flows = append(c.flows, fabric.Flow{Src: i, Dst: (i + dist) % r, Bytes: vol})
 			}
-			total += 2 * fabric.PhaseTime(c.Topo, flows) // RS phase + mirrored AG phase
+			total += 2 * c.fab.PhaseTime(c.Topo, c.flows) // RS phase + mirrored AG phase
 			vol /= 2
 		}
 		return total
 	case FlatTree:
-		in := make([]fabric.Flow, 0, r-1)
-		out := make([]fabric.Flow, 0, r-1)
+		var total float64
+		c.flows = c.flows[:0]
 		for i := 1; i < r; i++ {
-			in = append(in, fabric.Flow{Src: i, Dst: 0, Bytes: bytes})
-			out = append(out, fabric.Flow{Src: 0, Dst: i, Bytes: bytes})
+			c.flows = append(c.flows, fabric.Flow{Src: i, Dst: 0, Bytes: bytes})
 		}
-		return fabric.PhaseTime(c.Topo, in) + fabric.PhaseTime(c.Topo, out)
+		total += c.fab.PhaseTime(c.Topo, c.flows)
+		c.flows = c.flows[:0]
+		for i := 1; i < r; i++ {
+			c.flows = append(c.flows, fabric.Flow{Src: 0, Dst: i, Bytes: bytes})
+		}
+		return total + c.fab.PhaseTime(c.Topo, c.flows)
 	default:
 		return c.AllreduceTime(bytes)
 	}

@@ -10,6 +10,15 @@
 // phase. A scatter's root serialization, ring allreduce's 2(R−1)/R volume,
 // pairwise alltoall's hop contention on the twisted hypercube — all fall
 // out of the flow model rather than hand-tuned constants.
+//
+// Allocation discipline: collectives follow the same static-body convention
+// as par's *Arg dispatch. Each Comm owns a single xchg record reused as the
+// payload/args of every collective it issues (at most one is in flight per
+// rank — the rendezvous is synchronous), leaders are package-level
+// functions, data lands in caller-provided receive buffers, and the flow
+// lists behind the time models are per-Comm scratch. After warmup a
+// steady-state collective performs zero heap allocations, which is what
+// keeps the distributed training iteration allocation-free in timing mode.
 package comm
 
 import (
@@ -24,11 +33,38 @@ type Comm struct {
 	R    *cluster.Rank
 	Topo fabric.Topology
 	size int
+
+	// pay is the reusable payload/args record (see package comment). Its
+	// pointer is what travels through the cluster rendezvous, so issuing a
+	// collective never boxes a slice or allocates a closure.
+	pay xchg
+	// flows and fab are the time-model scratch. They are also used by
+	// leader functions running on this rank, which is safe: the leader runs
+	// while this rank is inside its own Collective call.
+	flows []fabric.Flow
+	fab   fabric.Scratch
+}
+
+// xchg is one rank's contribution to a collective: the data it sends, the
+// caller-owned buffer it receives into, and — read from the leader rank's
+// record, identical on every rank by SPMD — the collective's parameters.
+// Timing-only runs leave the data fields nil/zero; leaders then skip data
+// movement and only model time.
+type xchg struct {
+	c        *Comm
+	send     []float32
+	recv     []float32
+	avg      bool
+	bytes    float64 // modeled volume (total or per-block, per collective)
+	blockLen int
+	root     int
 }
 
 // New returns the communicator for rank r over topo.
 func New(r *cluster.Rank, topo fabric.Topology) *Comm {
-	return &Comm{R: r, Topo: topo, size: r.Eng.Cfg.Ranks}
+	c := &Comm{R: r, Topo: topo, size: r.Eng.Cfg.Ranks}
+	c.pay.c = c
+	return c
 }
 
 // Rank returns this rank's id.
@@ -37,13 +73,21 @@ func (c *Comm) Rank() int { return c.R.ID }
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.size }
 
-// ringFlows returns the neighbour-exchange flows of one ring phase.
-func ringFlows(r int, bytes float64) []fabric.Flow {
-	flows := make([]fabric.Flow, r)
-	for i := 0; i < r; i++ {
-		flows[i] = fabric.Flow{Src: i, Dst: (i + 1) % r, Bytes: bytes}
+// issue resets the parameter fields of the reusable record and hands it to
+// the cluster rendezvous.
+func (c *Comm) issue(label string, lead cluster.LeaderFunc, p xchg) cluster.Handle {
+	c.pay = p
+	return c.R.Collective(label, &c.pay, &c.pay, lead)
+}
+
+// ringFlows fills the scratch flow list with the neighbour exchanges of one
+// ring phase.
+func (c *Comm) ringFlows(bytes float64) []fabric.Flow {
+	c.flows = c.flows[:0]
+	for i := 0; i < c.size; i++ {
+		c.flows = append(c.flows, fabric.Flow{Src: i, Dst: (i + 1) % c.size, Bytes: bytes})
 	}
-	return flows
+	return c.flows
 }
 
 // AllreduceTime returns the modeled duration of a ring reduce-scatter +
@@ -55,7 +99,7 @@ func (c *Comm) AllreduceTime(bytes float64) float64 {
 		return 0
 	}
 	per := bytes / float64(r)
-	return 2 * float64(r-1) * fabric.PhaseTime(c.Topo, ringFlows(r, per))
+	return 2 * float64(r-1) * c.fab.PhaseTime(c.Topo, c.ringFlows(per))
 }
 
 // ReduceScatterTime and AllgatherTime are each half of the allreduce, used
@@ -76,12 +120,12 @@ func (c *Comm) AlltoallTime(blockBytes float64) float64 {
 		return 0
 	}
 	var total float64
-	flows := make([]fabric.Flow, r)
 	for k := 1; k < r; k++ {
+		c.flows = c.flows[:0]
 		for i := 0; i < r; i++ {
-			flows[i] = fabric.Flow{Src: i, Dst: (i + k) % r, Bytes: blockBytes}
+			c.flows = append(c.flows, fabric.Flow{Src: i, Dst: (i + k) % r, Bytes: blockBytes})
 		}
-		total += fabric.PhaseTime(c.Topo, flows)
+		total += c.fab.PhaseTime(c.Topo, c.flows)
 	}
 	return total
 }
@@ -94,137 +138,120 @@ func (c *Comm) ScatterTime(root int, blockBytes float64) float64 {
 	if r == 1 || blockBytes <= 0 {
 		return 0
 	}
-	flows := make([]fabric.Flow, 0, r-1)
+	c.flows = c.flows[:0]
 	for j := 0; j < r; j++ {
 		if j != root {
-			flows = append(flows, fabric.Flow{Src: root, Dst: j, Bytes: blockBytes})
+			c.flows = append(c.flows, fabric.Flow{Src: root, Dst: j, Bytes: blockBytes})
 		}
 	}
-	return fabric.PhaseTime(c.Topo, flows)
+	return c.fab.PhaseTime(c.Topo, c.flows)
+}
+
+// GatherTime returns the modeled duration of a gather: every rank sends
+// blockBytes to the root, whose receive link is the bottleneck (the mirror
+// image of ScatterTime).
+func (c *Comm) GatherTime(root int, blockBytes float64) float64 {
+	r := c.size
+	if r == 1 || blockBytes <= 0 {
+		return 0
+	}
+	c.flows = c.flows[:0]
+	for j := 0; j < r; j++ {
+		if j != root {
+			c.flows = append(c.flows, fabric.Flow{Src: j, Dst: root, Bytes: blockBytes})
+		}
+	}
+	return c.fab.PhaseTime(c.Topo, c.flows)
 }
 
 // Allreduce sums buf elementwise across all ranks (in place) and returns a
-// handle; the buffer contents are valid after Wait. If avg is true the
-// result is divided by the rank count (DDP gradient averaging).
-func (c *Comm) Allreduce(label string, buf []float32, avg bool) *cluster.Handle {
-	bytes := float64(4 * len(buf))
-	res, h := c.R.Collective(label, buf, func(payloads []any, start float64) ([]any, float64) {
-		sum := make([]float32, len(buf))
-		for _, p := range payloads {
-			v := p.([]float32)
-			if len(v) != len(sum) {
-				panic(fmt.Sprintf("comm: allreduce size mismatch %d vs %d", len(v), len(sum)))
-			}
-			for i, x := range v {
-				sum[i] += x
-			}
-		}
-		if avg {
-			inv := 1 / float32(len(payloads))
-			for i := range sum {
-				sum[i] *= inv
-			}
-		}
-		results := make([]any, len(payloads))
-		for i := range results {
-			results[i] = sum
-		}
-		return results, c.AllreduceTime(bytes)
-	})
-	copy(buf, res.([]float32))
-	return h
+// handle; the buffer contents are valid after the call (the handle defers
+// only virtual time). If avg is true the result is divided by the rank
+// count (DDP gradient averaging).
+func (c *Comm) Allreduce(label string, buf []float32, avg bool) cluster.Handle {
+	return c.AllreduceCost(label, buf, avg, float64(4*len(buf)))
 }
 
 // Alltoall performs the personalized all-to-all: send holds Size()
 // contiguous blocks of blockLen float32s (block j destined to rank j); the
-// returned slice holds Size() blocks where block j came from rank j. The
-// data is valid after Wait.
-func (c *Comm) Alltoall(label string, send []float32, blockLen int) ([]float32, *cluster.Handle) {
-	r := c.size
-	if len(send) != r*blockLen {
-		panic(fmt.Sprintf("comm: alltoall send len %d want %d", len(send), r*blockLen))
-	}
-	blockBytes := float64(4 * blockLen)
-	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
-		results := make([]any, r)
-		for dst := 0; dst < r; dst++ {
-			recv := make([]float32, r*blockLen)
-			for src := 0; src < r; src++ {
-				sb := payloads[src].([]float32)
-				copy(recv[src*blockLen:(src+1)*blockLen], sb[dst*blockLen:(dst+1)*blockLen])
-			}
-			results[dst] = recv
-		}
-		return results, c.AlltoallTime(blockBytes)
-	})
-	return res.([]float32), h
+// returned slice holds Size() blocks where block j came from rank j. This
+// convenience wrapper allocates the receive buffer; steady-state callers
+// use AlltoallCost with a reused one.
+func (c *Comm) Alltoall(label string, send []float32, blockLen int) ([]float32, cluster.Handle) {
+	recv := make([]float32, c.size*blockLen)
+	h := c.AlltoallCost(label, send, recv, blockLen, float64(4*blockLen))
+	return recv, h
 }
 
 // Scatter distributes root's send buffer (Size() blocks of blockLen) so
-// that rank j receives block j. Non-root ranks pass send=nil. The returned
-// slice is valid after Wait.
-func (c *Comm) Scatter(label string, root int, send []float32, blockLen int) ([]float32, *cluster.Handle) {
-	r := c.size
-	if c.Rank() == root && len(send) != r*blockLen {
-		panic(fmt.Sprintf("comm: scatter send len %d want %d", len(send), r*blockLen))
-	}
-	blockBytes := float64(4 * blockLen)
-	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
-		buf := payloads[root].([]float32)
-		results := make([]any, r)
-		for j := 0; j < r; j++ {
-			blk := make([]float32, blockLen)
-			copy(blk, buf[j*blockLen:(j+1)*blockLen])
-			results[j] = blk
-		}
-		return results, c.ScatterTime(root, blockBytes)
-	})
-	return res.([]float32), h
+// that rank j receives block j. Non-root ranks pass send=nil. This
+// convenience wrapper allocates the receive buffer; steady-state callers
+// use ScatterCost with a reused one.
+func (c *Comm) Scatter(label string, root int, send []float32, blockLen int) ([]float32, cluster.Handle) {
+	recv := make([]float32, blockLen)
+	h := c.ScatterCost(label, root, send, recv, blockLen, float64(4*blockLen))
+	return recv, h
 }
 
-// Allgather concatenates every rank's send block; rank j's data lands at
-// block j of the result. Valid after Wait.
-func (c *Comm) Allgather(label string, send []float32) ([]float32, *cluster.Handle) {
-	r := c.size
-	blockLen := len(send)
-	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
-		out := make([]float32, r*blockLen)
-		for j := 0; j < r; j++ {
-			sb := payloads[j].([]float32)
-			if len(sb) != blockLen {
-				panic("comm: allgather irregular block sizes")
+func allgatherLead(arg any, payloads []any, _ float64) float64 {
+	a := arg.(*xchg)
+	if a.blockLen > 0 {
+		bl := a.blockLen
+		for j := range payloads {
+			if len(payloads[j].(*xchg).send) != bl {
+				panic(fmt.Sprintf("comm: allgather irregular block sizes: rank %d sent %d want %d",
+					j, len(payloads[j].(*xchg).send), bl))
 			}
-			copy(out[j*blockLen:(j+1)*blockLen], sb)
 		}
-		results := make([]any, r)
-		for i := range results {
-			results[i] = out
+		for dst := range payloads {
+			pd := payloads[dst].(*xchg)
+			for j := range payloads {
+				copy(pd.recv[j*bl:(j+1)*bl], payloads[j].(*xchg).send)
+			}
 		}
-		return results, c.AllgatherTime(float64(4 * r * blockLen))
-	})
-	return res.([]float32), h
+	}
+	return a.c.AllgatherTime(float64(4 * len(payloads) * a.blockLen))
 }
 
-// Broadcast copies root's buffer to every rank (in place on buf), valid
-// after Wait. Used to replicate initial MLP weights so data-parallel ranks
-// start identical.
-func (c *Comm) Broadcast(label string, root int, buf []float32) *cluster.Handle {
-	res, h := c.R.Collective(label, buf, func(payloads []any, start float64) ([]any, float64) {
-		src := payloads[root].([]float32)
-		results := make([]any, len(payloads))
-		for i := range results {
-			results[i] = src
-		}
-		// Tree broadcast ≈ log2(R) phases of root-link transfers.
-		bytes := float64(4 * len(src))
-		var dur float64
-		for n := 1; n < c.size; n *= 2 {
-			dur += fabric.PhaseTime(c.Topo, []fabric.Flow{{Src: 0, Dst: c.size - 1, Bytes: bytes}})
-		}
-		return results, dur
-	})
-	if c.Rank() != root {
-		copy(buf, res.([]float32))
+// AllgatherInto concatenates every rank's send block into recv (length
+// Size()·len(send)); rank j's data lands at block j. Valid on return.
+func (c *Comm) AllgatherInto(label string, send, recv []float32) cluster.Handle {
+	if len(recv) != c.size*len(send) {
+		panic(fmt.Sprintf("comm: allgather recv len %d want %d", len(recv), c.size*len(send)))
 	}
-	return h
+	return c.issue(label, allgatherLead, xchg{c: c, send: send, recv: recv, blockLen: len(send)})
+}
+
+// Allgather is the allocating convenience form of AllgatherInto.
+func (c *Comm) Allgather(label string, send []float32) ([]float32, cluster.Handle) {
+	recv := make([]float32, c.size*len(send))
+	h := c.AllgatherInto(label, send, recv)
+	return recv, h
+}
+
+func broadcastLead(arg any, payloads []any, _ float64) float64 {
+	a := arg.(*xchg)
+	root := payloads[a.root].(*xchg)
+	for i := range payloads {
+		if i != a.root {
+			copy(payloads[i].(*xchg).send, root.send)
+		}
+	}
+	// Tree broadcast ≈ log2(R) phases of root-link transfers.
+	c := a.c
+	bytes := float64(4 * len(root.send))
+	var dur float64
+	for n := 1; n < c.size; n *= 2 {
+		c.flows = c.flows[:0]
+		c.flows = append(c.flows, fabric.Flow{Src: 0, Dst: c.size - 1, Bytes: bytes})
+		dur += c.fab.PhaseTime(c.Topo, c.flows)
+	}
+	return dur
+}
+
+// Broadcast copies root's buffer to every rank (in place on buf), valid on
+// return. Used to replicate initial MLP weights so data-parallel ranks
+// start identical.
+func (c *Comm) Broadcast(label string, root int, buf []float32) cluster.Handle {
+	return c.issue(label, broadcastLead, xchg{c: c, send: buf, root: root})
 }

@@ -4,122 +4,116 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
-	"repro/internal/fabric"
 )
 
 // The *Cost variants of the collectives decouple the modeled volume from the
 // actual payload size. The distributed trainer runs in two regimes: the
 // functional regime moves real (scaled-down) tensors to validate numerics,
-// while the timing regime replays the paper-scale experiment with empty
+// while the timing regime replays the paper-scale experiment with nil
 // payloads and explicit byte counts from Table II. Both regimes issue the
 // identical collective sequence, so the timing structure is exercised by the
-// functional tests.
+// functional tests — and in the timing regime the leaders skip data movement
+// entirely, keeping the steady-state iteration free of heap allocations.
 
-// AllreduceCost is Allreduce with an explicit modeled volume in bytes.
-func (c *Comm) AllreduceCost(label string, buf []float32, avg bool, bytes float64) *cluster.Handle {
-	res, h := c.R.Collective(label, buf, func(payloads []any, start float64) ([]any, float64) {
-		sum := make([]float32, len(buf))
-		for _, p := range payloads {
-			v := p.([]float32)
+func allreduceLead(arg any, payloads []any, _ float64) float64 {
+	a := arg.(*xchg)
+	if a.send != nil {
+		sum := payloads[0].(*xchg).send
+		for i := 1; i < len(payloads); i++ {
+			v := payloads[i].(*xchg).send
 			if len(v) != len(sum) {
 				panic(fmt.Sprintf("comm: allreduce size mismatch %d vs %d", len(v), len(sum)))
 			}
-			for i, x := range v {
-				sum[i] += x
+			for j, x := range v {
+				sum[j] += x
 			}
 		}
-		if avg {
+		if a.avg {
 			inv := 1 / float32(len(payloads))
-			for i := range sum {
-				sum[i] *= inv
+			for j := range sum {
+				sum[j] *= inv
 			}
 		}
-		results := make([]any, len(payloads))
-		for i := range results {
-			results[i] = sum
+		for i := 1; i < len(payloads); i++ {
+			copy(payloads[i].(*xchg).send, sum)
 		}
-		return results, c.AllreduceTime(bytes)
-	})
-	copy(buf, res.([]float32))
-	return h
+	}
+	return a.c.AllreduceTime(a.bytes)
 }
 
-// AlltoallCost is Alltoall with an explicit modeled per-block volume.
-func (c *Comm) AlltoallCost(label string, send []float32, blockLen int, blockBytes float64) ([]float32, *cluster.Handle) {
-	r := c.size
-	if len(send) != r*blockLen {
-		panic(fmt.Sprintf("comm: alltoall send len %d want %d", len(send), r*blockLen))
-	}
-	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
-		results := make([]any, r)
-		for dst := 0; dst < r; dst++ {
-			recv := make([]float32, r*blockLen)
-			for src := 0; src < r; src++ {
-				sb := payloads[src].([]float32)
-				copy(recv[src*blockLen:(src+1)*blockLen], sb[dst*blockLen:(dst+1)*blockLen])
+// AllreduceCost is Allreduce with an explicit modeled volume in bytes. The
+// reduction accumulates into rank 0's buffer and fans the result back out,
+// so the summation order matches the sequential reference.
+func (c *Comm) AllreduceCost(label string, buf []float32, avg bool, bytes float64) cluster.Handle {
+	return c.issue(label, allreduceLead, xchg{c: c, send: buf, avg: avg, bytes: bytes})
+}
+
+func alltoallLead(arg any, payloads []any, _ float64) float64 {
+	a := arg.(*xchg)
+	if a.blockLen > 0 {
+		bl := a.blockLen
+		for dst := range payloads {
+			pd := payloads[dst].(*xchg)
+			for src := range payloads {
+				ps := payloads[src].(*xchg)
+				copy(pd.recv[src*bl:(src+1)*bl], ps.send[dst*bl:(dst+1)*bl])
 			}
-			results[dst] = recv
 		}
-		return results, c.AlltoallTime(blockBytes)
-	})
-	return res.([]float32), h
+	}
+	return a.c.AlltoallTime(a.bytes)
 }
 
-// ScatterCost is Scatter with an explicit modeled per-block volume.
-func (c *Comm) ScatterCost(label string, root int, send []float32, blockLen int, blockBytes float64) ([]float32, *cluster.Handle) {
-	r := c.size
-	if c.Rank() == root && len(send) != r*blockLen {
-		panic(fmt.Sprintf("comm: scatter send len %d want %d", len(send), r*blockLen))
+// AlltoallCost is the alltoall with an explicit modeled per-block volume and
+// a caller-owned receive buffer: send and recv each hold Size() blocks of
+// blockLen float32s; after the call recv's block j came from rank j. Timing
+// mode passes nil buffers and blockLen 0.
+func (c *Comm) AlltoallCost(label string, send, recv []float32, blockLen int, blockBytes float64) cluster.Handle {
+	if blockLen > 0 && (len(send) != c.size*blockLen || len(recv) != c.size*blockLen) {
+		panic(fmt.Sprintf("comm: alltoall send/recv len %d/%d want %d", len(send), len(recv), c.size*blockLen))
 	}
-	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
-		buf, _ := payloads[root].([]float32)
-		results := make([]any, r)
-		for j := 0; j < r; j++ {
-			blk := make([]float32, blockLen)
-			if buf != nil {
-				copy(blk, buf[j*blockLen:(j+1)*blockLen])
-			}
-			results[j] = blk
-		}
-		return results, c.ScatterTime(root, blockBytes)
-	})
-	return res.([]float32), h
+	return c.issue(label, alltoallLead, xchg{c: c, send: send, recv: recv, blockLen: blockLen, bytes: blockBytes})
 }
 
-// GatherTime returns the modeled duration of a gather: every rank sends
-// blockBytes to the root, whose receive link is the bottleneck (the mirror
-// image of ScatterTime).
-func (c *Comm) GatherTime(root int, blockBytes float64) float64 {
-	r := c.size
-	if r == 1 || blockBytes <= 0 {
-		return 0
-	}
-	flows := make([]fabric.Flow, 0, r-1)
-	for j := 0; j < r; j++ {
-		if j != root {
-			flows = append(flows, fabric.Flow{Src: j, Dst: root, Bytes: blockBytes})
+func scatterLead(arg any, payloads []any, _ float64) float64 {
+	a := arg.(*xchg)
+	root := payloads[a.root].(*xchg)
+	if root.send != nil {
+		bl := a.blockLen
+		for j := range payloads {
+			copy(payloads[j].(*xchg).recv, root.send[j*bl:(j+1)*bl])
 		}
 	}
-	return fabric.PhaseTime(c.Topo, flows)
+	return a.c.ScatterTime(a.root, a.bytes)
 }
 
-// GatherCost collects every rank's send block at root (concatenated in rank
-// order); non-root ranks receive nil. Valid after Wait.
-func (c *Comm) GatherCost(label string, root int, send []float32, blockBytes float64) ([]float32, *cluster.Handle) {
-	r := c.size
-	blockLen := len(send)
-	res, h := c.R.Collective(label, send, func(payloads []any, start float64) ([]any, float64) {
-		out := make([]float32, r*blockLen)
-		for j := 0; j < r; j++ {
-			sb := payloads[j].([]float32)
-			copy(out[j*blockLen:(j+1)*blockLen], sb)
-		}
-		results := make([]any, r)
-		results[root] = out
-		return results, c.GatherTime(root, blockBytes)
-	})
-	if c.Rank() == root {
-		return res.([]float32), h
+// ScatterCost is the scatter with an explicit modeled per-block volume and a
+// caller-owned receive buffer (length blockLen). Non-root ranks pass
+// send=nil; timing mode passes nil buffers and blockLen 0.
+func (c *Comm) ScatterCost(label string, root int, send, recv []float32, blockLen int, blockBytes float64) cluster.Handle {
+	if c.Rank() == root && send != nil && len(send) != c.size*blockLen {
+		panic(fmt.Sprintf("comm: scatter send len %d want %d", len(send), c.size*blockLen))
 	}
-	return nil, h
+	return c.issue(label, scatterLead, xchg{c: c, send: send, recv: recv, blockLen: blockLen, root: root, bytes: blockBytes})
+}
+
+func gatherLead(arg any, payloads []any, _ float64) float64 {
+	a := arg.(*xchg)
+	root := payloads[a.root].(*xchg)
+	if root.recv != nil {
+		bl := a.blockLen
+		for j := range payloads {
+			copy(root.recv[j*bl:(j+1)*bl], payloads[j].(*xchg).send)
+		}
+	}
+	return a.c.GatherTime(a.root, a.bytes)
+}
+
+// GatherCost collects every rank's send block at root, concatenated in rank
+// order into the root's caller-owned recv (length Size()·len(send));
+// non-root ranks pass recv=nil. Timing mode passes nil buffers everywhere.
+func (c *Comm) GatherCost(label string, root int, send, recv []float32, blockBytes float64) cluster.Handle {
+	if c.Rank() == root && recv != nil && len(recv) != c.size*len(send) {
+		panic(fmt.Sprintf("comm: gather recv len %d want %d", len(recv), c.size*len(send)))
+	}
+	return c.issue(label, gatherLead, xchg{c: c, send: send, recv: recv, blockLen: len(send), root: root, bytes: blockBytes})
 }

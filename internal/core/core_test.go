@@ -316,7 +316,7 @@ func TestConcatInteractionTrains(t *testing.T) {
 func TestConcatDistributedMatchesSingle(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.ConcatInteraction = true
-	ref := trainSingle(cfg, 64, 2, 17, 0.5)
+	ref, _ := trainSingle(cfg, 64, 2, 17, 0.5)
 	dc := distTestConfig(cfg, 2, 64, 2, Variant{Alltoall, cluster.CCLBackend}, true)
 	res := RunDistributed(dc)
 	checkMLPClose(t, "concat dist", res.Models[0], ref, 2e-3)

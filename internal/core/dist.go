@@ -96,7 +96,16 @@ type DistConfig struct {
 	Dataset data.Dataset
 	Seed    int64
 	LR      float32
-	Pool    *par.Pool
+
+	// Pools supplies the per-rank persistent compute pools (one per
+	// simulated socket, sized to its compute cores) and Workspaces the
+	// per-rank iteration buffers. Both are optional: a nil field makes the
+	// run self-contained (transient pool set, fresh workspaces). Drivers
+	// that issue many runs — figure sweeps, benchmarks — pass shared sets
+	// so worker goroutines and buffers persist across runs. The caller
+	// owning a shared Pools is responsible for closing it.
+	Pools      *cluster.Pools
+	Workspaces *DistWorkspaces
 }
 
 // DistResult aggregates a run: virtual-time metrics (always) and the
@@ -124,14 +133,14 @@ func (r *DistResult) TotalCommPerIter() float64 {
 	return t
 }
 
-// funcState holds the real-execution state of one rank.
+// funcState holds the real-execution state of one rank; the reusable
+// buffers (including the flat MLP gradients) live in the rank's
+// DistWorkspace.
 type funcState struct {
 	model  *Model
 	pool   *par.Pool
 	cfg    Config // scaled config
 	shardN int
-	// flat gradient buffers for the two allreduces
-	botGrad, topGrad []float32
 }
 
 // RunDistributed executes the hybrid-parallel DLRM training loop on the
@@ -150,6 +159,10 @@ func RunDistributed(dc DistConfig) *DistResult {
 		Models:      make([]*Model, dc.Ranks),
 		Losses:      make([][]float64, dc.Ranks),
 	}
+	wss := dc.Workspaces
+	if wss == nil {
+		wss = NewDistWorkspaces()
+	}
 	ccfg := cluster.Config{
 		Ranks:     dc.Ranks,
 		Topo:      dc.Topo,
@@ -157,9 +170,10 @@ func RunDistributed(dc DistConfig) *DistResult {
 		Backend:   dc.Variant.Backend,
 		Blocking:  dc.Blocking,
 		CommCores: dc.CommCores,
+		Pools:     dc.Pools, // nil ⇒ cluster.Run owns a transient set
 	}
 	stats := cluster.Run(ccfg, func(r *cluster.Rank) {
-		dc.rankBody(r, res)
+		dc.rankBody(r, wss.get(r.ID), res)
 	})
 	res.Stats = stats
 	iters := float64(dc.Iters)
@@ -187,35 +201,29 @@ func RunDistributed(dc DistConfig) *DistResult {
 	return res
 }
 
-// rankBody is the SPMD program every rank executes.
-func (dc DistConfig) rankBody(r *cluster.Rank, res *DistResult) {
+// rankBody is the SPMD program every rank executes. All reusable iteration
+// state lives in ws; compute kernels run on the rank's persistent pool.
+func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResult) {
 	cm := comm.New(r, dc.Topo)
 	cfg := dc.Cfg
 	ranks := dc.Ranks
 	shardN := dc.GlobalN / ranks
-	locT := LocalTables(cfg, r.ID, ranks)
+	ws.prepare(&dc, r.ID)
+	locT := ws.locT
 	maxLoc := MaxLocalTables(cfg, ranks)
 	cores := r.ComputeCores()
 	sock := dc.Socket
 
 	var fn *funcState
 	if dc.RunCfg != nil {
-		pool := dc.Pool
-		if pool == nil {
-			// Rank-private pool; shut its persistent workers down when this
-			// rank's SPMD body finishes.
-			pool = par.NewPool(2)
-			defer pool.Close()
-		}
 		m := NewModelShard(*dc.RunCfg, mlpBlockFor(shardN), dc.Seed, r.ID, ranks)
 		fn = &funcState{
-			model:   m,
-			pool:    pool,
-			cfg:     *dc.RunCfg,
-			shardN:  shardN,
-			botGrad: make([]float32, mlpGradLen(m.Bot)),
-			topGrad: make([]float32, mlpGradLen(m.Top)),
+			model:  m,
+			pool:   r.Pool(),
+			cfg:    *dc.RunCfg,
+			shardN: shardN,
 		}
+		ws.bindGrads(m)
 		res.Models[r.ID] = m
 	}
 
@@ -249,20 +257,16 @@ func (dc DistConfig) rankBody(r *cluster.Rank, res *DistResult) {
 		}
 
 		// (1) Embedding forward for LOCAL tables over the GLOBAL minibatch
-		// (model parallelism).
+		// (model parallelism), into the workspace's per-table buffers.
 		r.Compute(embFwd)
-		var embFull map[int][]float32
 		if fn != nil {
-			embFull = map[int][]float32{}
-			for _, t := range locT {
-				out := make([]float32, dc.GlobalN*fn.cfg.EmbDim)
-				fn.model.Tables[t].Forward(fn.pool, gmb.Sparse[t], out)
-				embFull[t] = out
+			for li, t := range locT {
+				fn.model.Tables[t].Forward(fn.pool, gmb.Sparse[t], ws.embFull[li])
 			}
 		}
 
 		// (2) Redistribute embedding outputs (model → data parallel).
-		embOut, embHandles := dc.forwardRedistribute(cm, r, fn, locT, maxLoc, shardN, embFull, a2aBlockBytes, scatterBlockBytes)
+		embOut, embHandles := dc.forwardRedistribute(cm, r, fn, ws, maxLoc, shardN, a2aBlockBytes, scatterBlockBytes)
 
 		// (3) Bottom MLP forward on the local shard (overlaps the alltoall:
 		// the only compute that can hide it, §VI-D).
@@ -278,7 +282,7 @@ func (dc DistConfig) rankBody(r *cluster.Rank, res *DistResult) {
 		var dz []float32
 		if fn != nil {
 			logits := fn.model.ForwardDense(fn.pool, lmb.Dense, embOut)
-			dz = make([]float32, shardN)
+			dz = ws.dz
 			l := loss.BCEWithLogits(logits, lmb.Labels, dz)
 			res.Losses[r.ID] = append(res.Losses[r.ID], l)
 			// Rescale from 1/localN to 1/globalN so the allreduce SUM of
@@ -295,29 +299,30 @@ func (dc DistConfig) rankBody(r *cluster.Rank, res *DistResult) {
 		var dEmb [][]float32
 		if fn != nil {
 			dEmb = fn.model.BackwardDense(fn.pool, dz)
-			flattenGrads(fn.model.Top, fn.topGrad)
+			flattenGrads(fn.model.Top, ws.topGrad)
 		}
 		r.Prep("allreduce", sock.StreamTime(2*arBytesTop, cores))
-		hTop := cm.AllreduceCost("allreduce", grad(fn, true), false, arBytesTop)
+		hTop := cm.AllreduceCost("allreduce", grad(fn, ws, true), false, arBytesTop)
 
 		// (7) Interaction backward + bottom MLP backward, enqueue its
 		// allreduce.
 		r.Compute(interFwd + 2*botFwd)
 		if fn != nil {
-			flattenGrads(fn.model.Bot, fn.botGrad)
+			flattenGrads(fn.model.Bot, ws.botGrad)
 		}
 		r.Prep("allreduce", sock.StreamTime(2*arBytesBot, cores))
-		hBot := cm.AllreduceCost("allreduce", grad(fn, false), false, arBytesBot)
+		hBot := cm.AllreduceCost("allreduce", grad(fn, ws, false), false, arBytesBot)
 
 		// (8) Redistribute embedding gradients back to their owners
-		// (data → model parallel) and update the local tables.
-		dOutFull := dc.backwardRedistribute(cm, r, fn, locT, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes)
+		// (data → model parallel) into ws.dOutFull, and update the local
+		// tables.
+		dc.backwardRedistribute(cm, r, fn, ws, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes)
 		r.Compute(embUpd)
 		if fn != nil {
-			for _, t := range locT {
+			for li, t := range locT {
 				tab := fn.model.Tables[t]
-				dW := make([]float32, gmb.Sparse[t].NumLookups()*tab.E)
-				tab.Backward(fn.pool, gmb.Sparse[t], dOutFull[t], dW)
+				dW := ensureF32(&ws.dW[li], gmb.Sparse[t].NumLookups()*tab.E)
+				tab.Backward(fn.pool, gmb.Sparse[t], ws.dOutFull[li], dW)
 				tab.Update(fn.pool, embedding.RaceFree, gmb.Sparse[t], dW, dc.LR)
 			}
 		}
@@ -327,22 +332,22 @@ func (dc DistConfig) rankBody(r *cluster.Rank, res *DistResult) {
 		r.Wait(hBot)
 		r.Compute(sgdTime)
 		if fn != nil {
-			unflattenGradsAndStep(fn.model.Top, fn.topGrad, dc.LR)
-			unflattenGradsAndStep(fn.model.Bot, fn.botGrad, dc.LR)
+			unflattenGradsAndStep(fn.model.Top, ws.topGrad, dc.LR)
+			unflattenGradsAndStep(fn.model.Bot, ws.botGrad, dc.LR)
 		}
 	}
 }
 
-// grad returns the flat gradient buffer for the allreduce (empty in
+// grad returns the flat gradient buffer for the allreduce (nil in
 // timing-only mode).
-func grad(fn *funcState, top bool) []float32 {
+func grad(fn *funcState, ws *DistWorkspace, top bool) []float32 {
 	if fn == nil {
 		return nil
 	}
 	if top {
-		return fn.topGrad
+		return ws.topGrad
 	}
-	return fn.botGrad
+	return ws.botGrad
 }
 
 func mlpParamBytes(sizes []int) float64 {

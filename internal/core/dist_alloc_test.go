@@ -1,0 +1,141 @@
+// Allocation-regression tests for the distributed path, the multi-socket
+// mirror of the root alloc_test.go: with per-rank persistent pools and
+// DistWorkspaces, a warmed-up timing-mode iteration must perform zero heap
+// allocations, so simulated-cluster wall time measures the modeled fabric
+// and compute — not the Go allocator. Because an iteration spans all rank
+// goroutines, per-iteration allocations are measured by differencing whole
+// runs of different lengths (AllocsPerRun counts mallocs process-wide): the
+// fixed per-run overhead (goroutines, stats maps, result assembly) cancels
+// and only the steady-state per-iteration cost remains.
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/embedding"
+	"repro/internal/par"
+)
+
+// distAllocsPerIter returns the marginal allocations per timing-mode
+// iteration for the given variant, after warming pools and workspaces.
+func distAllocsPerIter(t *testing.T, v Variant) float64 {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	pools := cluster.NewPools()
+	defer pools.Close()
+	wss := NewDistWorkspaces()
+	const ranks = 4
+	run := func(iters int) func() {
+		dc := distTestConfig(Small, ranks, Small.GlobalMB, iters, v, false)
+		dc.Pools = pools
+		dc.Workspaces = wss
+		return func() { RunDistributed(dc) }
+	}
+	const short, long = 2, 12
+	run(long)() // warmup: sizes workspaces, fills slot/sudog pools
+	aShort := testing.AllocsPerRun(5, run(short))
+	aLong := testing.AllocsPerRun(5, run(long))
+	return (aLong - aShort) / float64(long-short)
+}
+
+// TestDistributedStepZeroAllocs pins the tentpole invariant: steady-state
+// timing-mode iterations allocate nothing, for all three communication
+// strategies on both backends.
+func TestDistributedStepZeroAllocs(t *testing.T) {
+	for _, strat := range []CommStrategy{ScatterList, FusedScatter, Alltoall} {
+		for _, backend := range []cluster.Backend{cluster.MPIBackend, cluster.CCLBackend} {
+			v := Variant{Strategy: strat, Backend: backend}
+			if got := distAllocsPerIter(t, v); got != 0 {
+				t.Errorf("%s: %v allocs per steady-state distributed iteration, want 0", v.Name(), got)
+			}
+		}
+	}
+}
+
+// TestDistributedRunReusesWorkspaces checks the cross-run half of the
+// reuse story: with shared Pools and DistWorkspaces, repeated identical
+// runs settle to a constant allocation count (no per-run buffer regrowth).
+func TestDistributedRunReusesWorkspaces(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	pools := cluster.NewPools()
+	defer pools.Close()
+	wss := NewDistWorkspaces()
+	dc := distTestConfig(Small, 4, Small.GlobalMB, 3, Variant{Alltoall, cluster.CCLBackend}, false)
+	dc.Pools = pools
+	dc.Workspaces = wss
+	run := func() { RunDistributed(dc) }
+	run()
+	a := testing.AllocsPerRun(5, run)
+	b := testing.AllocsPerRun(5, run)
+	if a != b {
+		t.Errorf("warmed-up run allocations drift: %v then %v", a, b)
+	}
+}
+
+// TestEmbeddingStrategyAllocExemption documents and pins the one sanctioned
+// steady-state allocator: the Reference embedding-update strategy, which
+// reproduces the paper's pre-optimization framework path (Fig. 7's slow
+// bar) by materializing a dense M×E scatter buffer every call. It MUST
+// allocate — if someone "fixes" it the baseline bar loses its meaning —
+// while every optimized strategy must stay at zero.
+func TestEmbeddingStrategyAllocExemption(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	rng := rand.New(rand.NewSource(11))
+	tab := embedding.NewTable(5_000, 16, rng, 0.01)
+	batch := embedding.MakeBatch(rng, embedding.Uniform{}, 128, 4, tab.M)
+	dW := make([]float32, batch.NumLookups()*tab.E)
+	for _, strat := range embedding.Strategies {
+		upd := func() { tab.Update(par.Default, strat, batch, dW, 1e-7) }
+		upd()
+		upd()
+		allocs := testing.AllocsPerRun(10, upd)
+		if strat == embedding.Reference {
+			if allocs == 0 {
+				t.Error("Reference must allocate its dense scatter buffer: it models the unoptimized framework path")
+			}
+			continue
+		}
+		if allocs != 0 {
+			t.Errorf("%v: %v allocs per steady-state update, want 0 (only Reference is exempt)", strat, allocs)
+		}
+	}
+}
+
+// TestDistWorkspaceKeyedReuse checks the (ranks, shardN, variant) keying:
+// alternating between two shapes after warmup must not grow buffers (the
+// ensure helpers retain the larger capacity).
+func TestDistWorkspaceKeyedReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	pools := cluster.NewPools()
+	defer pools.Close()
+	wss := NewDistWorkspaces()
+	mk := func(ranks int, v Variant) func() {
+		dc := distTestConfig(Small, ranks, Small.GlobalMB, 2, v, false)
+		dc.Pools = pools
+		dc.Workspaces = wss
+		return func() { RunDistributed(dc) }
+	}
+	a := mk(4, Variant{Alltoall, cluster.CCLBackend})
+	b := mk(8, Variant{FusedScatter, cluster.MPIBackend})
+	a()
+	b()
+	a()
+	b()
+	a1 := testing.AllocsPerRun(5, a)
+	b1 := testing.AllocsPerRun(5, b)
+	a2 := testing.AllocsPerRun(5, a)
+	b2 := testing.AllocsPerRun(5, b)
+	if a1 != a2 || b1 != b2 {
+		t.Errorf("alternating shapes regrow buffers: %v/%v then %v/%v", a1, b1, a2, b2)
+	}
+}

@@ -8,47 +8,49 @@ import (
 
 // forwardRedistribute switches the embedding outputs from model to data
 // parallelism using the configured strategy. In functional mode it returns
-// one shardN×E row-major slice per table (valid after the handles complete);
-// in timing mode it returns nil outputs but the identical collective
-// sequence.
+// one shardN×E row-major view per table into the workspace's receive
+// buffers (the data is in place when the collectives are issued; the
+// handles defer only virtual time); in timing mode it returns nil outputs
+// but the identical collective sequence. The handle slice is workspace
+// storage reused across iterations.
 func (dc DistConfig) forwardRedistribute(
-	cm *comm.Comm, r *cluster.Rank, fn *funcState,
-	locT []int, maxLoc, shardN int, embFull map[int][]float32,
-	a2aBlockBytes, scatterBlockBytes float64,
-) ([][]float32, []*cluster.Handle) {
+	cm *comm.Comm, r *cluster.Rank, fn *funcState, ws *DistWorkspace,
+	maxLoc, shardN int, a2aBlockBytes, scatterBlockBytes float64,
+) ([][]float32, []cluster.Handle) {
 	cfg := dc.Cfg
 	ranks := dc.Ranks
+	locT := ws.locT
 	var embOut [][]float32
 	if fn != nil {
-		embOut = make([][]float32, cfg.Tables)
+		embOut = ws.embOut
 	}
-	var handles []*cluster.Handle
+	handles := ws.handles[:0]
 
 	switch dc.Variant.Strategy {
 	case Alltoall:
 		blockLen := 0
-		var send []float32
+		var send, recv []float32
 		if fn != nil {
 			e := fn.cfg.EmbDim
-			rowBytes := shardN * e
-			blockLen = maxLoc * rowBytes
-			send = make([]float32, ranks*blockLen)
+			rowLen := shardN * e
+			blockLen = maxLoc * rowLen
+			send, recv = ws.a2aSendF, ws.a2aRecvF
 			for dst := 0; dst < ranks; dst++ {
-				for li, t := range locT {
-					copy(send[dst*blockLen+li*rowBytes:dst*blockLen+(li+1)*rowBytes],
-						embFull[t][dst*rowBytes:(dst+1)*rowBytes])
+				for li := range locT {
+					copy(send[dst*blockLen+li*rowLen:dst*blockLen+(li+1)*rowLen],
+						ws.embFull[li][dst*rowLen:(dst+1)*rowLen])
 				}
 			}
 		}
 		r.Prep("alltoall", dc.Socket.StreamTime(2*a2aBlockBytes*float64(ranks), r.ComputeCores()))
-		recv, h := cm.AlltoallCost("alltoall", send, blockLen, a2aBlockBytes)
+		h := cm.AlltoallCost("alltoall", send, recv, blockLen, a2aBlockBytes)
 		handles = append(handles, h)
 		if fn != nil {
 			e := fn.cfg.EmbDim
-			rowBytes := shardN * e
+			rowLen := shardN * e
 			for src := 0; src < ranks; src++ {
-				for li, t := range LocalTables(cfg, src, ranks) {
-					embOut[t] = recv[src*blockLen+li*rowBytes : src*blockLen+(li+1)*rowBytes]
+				for li, t := range ws.tablesByRank[src] {
+					embOut[t] = recv[src*blockLen+li*rowLen : src*blockLen+(li+1)*rowLen]
 				}
 			}
 		}
@@ -57,40 +59,42 @@ func (dc DistConfig) forwardRedistribute(
 		for t := 0; t < cfg.Tables; t++ {
 			root := TableOwner(t, ranks)
 			blockLen := 0
-			var send []float32
+			var send, recv []float32
 			if fn != nil {
 				blockLen = shardN * fn.cfg.EmbDim
+				recv = ws.scRecv[t]
 				if r.ID == root {
-					send = embFull[t]
+					send = ws.embFull[LocalTableIndex(t, ranks)]
 				}
 			}
-			blk, h := cm.ScatterCost("alltoall", root, send, blockLen, scatterBlockBytes)
+			h := cm.ScatterCost("alltoall", root, send, recv, blockLen, scatterBlockBytes)
 			handles = append(handles, h)
 			if fn != nil {
-				embOut[t] = blk
+				embOut[t] = recv
 			}
 		}
 
 	case FusedScatter:
 		for root := 0; root < ranks; root++ {
-			tabs := LocalTables(cfg, root, ranks)
+			tabs := ws.tablesByRank[root]
 			if len(tabs) == 0 {
 				continue
 			}
 			blockLen := 0
-			var send []float32
+			var send, recv []float32
 			if fn != nil {
 				e := fn.cfg.EmbDim
-				rowBytes := shardN * e
-				blockLen = len(tabs) * rowBytes
+				rowLen := shardN * e
+				blockLen = len(tabs) * rowLen
+				recv = ws.fsRecv[root][:blockLen]
 				if r.ID == root {
 					// Coalesce the local tables into one buffer (the copy
 					// the paper charges as framework time).
-					send = make([]float32, ranks*blockLen)
+					send = ws.fsSend[:ranks*blockLen]
 					for dst := 0; dst < ranks; dst++ {
-						for li, t := range tabs {
-							copy(send[dst*blockLen+li*rowBytes:dst*blockLen+(li+1)*rowBytes],
-								embFull[t][dst*rowBytes:(dst+1)*rowBytes])
+						for li := range tabs {
+							copy(send[dst*blockLen+li*rowLen:dst*blockLen+(li+1)*rowLen],
+								ws.embFull[li][dst*rowLen:(dst+1)*rowLen])
 						}
 					}
 				}
@@ -99,115 +103,115 @@ func (dc DistConfig) forwardRedistribute(
 				r.Prep("alltoall", dc.Socket.StreamTime(
 					2*float64(len(tabs))*scatterBlockBytes*float64(ranks), r.ComputeCores()))
 			}
-			blk, h := cm.ScatterCost("alltoall", root, send, blockLen,
+			h := cm.ScatterCost("alltoall", root, send, recv, blockLen,
 				float64(len(tabs))*scatterBlockBytes)
 			handles = append(handles, h)
 			if fn != nil {
 				e := fn.cfg.EmbDim
-				rowBytes := shardN * e
+				rowLen := shardN * e
 				for li, t := range tabs {
-					embOut[t] = blk[li*rowBytes : (li+1)*rowBytes]
+					embOut[t] = recv[li*rowLen : (li+1)*rowLen]
 				}
 			}
 		}
 	}
+	ws.handles = handles
 	return embOut, handles
 }
 
 // backwardRedistribute sends each table's output gradients back to the
-// owning rank (data → model parallel) and returns, for owned tables, the
-// assembled full-global-minibatch gradient rows.
+// owning rank (data → model parallel), assembling the full-global-minibatch
+// gradient rows of every owned table into ws.dOutFull (indexed by local
+// table position).
 func (dc DistConfig) backwardRedistribute(
-	cm *comm.Comm, r *cluster.Rank, fn *funcState,
-	locT []int, maxLoc, shardN int, dEmb [][]float32,
-	a2aBlockBytes, scatterBlockBytes float64,
-) map[int][]float32 {
+	cm *comm.Comm, r *cluster.Rank, fn *funcState, ws *DistWorkspace,
+	maxLoc, shardN int, dEmb [][]float32, a2aBlockBytes, scatterBlockBytes float64,
+) {
 	cfg := dc.Cfg
 	ranks := dc.Ranks
-	var dOutFull map[int][]float32
-	if fn != nil {
-		dOutFull = map[int][]float32{}
-	}
+	locT := ws.locT
 
 	switch dc.Variant.Strategy {
 	case Alltoall:
 		blockLen := 0
-		var send []float32
+		var send, recv []float32
 		if fn != nil {
 			e := fn.cfg.EmbDim
-			rowBytes := shardN * e
-			blockLen = maxLoc * rowBytes
-			send = make([]float32, ranks*blockLen)
+			rowLen := shardN * e
+			blockLen = maxLoc * rowLen
+			send, recv = ws.a2aSendB, ws.a2aRecvB
 			for dst := 0; dst < ranks; dst++ {
-				for li, t := range LocalTables(cfg, dst, ranks) {
-					copy(send[dst*blockLen+li*rowBytes:dst*blockLen+(li+1)*rowBytes], dEmb[t])
+				for li, t := range ws.tablesByRank[dst] {
+					copy(send[dst*blockLen+li*rowLen:dst*blockLen+(li+1)*rowLen], dEmb[t])
 				}
 			}
 		}
 		r.Prep("alltoall", dc.Socket.StreamTime(2*a2aBlockBytes*float64(ranks), r.ComputeCores()))
-		recv, h := cm.AlltoallCost("alltoall", send, blockLen, a2aBlockBytes)
+		h := cm.AlltoallCost("alltoall", send, recv, blockLen, a2aBlockBytes)
 		r.Wait(h)
 		if fn != nil {
 			e := fn.cfg.EmbDim
-			rowBytes := shardN * e
-			for li, t := range locT {
-				full := make([]float32, dc.GlobalN*e)
+			rowLen := shardN * e
+			for li := range locT {
+				full := ws.dOutFull[li]
 				for src := 0; src < ranks; src++ {
-					copy(full[src*rowBytes:(src+1)*rowBytes],
-						recv[src*blockLen+li*rowBytes:src*blockLen+(li+1)*rowBytes])
+					copy(full[src*rowLen:(src+1)*rowLen],
+						recv[src*blockLen+li*rowLen:src*blockLen+(li+1)*rowLen])
 				}
-				dOutFull[t] = full
 			}
 		}
 
 	case ScatterList:
 		for t := 0; t < cfg.Tables; t++ {
 			root := TableOwner(t, ranks)
-			var send []float32
+			var send, recv []float32
 			if fn != nil {
 				send = dEmb[t]
+				if r.ID == root {
+					// A gather concatenates shard rows in rank order, which
+					// is exactly the assembled full-batch layout.
+					recv = ws.dOutFull[LocalTableIndex(t, ranks)]
+				}
 			}
-			full, h := cm.GatherCost("alltoall", root, send, scatterBlockBytes)
+			h := cm.GatherCost("alltoall", root, send, recv, scatterBlockBytes)
 			r.Wait(h)
-			if fn != nil && r.ID == root {
-				dOutFull[t] = full
-			}
 		}
 
 	case FusedScatter:
 		for root := 0; root < ranks; root++ {
-			tabs := LocalTables(cfg, root, ranks)
+			tabs := ws.tablesByRank[root]
 			if len(tabs) == 0 {
 				continue
 			}
-			var send []float32
+			var send, recv []float32
 			if fn != nil {
 				e := fn.cfg.EmbDim
-				rowBytes := shardN * e
-				send = make([]float32, len(tabs)*rowBytes)
+				rowLen := shardN * e
+				send = ws.gaSend[:len(tabs)*rowLen]
 				for li, t := range tabs {
-					copy(send[li*rowBytes:(li+1)*rowBytes], dEmb[t])
+					copy(send[li*rowLen:(li+1)*rowLen], dEmb[t])
+				}
+				if r.ID == root {
+					recv = ws.gaRecv[:ranks*len(tabs)*rowLen]
 				}
 			}
-			full, h := cm.GatherCost("alltoall", root, send,
+			h := cm.GatherCost("alltoall", root, send, recv,
 				float64(len(tabs))*scatterBlockBytes)
 			r.Wait(h)
 			if fn != nil && r.ID == root {
 				e := fn.cfg.EmbDim
-				rowBytes := shardN * e
-				blockLen := len(tabs) * rowBytes
-				for li, t := range tabs {
-					fullT := make([]float32, dc.GlobalN*e)
+				rowLen := shardN * e
+				blockLen := len(tabs) * rowLen
+				for li := range tabs {
+					full := ws.dOutFull[li]
 					for src := 0; src < ranks; src++ {
-						copy(fullT[src*rowBytes:(src+1)*rowBytes],
-							full[src*blockLen+li*rowBytes:src*blockLen+(li+1)*rowBytes])
+						copy(full[src*rowLen:(src+1)*rowLen],
+							recv[src*blockLen+li*rowLen:src*blockLen+(li+1)*rowLen])
 					}
-					dOutFull[t] = fullT
 				}
 			}
 		}
 	}
-	return dOutFull
 }
 
 // mlpGradLen returns the flat length of all gradient tensors of m.

@@ -23,7 +23,6 @@ func distTestConfig(cfg Config, ranks, globalN, iters int, v Variant, functional
 		Socket:  perfmodel.CLX8280,
 		Seed:    17,
 		LR:      0.5,
-		Pool:    par.NewPool(2),
 	}
 	if functional {
 		run := cfg
@@ -33,15 +32,19 @@ func distTestConfig(cfg Config, ranks, globalN, iters int, v Variant, functional
 	return dc
 }
 
-// trainSingle runs the single-socket trainer for comparison.
-func trainSingle(cfg Config, globalN, iters int, seed int64, lr float32) *Model {
+// trainSingle runs the single-socket trainer for comparison and returns the
+// model plus the per-iteration losses.
+func trainSingle(cfg Config, globalN, iters int, seed int64, lr float32) (*Model, []float64) {
 	m := NewModel(cfg, mlpBlockFor(globalN), seed)
-	tr := NewTrainer(m, par.NewPool(2), embedding.RaceFree, lr, FP32)
+	pool := par.NewPool(2)
+	defer pool.Close()
+	tr := NewTrainer(m, pool, embedding.RaceFree, lr, FP32)
 	ds := data.NewClickLog(42, cfg.DenseIn, cfg.Rows, cfg.Lookups)
+	losses := make([]float64, iters)
 	for i := 0; i < iters; i++ {
-		tr.Step(ds.Batch(i, globalN))
+		losses[i] = tr.Step(ds.Batch(i, globalN))
 	}
-	return m
+	return m, losses
 }
 
 // TestDistributedMatchesSingleSocket is the core hybrid-parallelism
@@ -51,7 +54,7 @@ func trainSingle(cfg Config, globalN, iters int, seed int64, lr float32) *Model 
 func TestDistributedMatchesSingleSocket(t *testing.T) {
 	cfg := tinyConfig()
 	const globalN, iters = 64, 3
-	ref := trainSingle(cfg, globalN, iters, 17, 0.5)
+	ref, _ := trainSingle(cfg, globalN, iters, 17, 0.5)
 
 	for _, v := range Variants {
 		for _, ranks := range []int{2, 4} {
@@ -290,5 +293,43 @@ func TestCommCoresKnob(t *testing.T) {
 	}
 	if one.ComputePerIter >= four.ComputePerIter {
 		t.Fatal("1 comm core leaves more cores for compute")
+	}
+}
+
+// TestDistributedLossParity is the workspace-aliasing canary: with per-rank
+// buffer reuse across iterations, any stale or cross-wired view (send
+// overwritten before consumption, recv shared between tables, gradient rows
+// assembled into the wrong slot) shifts the loss trajectory. The average of
+// the per-rank shard losses is mathematically the global-batch loss, so a
+// functional run must match the single-socket trainer on identical data to
+// float32 round-off — far tighter than the parameter-level check above.
+func TestDistributedLossParity(t *testing.T) {
+	cfg := tinyConfig()
+	const globalN, iters = 64, 3
+	_, ref := trainSingle(cfg, globalN, iters, 17, 0.5)
+
+	pools := cluster.NewPools()
+	defer pools.Close()
+	wss := NewDistWorkspaces()
+	for _, v := range Variants {
+		for _, ranks := range []int{2, 4} {
+			dc := distTestConfig(cfg, ranks, globalN, iters, v, true)
+			// Shared pools and workspaces across all variant × rank runs:
+			// exactly the reuse pattern the figure sweeps rely on.
+			dc.Pools = pools
+			dc.Workspaces = wss
+			res := RunDistributed(dc)
+			for it := 0; it < iters; it++ {
+				var mean float64
+				for rk := 0; rk < ranks; rk++ {
+					mean += res.Losses[rk][it]
+				}
+				mean /= float64(ranks)
+				if d := math.Abs(mean - ref[it]); d > 1e-6 {
+					t.Errorf("%s R=%d iter %d: loss %v vs single-socket %v (|Δ|=%g > 1e-6)",
+						v.Name(), ranks, it, mean, ref[it], d)
+				}
+			}
+		}
 	}
 }

@@ -82,6 +82,11 @@ func newInteraction(cfg Config) interaction.Op {
 // parallelism.
 func TableOwner(t, ranks int) int { return t % ranks }
 
+// LocalTableIndex returns table t's position within its owning rank's
+// LocalTables list — the inverse of the round-robin assignment, kept next
+// to TableOwner so a sharding-policy change updates both together.
+func LocalTableIndex(t, ranks int) int { return t / ranks }
+
 // LocalTables returns the table indices owned by rank r.
 func LocalTables(cfg Config, r, ranks int) []int {
 	var out []int

@@ -63,16 +63,20 @@ func AblationCommCores(ranks, iters int) *Table {
 		Title:   "Ablation: communication-core count S (Large config, CCL Alltoall)",
 		Headers: []string{"comm cores", "compute (ms)", "comm exposed (ms)", "total (ms)"},
 	}
+	sw := newDistSweep()
+	defer sw.close()
 	for _, s := range []int{1, 2, 4, 8, 12} {
 		res := core.RunDistributed(core.DistConfig{
-			Cfg:       core.Large,
-			Ranks:     ranks,
-			GlobalN:   core.Large.GlobalMB,
-			Iters:     iters,
-			Variant:   core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
-			Topo:      fabric.NewPrunedFatTree(ranks, 12.5e9),
-			Socket:    perfmodel.CLX8280,
-			CommCores: s,
+			Cfg:        core.Large,
+			Ranks:      ranks,
+			GlobalN:    core.Large.GlobalMB,
+			Iters:      iters,
+			Variant:    core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
+			Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
+			Socket:     perfmodel.CLX8280,
+			CommCores:  s,
+			Pools:      sw.pools,
+			Workspaces: sw.wss,
 		})
 		t.AddRow(fmt.Sprint(s), ms(res.ComputePerIter), ms(res.TotalCommPerIter()), ms(res.IterSeconds))
 	}

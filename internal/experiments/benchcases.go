@@ -3,10 +3,13 @@ package experiments
 import (
 	"math/rand"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/embedding"
+	"repro/internal/fabric"
 	"repro/internal/par"
+	"repro/internal/perfmodel"
 	"repro/internal/tensor"
 )
 
@@ -60,6 +63,44 @@ func Fig16StepCase(prec core.Precision) (*core.Trainer, *data.MiniBatch) {
 	mb := ds.Batch(0, cfg.MB)
 	tr.Step(mb)
 	return tr, mb
+}
+
+// DistCase builds a warmed-up timing-mode distributed fixture on the OPA
+// cluster with persistent per-rank pools and workspaces, so benchmarks
+// measure the steady-state iteration rather than setup. All distributed
+// benchmarks — the root go-test ones and dlrmbench -benchjson — go through
+// this single recipe so they cannot drift apart. The returned cleanup
+// closes the rank pools.
+func DistCase(cfg core.Config, ranks, globalN int, v core.Variant) (core.DistConfig, func()) {
+	pools := cluster.NewPools()
+	dc := core.DistConfig{
+		Cfg:        cfg,
+		Ranks:      ranks,
+		GlobalN:    globalN - globalN%ranks,
+		Iters:      1,
+		Variant:    v,
+		Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
+		Socket:     perfmodel.CLX8280,
+		Pools:      pools,
+		Workspaces: core.NewDistWorkspaces(),
+	}
+	core.RunDistributed(dc) // warmup: size workspaces, fill slot pools
+	return dc, pools.Close
+}
+
+// ccl64 is the headline 64-rank CCL-Alltoall variant of Figs. 9/12.
+var ccl64 = core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend}
+
+// Fig9DistCase returns the strong-scaling headline run behind the Fig. 9
+// benchmarks: Large config, 64 ranks, CCL Alltoall, fixed global batch.
+func Fig9DistCase() (core.DistConfig, func()) {
+	return DistCase(core.Large, 64, core.Large.GlobalMB, ccl64)
+}
+
+// Fig12DistCase returns the weak-scaling counterpart (GlobalN = LN×ranks)
+// behind the Fig. 12 benchmarks.
+func Fig12DistCase() (core.DistConfig, func()) {
+	return DistCase(core.Large, 64, core.Large.LocalMB*64, ccl64)
 }
 
 // FusedEmbeddingCase returns the table, batch, and output gradient of the

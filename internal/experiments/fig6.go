@@ -53,7 +53,7 @@ func RunFig6(o Fig6Opts) *Table {
 		// BWD-by-weights GEMMs; the reduce-scatter of this layer's weight
 		// gradients is enqueued right after they exist, and the all-gather
 		// of the *previous* (upper) layer's reduced gradients rides along.
-		rsHandles := make([]*cluster.Handle, o.Layers)
+		rsHandles := make([]cluster.Handle, o.Layers)
 		bwdStart := r.Now()
 		for l := o.Layers - 1; l >= 0; l-- {
 			r.Compute(gemmT) // backward by data
@@ -67,7 +67,7 @@ func RunFig6(o Fig6Opts) *Table {
 		// Update pass (Fig. 2 right): per layer, wait for the
 		// reduce-scatter, apply the SGD on the local shard, and all-gather
 		// the updated weights, overlapped with the next layer's SGD.
-		agHandles := make([]*cluster.Handle, o.Layers)
+		agHandles := make([]cluster.Handle, o.Layers)
 		sgdT := sock.StreamTime(3*layerBytes/float64(o.Ranks), cores)
 		// Process layers in the same top-down order the backward pass
 		// enqueued their reduce-scatters, so completions arrive in order.

@@ -33,8 +33,24 @@ func scalingCases() []scalingCase {
 	}
 }
 
+// distSweep owns the per-rank pools and workspaces a figure's many
+// RunDistributed calls share, so worker goroutines and comm buffers persist
+// across the whole sweep (see docs/PERF.md for the ownership rules).
+type distSweep struct {
+	pools *cluster.Pools
+	wss   *core.DistWorkspaces
+}
+
+func newDistSweep() *distSweep {
+	return &distSweep{pools: cluster.NewPools(), wss: core.NewDistWorkspaces()}
+}
+
+// close shuts the sweep's rank pools down; the workspaces are plain buffers
+// reclaimed by the GC.
+func (sw *distSweep) close() { sw.pools.Close() }
+
 // runDist executes one timing-only distributed run on the OPA cluster.
-func runDist(cfg core.Config, ranks, globalN int, v core.Variant, blocking, loader bool, iters int) *core.DistResult {
+func (sw *distSweep) runDist(cfg core.Config, ranks, globalN int, v core.Variant, blocking, loader bool, iters int) *core.DistResult {
 	globalN -= globalN % ranks // the paper's 26-rank runs shard 16K unevenly; we trim
 	return core.RunDistributed(core.DistConfig{
 		Cfg:            cfg,
@@ -46,15 +62,17 @@ func runDist(cfg core.Config, ranks, globalN int, v core.Variant, blocking, load
 		Topo:           fabric.NewPrunedFatTree(ranks, 12.5e9),
 		Socket:         perfmodel.CLX8280,
 		LoaderGlobalMB: loader,
+		Pools:          sw.pools,
+		Workspaces:     sw.wss,
 	})
 }
 
 // baselineSeconds returns each config's baseline iteration time: optimized
 // single socket for Small/MLPerf, the 4-rank CCL-Alltoall run for Large
 // (which cannot fit fewer sockets), as in §VI-D.
-func baselineSeconds(c scalingCase, globalN func(r int) int, iters int) float64 {
+func baselineSeconds(sw *distSweep, c scalingCase, globalN func(r int) int, iters int) float64 {
 	v := core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend}
-	return runDist(c.cfg, c.baseRanks, globalN(c.baseRanks), v, false, c.loader, iters).IterSeconds
+	return sw.runDist(c.cfg, c.baseRanks, globalN(c.baseRanks), v, false, c.loader, iters).IterSeconds
 }
 
 // RunFig9 reproduces the strong-scaling speed-up and efficiency chart: all
@@ -65,12 +83,14 @@ func RunFig9(o ScalingOpts) *Table {
 		Title:   "Fig. 9: DLRM strong scaling (speed-up and efficiency vs optimized baseline)",
 		Headers: []string{"config", "ranks", "variant", "ms/iter", "speed-up", "efficiency"},
 	}
+	sw := newDistSweep()
+	defer sw.close()
 	for _, c := range scalingCases() {
 		gn := func(int) int { return c.cfg.GlobalMB }
-		base := baselineSeconds(c, gn, o.Iters)
+		base := baselineSeconds(sw, c, gn, o.Iters)
 		for _, r := range c.strongR {
 			for _, v := range core.Variants {
-				res := runDist(c.cfg, r, c.cfg.GlobalMB, v, false, c.loader, o.Iters)
+				res := sw.runDist(c.cfg, r, c.cfg.GlobalMB, v, false, c.loader, o.Iters)
 				speedup := base / res.IterSeconds
 				eff := speedup * float64(c.baseRanks) / float64(r)
 				t.AddRow(fmt.Sprintf("%s (GN=%d)", c.cfg.Name, c.cfg.GlobalMB),
@@ -90,12 +110,14 @@ func RunFig12(o ScalingOpts) *Table {
 		Title:   "Fig. 12: DLRM weak scaling (speed-up and efficiency vs optimized baseline)",
 		Headers: []string{"config", "ranks", "variant", "ms/iter", "speed-up", "efficiency"},
 	}
+	sw := newDistSweep()
+	defer sw.close()
 	for _, c := range scalingCases() {
 		gn := func(r int) int { return c.cfg.LocalMB * r }
-		base := baselineSeconds(c, gn, o.Iters)
+		base := baselineSeconds(sw, c, gn, o.Iters)
 		for _, r := range c.strongR {
 			for _, v := range core.Variants {
-				res := runDist(c.cfg, r, gn(r), v, false, c.loader, o.Iters)
+				res := sw.runDist(c.cfg, r, gn(r), v, false, c.loader, o.Iters)
 				eff := base / res.IterSeconds
 				speedup := eff * float64(r) / float64(c.baseRanks)
 				t.AddRow(fmt.Sprintf("%s (LN=%d)", c.cfg.Name, c.cfg.LocalMB),
@@ -114,6 +136,8 @@ func breakdown(title string, weak bool, o ScalingOpts, cases []scalingCase) *Tab
 		Title:   title,
 		Headers: []string{"config", "mode", "backend", "ranks", "compute (ms)", "comm exposed (ms)"},
 	}
+	sw := newDistSweep()
+	defer sw.close()
 	for _, c := range cases {
 		for _, blocking := range []bool{false, true} {
 			mode := "overlapping"
@@ -127,7 +151,7 @@ func breakdown(title string, weak bool, o ScalingOpts, cases []scalingCase) *Tab
 						gn = c.cfg.LocalMB * r
 					}
 					v := core.Variant{Strategy: core.Alltoall, Backend: backend}
-					res := runDist(c.cfg, r, gn, v, blocking, c.loader, o.Iters)
+					res := sw.runDist(c.cfg, r, gn, v, blocking, c.loader, o.Iters)
 					compute := res.ComputePerIter
 					for _, p := range res.PrepPerIter {
 						compute += p
@@ -166,6 +190,8 @@ func commBreakdown(title string, weak bool, o ScalingOpts, cases []scalingCase) 
 		Headers: []string{"config", "mode", "backend", "ranks",
 			"a2a-framework", "ar-framework", "a2a-wait", "ar-wait"},
 	}
+	sw := newDistSweep()
+	defer sw.close()
 	for _, c := range cases {
 		for _, blocking := range []bool{false, true} {
 			mode := "overlapping"
@@ -179,7 +205,7 @@ func commBreakdown(title string, weak bool, o ScalingOpts, cases []scalingCase) 
 						gn = c.cfg.LocalMB * r
 					}
 					v := core.Variant{Strategy: core.Alltoall, Backend: backend}
-					res := runDist(c.cfg, r, gn, v, blocking, c.loader, o.Iters)
+					res := sw.runDist(c.cfg, r, gn, v, blocking, c.loader, o.Iters)
 					t.AddRow(c.cfg.Name, mode, backend.String(), fmt.Sprintf("%dR", r),
 						ms(res.PrepPerIter["alltoall"]), ms(res.PrepPerIter["allreduce"]),
 						ms(res.WaitPerIter["alltoall"]), ms(res.WaitPerIter["allreduce"]))
@@ -214,6 +240,8 @@ func RunFig15(o ScalingOpts) *Table {
 		Headers: []string{"config", "ranks", "compute (ms)", "allreduce (ms)", "alltoall (ms)"},
 	}
 	topo := fabric.NewTwistedHypercube(22e9)
+	sw := newDistSweep()
+	defer sw.close()
 	cases := []struct {
 		cfg   core.Config
 		ranks []int
@@ -225,14 +253,16 @@ func RunFig15(o ScalingOpts) *Table {
 	for _, c := range cases {
 		for _, r := range c.ranks {
 			res := core.RunDistributed(core.DistConfig{
-				Cfg:      c.cfg,
-				Ranks:    r,
-				GlobalN:  c.cfg.GlobalMB - c.cfg.GlobalMB%r,
-				Iters:    o.Iters,
-				Variant:  core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
-				Blocking: true, // expose components for the stacked bars
-				Topo:     topo,
-				Socket:   perfmodel.SKX8180,
+				Cfg:        c.cfg,
+				Ranks:      r,
+				GlobalN:    c.cfg.GlobalMB - c.cfg.GlobalMB%r,
+				Iters:      o.Iters,
+				Variant:    core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
+				Blocking:   true, // expose components for the stacked bars
+				Topo:       topo,
+				Socket:     perfmodel.SKX8180,
+				Pools:      sw.pools,
+				Workspaces: sw.wss,
 			})
 			compute := res.ComputePerIter
 			for _, p := range res.PrepPerIter {

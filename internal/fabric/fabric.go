@@ -39,8 +39,28 @@ type Topology interface {
 // flows proceed concurrently: every flow's bytes are placed on each link of
 // its route, and the phase lasts until the most loaded link drains, plus
 // the largest path latency. A phase with no flows costs zero.
+//
+// This convenience entry point allocates a fresh accumulator per call; cost
+// models invoked on every simulated collective hold a Scratch and use its
+// PhaseTime method instead.
 func PhaseTime(t Topology, flows []Flow) float64 {
-	load := map[int]float64{}
+	var s Scratch
+	return s.PhaseTime(t, flows)
+}
+
+// Scratch is a reusable link-load accumulator for PhaseTime. Link IDs are
+// small dense integers in every modeled topology, so loads live in a slice
+// grown monotonically to the largest ID seen; after warmup a phase
+// evaluation performs no heap allocation. Not safe for concurrent use.
+type Scratch struct {
+	load    []float64
+	touched []int // link IDs with non-zero load, for O(flows) reset
+}
+
+// PhaseTime is the allocation-free (after warmup) variant of the package
+// function: the receiver keeps the per-link load table across calls.
+func (s *Scratch) PhaseTime(t Topology, flows []Flow) float64 {
+	s.touched = s.touched[:0]
 	var maxLat float64
 	ov := t.CopyOverhead()
 	for _, f := range flows {
@@ -48,18 +68,26 @@ func PhaseTime(t Topology, flows []Flow) float64 {
 			continue
 		}
 		for _, link := range t.Route(f.Src, f.Dst) {
-			load[link] += f.Bytes * ov
+			for link >= len(s.load) {
+				s.load = append(s.load, 0)
+			}
+			if s.load[link] == 0 {
+				s.touched = append(s.touched, link)
+			}
+			s.load[link] += f.Bytes * ov
 		}
 		if l := t.Latency(f.Src, f.Dst); l > maxLat {
 			maxLat = l
 		}
 	}
 	var worst float64
-	for link, b := range load {
-		d := b / t.LinkBandwidth(link)
-		if d > worst {
+	for _, link := range s.touched {
+		if d := s.load[link] / t.LinkBandwidth(link); d > worst {
 			worst = d
 		}
+	}
+	for _, link := range s.touched {
+		s.load[link] = 0
 	}
 	if worst == 0 {
 		return 0
@@ -157,6 +185,10 @@ type PrunedFatTree struct {
 	perLeaf int
 	latency float64
 	copyOvh float64
+	// routeTbl[a*sockets+b] is the precomputed link list of route a→b,
+	// all views into one backing array: Route is on the per-flow path of
+	// every modeled collective and must not allocate.
+	routeTbl [][]int
 }
 
 // NewPrunedFatTree builds the OPA cluster model for the given socket count
@@ -166,7 +198,7 @@ func NewPrunedFatTree(sockets int, hostBW float64) *PrunedFatTree {
 	if sockets < 1 || sockets > 64 {
 		panic(fmt.Sprintf("fabric: fat tree supports 1..64 sockets, got %d", sockets))
 	}
-	return &PrunedFatTree{
+	p := &PrunedFatTree{
 		sockets: sockets,
 		hostBW:  hostBW,
 		trunkBW: 16 * hostBW, // 16 uplinks per leaf (200 GB/s for 100G links)
@@ -174,6 +206,23 @@ func NewPrunedFatTree(sockets int, hostBW float64) *PrunedFatTree {
 		latency: 1e-6, // §V-B: 100G connectivity at 1 µs latency
 		copyOvh: 1.25, // data is copied through the NIC stack (§V-C)
 	}
+	p.routeTbl = make([][]int, sockets*sockets)
+	backing := make([]int, 0, 3*sockets*sockets)
+	for a := 0; a < sockets; a++ {
+		for b := 0; b < sockets; b++ {
+			if a == b {
+				continue
+			}
+			start := len(backing)
+			backing = append(backing, p.upLink(a))
+			if p.leafOf(a) != p.leafOf(b) {
+				backing = append(backing, p.trunkLink(p.leafOf(a)))
+			}
+			backing = append(backing, p.downLink(b))
+			p.routeTbl[a*sockets+b] = backing[start:len(backing):len(backing)]
+		}
+	}
+	return p
 }
 
 // Link IDs (OPA links are full duplex, so each direction is its own
@@ -196,13 +245,7 @@ func (p *PrunedFatTree) NumSockets() int { return p.sockets }
 
 // Route implements Topology.
 func (p *PrunedFatTree) Route(a, b int) []int {
-	if a == b {
-		return nil
-	}
-	if p.leafOf(a) == p.leafOf(b) {
-		return []int{p.upLink(a), p.downLink(b)}
-	}
-	return []int{p.upLink(a), p.trunkLink(p.leafOf(a)), p.downLink(b)}
+	return p.routeTbl[a*p.sockets+b]
 }
 
 // LinkBandwidth implements Topology.

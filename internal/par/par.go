@@ -133,6 +133,11 @@ func (p *Pool) NumWorkers() int { return p.s.workers }
 // call concurrently with region submission.
 func (p *Pool) Close() { p.s.close() }
 
+// Closed reports whether the pool has been shut down (its helpers exited
+// and regions now run serially). Lifecycle tests use this to pin ownership
+// rules — e.g. that a transient pool set is closed when its run finishes.
+func (p *Pool) Closed() bool { return p.s.closed.Load() }
+
 func (s *state) close() {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
