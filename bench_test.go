@@ -191,6 +191,42 @@ func BenchmarkFig12WeakScaling64R(b *testing.B) {
 	}
 }
 
+// benchDistFixture runs a prebuilt shared fixture (see benchcases.go).
+func benchDistFixture(b *testing.B, mk func() (core.DistConfig, func())) {
+	dc, done := mk()
+	defer done()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.RunDistributed(dc)
+		b.ReportMetric(res.IterSeconds*1e3, "virtual-ms/iter")
+	}
+}
+
+// The data-pipeline variants of the Figs. 9/12 headline runs: sharded
+// streaming loader vs the §VI-D2 global-read artifact (fixtures shared
+// with dlrmbench -benchjson).
+func BenchmarkFig9Strong64RSharded(b *testing.B) {
+	benchDistFixture(b, experiments.Fig9DistShardedCase)
+}
+func BenchmarkFig12Weak64RSharded(b *testing.B) {
+	benchDistFixture(b, experiments.Fig12DistShardedCase)
+}
+func BenchmarkFig12Weak64RGlobalMB(b *testing.B) {
+	benchDistFixture(b, experiments.Fig12DistGlobalMBCase)
+}
+
+// BenchmarkLoaderShardedNext measures steady-state per-rank batch
+// production by the sharded streaming loader (fixture shared with
+// dlrmbench -benchjson); -benchmem documents the zero-allocation property.
+func BenchmarkLoaderShardedNext(b *testing.B) {
+	ld, done := experiments.LoaderNextCase()
+	defer done()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ld.Next()
+	}
+}
+
 func BenchmarkFig13WeakBreakdownCCL(b *testing.B) {
 	benchDist(b, core.MLPerf, 16, core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend}, true)
 }

@@ -1,0 +1,220 @@
+// Command benchdiff is the bench-regression gate: it compares a fresh
+// `dlrmbench -benchjson` report against a committed baseline BENCH_*.json
+// and fails (exit 1) when any benchmark's wall time regresses beyond the
+// threshold.
+//
+// The simulated-cluster benchmarks carry a virtual-ms/iter metric — the
+// modeled iteration time, which only moves when the *model* changes. A case
+// whose virtual time drifted is measuring a different workload, so its wall
+// time is not comparable and the gate skips it with a note; wall-time
+// regressions are enforced only for virtual-time-stable cases (and for
+// pure-kernel benchmarks, which have no virtual metric). Allocation-count
+// growth in a zero-alloc case is reported as a failure too — allocs_per_op
+// is deterministic, so any increase is a real regression.
+//
+// Usage:
+//
+//	benchdiff -new bench-pr.json                 # baseline = newest BENCH_*.json in the repo
+//	benchdiff -old BENCH_2026-07-27-pr2.json -new bench-pr.json -threshold 25
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchEntry mirrors the dlrmbench -benchjson record.
+type benchEntry struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchReport struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	GOARCH     string       `json:"goarch"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+const virtualMetric = "virtual-ms/iter"
+
+// result is one benchmark's comparison verdict.
+type result struct {
+	name    string
+	verdict string // "ok", "fail", "skip", "new"
+	detail  string
+}
+
+// compare evaluates new against old: wallTol and virtTol are fractional
+// (0.25 = 25%). Wall times are only comparable when both reports come from
+// the same machine shape, so a GOARCH or GOMAXPROCS mismatch skips the
+// wall gate (allocation counts are deterministic and stay enforced).
+func compare(old, fresh *benchReport, wallTol, virtTol float64) []result {
+	baseline := map[string]benchEntry{}
+	for _, b := range old.Benchmarks {
+		baseline[b.Name] = b
+	}
+	sameHost := old.GOARCH == fresh.GOARCH && old.GOMAXPROCS == fresh.GOMAXPROCS
+	var out []result
+	for _, b := range fresh.Benchmarks {
+		prev, ok := baseline[b.Name]
+		if !ok {
+			out = append(out, result{b.Name, "new", "no baseline entry"})
+			continue
+		}
+		delete(baseline, b.Name)
+		// The zero-allocation invariant holds for any workload shape on any
+		// host, so it is checked before every comparability skip.
+		if prev.AllocsPerOp == 0 && b.AllocsPerOp > 0 {
+			out = append(out, result{b.Name, "fail",
+				fmt.Sprintf("allocs/op regressed 0 → %d (zero-allocation invariant broken)", b.AllocsPerOp)})
+			continue
+		}
+		if !sameHost {
+			out = append(out, result{b.Name, "skip",
+				fmt.Sprintf("host shape changed (%s/%d → %s/%d): wall time not comparable, allocs still enforced",
+					old.GOARCH, old.GOMAXPROCS, fresh.GOARCH, fresh.GOMAXPROCS)})
+			continue
+		}
+		wallDelta := b.NsPerOp/prev.NsPerOp - 1
+		if pv, ok := prev.Metrics[virtualMetric]; ok {
+			nv, ok2 := b.Metrics[virtualMetric]
+			if !ok2 {
+				out = append(out, result{b.Name, "skip", "virtual metric disappeared"})
+				continue
+			}
+			virtDelta := nv/pv - 1
+			if virtDelta > virtTol || virtDelta < -virtTol {
+				out = append(out, result{b.Name, "skip",
+					fmt.Sprintf("virtual ms/iter moved %+.1f%% (%.1f→%.1f): workload changed, wall time not comparable",
+						virtDelta*100, pv, nv)})
+				continue
+			}
+		}
+		if wallDelta > wallTol {
+			out = append(out, result{b.Name, "fail",
+				fmt.Sprintf("wall time regressed %+.1f%% (%.0f → %.0f ns/op, threshold %.0f%%)",
+					wallDelta*100, prev.NsPerOp, b.NsPerOp, wallTol*100)})
+			continue
+		}
+		out = append(out, result{b.Name, "ok", fmt.Sprintf("wall %+.1f%%", wallDelta*100)})
+	}
+	// Baseline cases absent from the fresh report mean the gate silently
+	// lost coverage — fail them so a rename/removal ships with an updated
+	// committed baseline.
+	for _, prev := range old.Benchmarks {
+		if _, lost := baseline[prev.Name]; lost {
+			out = append(out, result{prev.Name, "fail",
+				"present in baseline but missing from fresh report (commit an updated BENCH_*.json if removed intentionally)"})
+		}
+	}
+	return out
+}
+
+// baselineKey orders committed baselines named BENCH_<date>[-prN].json:
+// primarily by date, then by PR number (a bare date is PR 0, so a same-day
+// -prN file is newer — plain lexical order would get that backwards, since
+// '-' sorts before '.').
+var baselineRe = regexp.MustCompile(`^BENCH_(\d{4}-\d{2}-\d{2})(?:-pr(\d+))?\.json$`)
+
+func baselineKey(path string) (date string, pr int) {
+	m := baselineRe.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return filepath.Base(path), 0
+	}
+	pr, _ = strconv.Atoi(m[2])
+	return m[1], pr
+}
+
+// latestBaseline returns the newest committed BENCH_*.json by (date, PR).
+func latestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baseline found in %s", dir)
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		di, pi := baselineKey(matches[i])
+		dj, pj := baselineKey(matches[j])
+		if di != dj {
+			return di < dj
+		}
+		return pi < pj
+	})
+	return matches[len(matches)-1], nil
+}
+
+func load(path string) (*benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &benchReport{}
+	if err := json.Unmarshal(raw, r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return r, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline report (default: newest BENCH_*.json in -dir)")
+	newPath := flag.String("new", "", "fresh report to gate (required)")
+	dir := flag.String("dir", ".", "directory holding the committed baselines")
+	threshold := flag.Float64("threshold", 25, "max wall-time regression in percent")
+	virtTol := flag.Float64("virtual-tol", 5, "virtual ms/iter drift in percent beyond which a case is skipped")
+	flag.Parse()
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	if *oldPath == "" {
+		p, err := latestBaseline(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		*oldPath = p
+	}
+	old, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("baseline %s (%s, %s)\n", *oldPath, old.Date, old.GoVersion)
+	fmt.Printf("fresh    %s (%s, %s)\n\n", *newPath, fresh.Date, fresh.GoVersion)
+	results := compare(old, fresh, *threshold/100, *virtTol/100)
+	failed := 0
+	for _, r := range results {
+		mark := map[string]string{"ok": "  ok ", "fail": " FAIL", "skip": " skip", "new": "  new"}[r.verdict]
+		fmt.Printf("%s  %-28s %s\n", mark, r.name, r.detail)
+		if r.verdict == "fail" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d benchmark(s) regressed beyond %.0f%%\n", failed, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: no wall-time regressions beyond %.0f%%\n", *threshold)
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mkReport(entries ...benchEntry) *benchReport {
+	return &benchReport{Date: "t", GoVersion: "go", Benchmarks: entries}
+}
+
+func verdicts(rs []result) map[string]string {
+	m := map[string]string{}
+	for _, r := range rs {
+		m[r.name] = r.verdict
+	}
+	return m
+}
+
+// TestSyntheticSlowdownFails is the acceptance check for the gate: a 2×
+// wall-time slowdown in a virtual-time-stable case must fail the diff.
+func TestSyntheticSlowdownFails(t *testing.T) {
+	old := mkReport(
+		benchEntry{Name: "Fig7RaceFreeStep", NsPerOp: 1000},
+		benchEntry{Name: "Fig9Strong64R", NsPerOp: 5000, Metrics: map[string]float64{virtualMetric: 447.3}},
+	)
+	fresh := mkReport(
+		benchEntry{Name: "Fig7RaceFreeStep", NsPerOp: 2000}, // 2x slowdown
+		benchEntry{Name: "Fig9Strong64R", NsPerOp: 10000, Metrics: map[string]float64{virtualMetric: 447.3}},
+	)
+	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	if v["Fig7RaceFreeStep"] != "fail" {
+		t.Errorf("kernel 2x slowdown: verdict %q want fail", v["Fig7RaceFreeStep"])
+	}
+	if v["Fig9Strong64R"] != "fail" {
+		t.Errorf("dist 2x slowdown with stable virtual time: verdict %q want fail", v["Fig9Strong64R"])
+	}
+}
+
+// TestVirtualDriftSkipsWallGate: when the modeled iteration time moved, the
+// workload changed, so wall time is not comparable and must be skipped —
+// not failed, not silently passed.
+func TestVirtualDriftSkipsWallGate(t *testing.T) {
+	old := mkReport(benchEntry{Name: "Fig12Weak64R", NsPerOp: 5000,
+		Metrics: map[string]float64{virtualMetric: 615.5}})
+	fresh := mkReport(benchEntry{Name: "Fig12Weak64R", NsPerOp: 20000,
+		Metrics: map[string]float64{virtualMetric: 900.0}})
+	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	if v["Fig12Weak64R"] != "skip" {
+		t.Errorf("virtual drift: verdict %q want skip", v["Fig12Weak64R"])
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	old := mkReport(benchEntry{Name: "Fig16FP32Step", NsPerOp: 1000})
+	fresh := mkReport(benchEntry{Name: "Fig16FP32Step", NsPerOp: 1200}) // +20% < 25%
+	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	if v["Fig16FP32Step"] != "ok" {
+		t.Errorf("+20%% within threshold: verdict %q want ok", v["Fig16FP32Step"])
+	}
+}
+
+func TestNewBenchmarkIsNotGated(t *testing.T) {
+	old := mkReport(benchEntry{Name: "A", NsPerOp: 1})
+	fresh := mkReport(benchEntry{Name: "A", NsPerOp: 1}, benchEntry{Name: "B", NsPerOp: 999999})
+	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	if v["B"] != "new" {
+		t.Errorf("unknown benchmark: verdict %q want new", v["B"])
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	old := mkReport(benchEntry{Name: "Fig7RaceFreeStep", NsPerOp: 1000, AllocsPerOp: 0})
+	fresh := mkReport(benchEntry{Name: "Fig7RaceFreeStep", NsPerOp: 1000, AllocsPerOp: 7})
+	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	if v["Fig7RaceFreeStep"] != "fail" {
+		t.Errorf("alloc 0→7: verdict %q want fail", v["Fig7RaceFreeStep"])
+	}
+}
+
+func TestLatestBaselinePicksNewestDate(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-07-27.json", "BENCH_2026-07-27-pr2.json", "BENCH_2026-01-01.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-07-27-pr2.json" {
+		t.Errorf("latest baseline %s, want BENCH_2026-07-27-pr2.json", got)
+	}
+	if _, err := latestBaseline(t.TempDir()); err == nil {
+		t.Error("empty dir must error")
+	}
+}
+
+// TestAllocRegressionFailsEvenUnderDrift: the zero-alloc invariant is
+// host- and workload-independent, so a 0→N regression must fail even when
+// the virtual metric drifted (which only skips the wall gate).
+func TestAllocRegressionFailsEvenUnderDrift(t *testing.T) {
+	old := mkReport(benchEntry{Name: "Fig12Weak64R", NsPerOp: 5000, AllocsPerOp: 0,
+		Metrics: map[string]float64{virtualMetric: 615.5}})
+	fresh := mkReport(benchEntry{Name: "Fig12Weak64R", NsPerOp: 5000, AllocsPerOp: 9,
+		Metrics: map[string]float64{virtualMetric: 900.0}})
+	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	if v["Fig12Weak64R"] != "fail" {
+		t.Errorf("alloc regression under virtual drift: verdict %q want fail", v["Fig12Weak64R"])
+	}
+}
+
+// TestHostShapeMismatchSkipsWallGate: wall times recorded on different
+// machine shapes are not comparable; allocs stay enforced.
+func TestHostShapeMismatchSkipsWallGate(t *testing.T) {
+	old := mkReport(benchEntry{Name: "Fig7RaceFreeStep", NsPerOp: 1000})
+	old.GOMAXPROCS, old.GOARCH = 1, "amd64"
+	fresh := mkReport(benchEntry{Name: "Fig7RaceFreeStep", NsPerOp: 5000})
+	fresh.GOMAXPROCS, fresh.GOARCH = 4, "amd64"
+	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	if v["Fig7RaceFreeStep"] != "skip" {
+		t.Errorf("cross-host wall diff: verdict %q want skip", v["Fig7RaceFreeStep"])
+	}
+	fresh.Benchmarks[0].AllocsPerOp = 3
+	v = verdicts(compare(old, fresh, 0.25, 0.05))
+	if v["Fig7RaceFreeStep"] != "fail" {
+		t.Errorf("cross-host alloc regression: verdict %q want fail", v["Fig7RaceFreeStep"])
+	}
+}
+
+// TestMissingBenchmarkFails: coverage silently lost from the fresh report
+// must surface as a failure, not vanish.
+func TestMissingBenchmarkFails(t *testing.T) {
+	old := mkReport(benchEntry{Name: "A", NsPerOp: 1}, benchEntry{Name: "B", NsPerOp: 1})
+	fresh := mkReport(benchEntry{Name: "A", NsPerOp: 1})
+	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	if v["B"] != "fail" {
+		t.Errorf("benchmark gone from fresh report: verdict %q want fail", v["B"])
+	}
+}

@@ -133,12 +133,31 @@ func writeBenchJSON(path string) error {
 	}{
 		{"Fig9Strong64R", experiments.Fig9DistCase},
 		{"Fig12Weak64R", experiments.Fig12DistCase},
+		// Data-pipeline variants: the same runs with the sharded streaming
+		// loader charged, and the weak-scaling run with the §VI-D2
+		// global-read artifact — their virtual ms/iter difference is the
+		// loader delta the PERF doc tracks.
+		{"Fig9Strong64RSharded", experiments.Fig9DistShardedCase},
+		{"Fig12Weak64RSharded", experiments.Fig12DistShardedCase},
+		{"Fig12Weak64RGlobalMB", experiments.Fig12DistGlobalMBCase},
 	} {
 		dc, done := c.mk()
 		runBench(report, c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res := core.RunDistributed(dc)
 				b.ReportMetric(res.IterSeconds*1e3, "virtual-ms/iter")
+			}
+		})
+		done()
+	}
+
+	// Sharded streaming loader: host wall time to produce one per-rank
+	// batch (N/R sample slice + owned-table columns), steady state.
+	{
+		ld, done := experiments.LoaderNextCase()
+		runBench(report, "LoaderShardedNext", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ld.Next()
 			}
 		})
 		done()

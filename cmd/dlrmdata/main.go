@@ -7,6 +7,7 @@
 //
 //	dlrmdata -out train.clog -samples 100000 -tables 26 -rows 10000 -dense 13
 //	dlrmdata -out tiny.clog -samples 1000 -tables 4 -rows 500 -lookups 3
+//	dlrmdata -out train.clog -samples 100000 -shards 4   # per-rank shard files
 package main
 
 import (
@@ -26,6 +27,8 @@ func main() {
 	rows := flag.Int("rows", 100_000, "rows per table (0 = scaled Criteo TB cardinalities)")
 	lookups := flag.Int("lookups", 1, "lookups per table per sample")
 	seed := flag.Int64("seed", 1, "generator seed")
+	batchN := flag.Int("mb", 4096, "global minibatch size used to lay out samples")
+	shards := flag.Int("shards", 1, "write one shard file per rank (<out>.rK-of-R), sharded at the source")
 	flag.Parse()
 
 	var rowCounts []int
@@ -40,18 +43,30 @@ func main() {
 	}
 	ds := data.NewClickLog(*seed, *dense, rowCounts, *lookups)
 
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
+	write := func(path string, r, R int) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		// Shard at the source: rank r's writer materializes only its slice
+		// of each global minibatch, never the full batch.
+		if err := data.WriteDatasetShard(f, ds, r, R, *samples, *batchN, *lookups); err != nil {
+			log.Fatal(err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d dense features, %d tables × %d lookups (%.1f MB)\n",
+			path, *dense, *tables, *lookups, float64(info.Size())/1e6)
 	}
-	defer f.Close()
-	if err := data.WriteDataset(f, ds, *samples, 4096, *lookups); err != nil {
-		log.Fatal(err)
+
+	if *shards <= 1 {
+		write(*out, 0, 1)
+		return
 	}
-	info, err := f.Stat()
-	if err != nil {
-		log.Fatal(err)
+	for r := 0; r < *shards; r++ {
+		write(fmt.Sprintf("%s.r%d-of-%d", *out, r, *shards), r, *shards)
 	}
-	fmt.Printf("wrote %s: %d samples, %d dense features, %d tables × %d lookups (%.1f MB)\n",
-		*out, *samples, *dense, *tables, *lookups, float64(info.Size())/1e6)
 }

@@ -6,6 +6,7 @@
 //	dlrmtrain -config small -iters 100 -strategy racefree
 //	dlrmtrain -config mlperf -precision bf16split -iters 400 -eval 50
 //	dlrmtrain -config large -ranks 16 -dist -iters 5       # simulated cluster
+//	dlrmtrain -config mlperf -dist -ranks 26 -loader global # §VI-D2 loader artifact
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 	evalEvery := flag.Int("eval", 0, "evaluate ROC AUC every N iterations (0 = off)")
 	dist := flag.Bool("dist", false, "run on the simulated multi-socket cluster")
 	ranks := flag.Int("ranks", 8, "simulated rank count (with -dist)")
+	loaderName := flag.String("loader", "sharded", "data pipeline (with -dist): none, global, sharded")
 	flag.Parse()
 
 	cfg, ok := map[string]core.Config{
@@ -53,7 +55,15 @@ func main() {
 	}
 
 	if *dist {
-		runDistributed(cfg, *ranks, *iters)
+		mode, ok := map[string]core.LoaderMode{
+			"none":    core.LoaderNone,
+			"global":  core.LoaderGlobalMB,
+			"sharded": core.LoaderSharded,
+		}[strings.ToLower(*loaderName)]
+		if !ok {
+			log.Fatalf("unknown loader %q", *loaderName)
+		}
+		runDistributed(cfg, *ranks, *iters, mode)
 		return
 	}
 
@@ -92,26 +102,31 @@ func main() {
 	fmt.Printf("training %s (rows x%.3g), MB=%d, %s, %s, lr=%g\n",
 		scaled.Name, *rowScale, batch, strat, prec, *lr)
 	start := time.Now()
-	for i := 0; i < *iters; i++ {
-		l := tr.Step(ds.Batch(i, batch))
+	// The streaming loader prefetches batch i+1 on its own goroutine while
+	// Step trains on batch i, staging into two reused buffers — the
+	// single-socket form of the sharded pipeline.
+	ld := data.NewBatchLoader(ds, batch, 0)
+	defer ld.Close()
+	tr.RunLoader(ld, *iters, func(i int, l float64) {
 		if *evalEvery > 0 && (i+1)%*evalEvery == 0 {
 			fmt.Printf("iter %4d  loss %.4f  auc %.4f\n", i+1, l, tr.EvalAUC(eval))
 		} else if (i+1)%10 == 0 {
 			fmt.Printf("iter %4d  loss %.4f\n", i+1, l)
 		}
-	}
+	})
 	elapsed := time.Since(start)
 	fmt.Printf("done: %d iters in %v (%.1f ms/iter), final AUC %.4f\n",
 		*iters, elapsed.Round(time.Millisecond),
 		elapsed.Seconds()*1e3/float64(*iters), tr.EvalAUC(eval))
 }
 
-func runDistributed(cfg core.Config, ranks, iters int) {
+func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode) {
 	if ranks > cfg.MaxRanks() {
 		log.Fatalf("%s supports at most %d ranks (one table per rank minimum)", cfg.Name, cfg.MaxRanks())
 	}
 	gn := cfg.GlobalMB - cfg.GlobalMB%ranks
-	fmt.Printf("simulating %s on %d sockets (OPA cluster), GN=%d, CCL-Alltoall\n", cfg.Name, ranks, gn)
+	fmt.Printf("simulating %s on %d sockets (OPA cluster), GN=%d, CCL-Alltoall, %s loader\n",
+		cfg.Name, ranks, gn, mode)
 	res := core.RunDistributed(core.DistConfig{
 		Cfg:     cfg,
 		Ranks:   ranks,
@@ -120,9 +135,13 @@ func runDistributed(cfg core.Config, ranks, iters int) {
 		Variant: core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
 		Topo:    fabric.NewPrunedFatTree(ranks, 12.5e9),
 		Socket:  perfmodel.CLX8280,
+		Loader:  mode,
 	})
 	fmt.Printf("virtual time per iteration: %.2f ms\n", res.IterSeconds*1e3)
 	fmt.Printf("  compute: %.2f ms\n", res.ComputePerIter*1e3)
+	if mode != core.LoaderNone {
+		fmt.Printf("  loader: %.2f ms\n", res.PrepPerIter["loader"]*1e3)
+	}
 	for _, k := range []string{"alltoall", "allreduce"} {
 		fmt.Printf("  %s: busy %.2f ms, exposed %.2f ms\n",
 			k, res.BusyPerIter[k]*1e3, res.WaitPerIter[k]*1e3)

@@ -21,14 +21,23 @@ var (
 	workspaces = core.NewDistWorkspaces()
 )
 
+// loaderFor mirrors the paper's setup: only the MLPerf runs carry the
+// §VI-D2 global-read loader artifact.
+func loaderFor(cfg core.Config) core.LoaderMode {
+	if cfg.Name == "MLPerf" {
+		return core.LoaderGlobalMB
+	}
+	return core.LoaderNone
+}
+
 func run(cfg core.Config, topo fabric.Topology, sock perfmodel.Socket, ranks int, v core.Variant) *core.DistResult {
 	gn := cfg.GlobalMB - cfg.GlobalMB%ranks
 	return core.RunDistributed(core.DistConfig{
 		Cfg: cfg, Ranks: ranks, GlobalN: gn, Iters: 3,
 		Variant: v, Topo: topo, Socket: sock,
-		LoaderGlobalMB: cfg.Name == "MLPerf",
-		Pools:          pools,
-		Workspaces:     workspaces,
+		Loader:     loaderFor(cfg),
+		Pools:      pools,
+		Workspaces: workspaces,
 	})
 }
 

@@ -66,10 +66,42 @@ var Variants = []Variant{
 	{Alltoall, cluster.CCLBackend},
 }
 
-// loaderPerSample is the per-sample cost of the framework data loader that
-// reads the full global minibatch on every rank (§VI-D2's weak-scaling
-// artifact), calibrated so 26 ranks × LN=2048 adds ≈20 ms as in Fig. 13.
+// loaderPerSample is the per-sample cost of the framework data loader
+// (§VI-D2), calibrated so 26 ranks × LN=2048 adds ≈20 ms as in Fig. 13
+// under the global-read artifact.
 const loaderPerSample = 400e-9
+
+// LoaderMode selects how the data loader's cost — and, in functional mode,
+// its actual execution — is modeled per rank.
+type LoaderMode int
+
+const (
+	// LoaderNone does not model the dataset read (the paper's Small/Large
+	// runs, where loading is negligible).
+	LoaderNone LoaderMode = iota
+	// LoaderGlobalMB is the §VI-D2 artifact: every rank reads the FULL
+	// global minibatch, so loading grows with rank count under weak
+	// scaling (the paper's MLPerf runs have it; Fig. 13's compute growth).
+	LoaderGlobalMB
+	// LoaderSharded is the fixed pipeline: every rank reads only its N/R
+	// sample slice plus its owned tables' full-batch index columns —
+	// ≈2 shares of the global batch, constant in rank count.
+	LoaderSharded
+)
+
+// String returns the mode's experiment label.
+func (m LoaderMode) String() string {
+	switch m {
+	case LoaderNone:
+		return "none"
+	case LoaderGlobalMB:
+		return "global-read"
+	case LoaderSharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("LoaderMode(%d)", int(m))
+	}
+}
 
 // DistConfig describes one distributed DLRM run.
 type DistConfig struct {
@@ -85,9 +117,11 @@ type DistConfig struct {
 	// CommCores overrides the number of cores dedicated to communication
 	// (0 = backend default: 4 for CCL, none for MPI). The §IV-A tuning knob S.
 	CommCores int
-	// LoaderGlobalMB charges the data-loader artifact (each rank reads the
-	// full global minibatch); the paper's MLPerf runs have it.
-	LoaderGlobalMB bool
+	// Loader selects the data-pipeline model: none, the §VI-D2 global-read
+	// artifact, or the sharded streaming pipeline. In functional mode it
+	// also selects which real loader feeds the ranks (LoaderNone trains
+	// through the sharded pipeline without charging for it).
+	Loader LoaderMode
 
 	// Functional execution: when RunCfg is non-nil, every rank instantiates
 	// a scaled model shard and really trains on Dataset (used by the
@@ -135,12 +169,13 @@ func (r *DistResult) TotalCommPerIter() float64 {
 
 // funcState holds the real-execution state of one rank; the reusable
 // buffers (including the flat MLP gradients) live in the rank's
-// DistWorkspace.
+// DistWorkspace and the data pipeline's staging buffers behind loader.
 type funcState struct {
 	model  *Model
 	pool   *par.Pool
 	cfg    Config // scaled config
 	shardN int
+	loader data.Loader
 }
 
 // RunDistributed executes the hybrid-parallel DLRM training loop on the
@@ -225,6 +260,23 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		}
 		ws.bindGrads(m)
 		res.Models[r.ID] = m
+		// Every rank owns a data loader over its slice of the dataset. The
+		// staging buffers live in the rank's workspace, so successive runs
+		// refill the same memory; the loader objects themselves are cheap
+		// and per-run. LoaderGlobalMB executes the real artifact (full
+		// global read + shard copy); everything else streams the sharded
+		// pipeline.
+		lc := data.LoaderConfig{
+			DS: dc.Dataset, GlobalN: dc.GlobalN,
+			Rank: r.ID, Ranks: ranks, Owned: locT,
+			Buffers: &ws.loaderBufs,
+		}
+		if dc.Loader == LoaderGlobalMB {
+			fn.loader = data.NewGlobalReadLoader(lc)
+		} else {
+			fn.loader = data.NewShardedLoader(lc)
+		}
+		defer fn.loader.Close()
 	}
 
 	// Modeled per-pass times from the paper-scale config.
@@ -245,15 +297,20 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 	arBytesBot, arBytesTop := mlpParamBytes(cfg.BotSizes()), mlpParamBytes(cfg.TopSizes())
 
 	for it := 0; it < dc.Iters; it++ {
-		// (0) framework data loader: reads the FULL global minibatch on
-		// every rank (§VI-D2).
-		if dc.LoaderGlobalMB {
+		// (0) data loader. The §VI-D2 artifact reads the FULL global
+		// minibatch on every rank — O(N·R) cluster-wide; the sharded
+		// pipeline reads only this rank's N/R sample slice plus its owned
+		// tables' full-batch index columns — ≈2 shares, constant in R.
+		switch dc.Loader {
+		case LoaderGlobalMB:
 			r.Prep("loader", loaderPerSample*float64(dc.GlobalN))
+		case LoaderSharded:
+			ownedShare := float64(dc.GlobalN) * float64(len(locT)) / float64(cfg.Tables)
+			r.Prep("loader", loaderPerSample*(float64(shardN)+ownedShare))
 		}
-		var gmb, lmb *data.MiniBatch
+		var rb *data.RankBatch
 		if fn != nil {
-			gmb = dc.Dataset.Batch(it, dc.GlobalN)
-			lmb = gmb.Shard(r.ID, ranks)
+			rb = fn.loader.Next()
 		}
 
 		// (1) Embedding forward for LOCAL tables over the GLOBAL minibatch
@@ -261,7 +318,7 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		r.Compute(embFwd)
 		if fn != nil {
 			for li, t := range locT {
-				fn.model.Tables[t].Forward(fn.pool, gmb.Sparse[t], ws.embFull[li])
+				fn.model.Tables[t].Forward(fn.pool, rb.Owned[li], ws.embFull[li])
 			}
 		}
 
@@ -281,6 +338,7 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		r.Compute(interFwd + topFwd)
 		var dz []float32
 		if fn != nil {
+			lmb := rb.Local
 			logits := fn.model.ForwardDense(fn.pool, lmb.Dense, embOut)
 			dz = ws.dz
 			l := loss.BCEWithLogits(logits, lmb.Labels, dz)
@@ -321,9 +379,10 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		if fn != nil {
 			for li, t := range locT {
 				tab := fn.model.Tables[t]
-				dW := ensureF32(&ws.dW[li], gmb.Sparse[t].NumLookups()*tab.E)
-				tab.Backward(fn.pool, gmb.Sparse[t], ws.dOutFull[li], dW)
-				tab.Update(fn.pool, embedding.RaceFree, gmb.Sparse[t], dW, dc.LR)
+				ob := rb.Owned[li]
+				dW := ensureF32(&ws.dW[li], ob.NumLookups()*tab.E)
+				tab.Backward(fn.pool, ob, ws.dOutFull[li], dW)
+				tab.Update(fn.pool, embedding.RaceFree, ob, dW, dc.LR)
 			}
 		}
 

@@ -235,13 +235,90 @@ func TestLoaderArtifactGrowsWithGlobalMB(t *testing.T) {
 	// so weak-scaling compute grows with rank count.
 	mk := func(ranks int) *DistResult {
 		dc := distTestConfig(MLPerf, ranks, MLPerf.LocalMB*ranks, 2, Variant{Alltoall, cluster.CCLBackend}, false)
-		dc.LoaderGlobalMB = true
+		dc.Loader = LoaderGlobalMB
 		return RunDistributed(dc)
 	}
 	small := mk(2)
 	big := mk(16)
 	if big.PrepPerIter["loader"] <= small.PrepPerIter["loader"] {
 		t.Fatal("loader cost must grow with global minibatch")
+	}
+}
+
+// TestShardedLoaderKillsWeakScalingArtifact pins the tentpole's timing
+// story: under the global-read artifact, per-rank loader time grows with
+// the rank count (weak scaling: GlobalN = LN·R); under the sharded
+// pipeline it stays flat at ≈2 shares, so the Fig. 13 compute growth
+// disappears.
+func TestShardedLoaderKillsWeakScalingArtifact(t *testing.T) {
+	mk := func(ranks int, mode LoaderMode) *DistResult {
+		dc := distTestConfig(MLPerf, ranks, MLPerf.LocalMB*ranks, 2, Variant{Alltoall, cluster.CCLBackend}, false)
+		dc.Loader = mode
+		return RunDistributed(dc)
+	}
+	gSmall, gBig := mk(2, LoaderGlobalMB), mk(16, LoaderGlobalMB)
+	if gBig.PrepPerIter["loader"] <= gSmall.PrepPerIter["loader"]*4 {
+		t.Fatalf("artifact loader must grow ~8x from 2 to 16 ranks: %.3f vs %.3f ms",
+			gSmall.PrepPerIter["loader"]*1e3, gBig.PrepPerIter["loader"]*1e3)
+	}
+	sSmall, sBig := mk(2, LoaderSharded), mk(16, LoaderSharded)
+	if ratio := sBig.PrepPerIter["loader"] / sSmall.PrepPerIter["loader"]; ratio > 1.5 {
+		t.Fatalf("sharded loader must stay ~flat across rank counts, grew %.2fx", ratio)
+	}
+	if sBig.PrepPerIter["loader"] >= gBig.PrepPerIter["loader"] {
+		t.Fatalf("sharded loader (%.3f ms) must beat the artifact (%.3f ms) at 16 ranks",
+			sBig.PrepPerIter["loader"]*1e3, gBig.PrepPerIter["loader"]*1e3)
+	}
+	// The artifact costs one global-batch read; sharded ≈ 2/R of it.
+	if sBig.IterSeconds >= gBig.IterSeconds {
+		t.Fatal("sharded loader must lower the weak-scaling iteration time")
+	}
+}
+
+// TestLoaderModesLossParity is the functional half of the loader
+// acceptance: training through the sharded streaming pipeline must produce
+// the SAME losses as training through the global-read artifact (their
+// batches are bit-identical by construction) and both must match the
+// single-socket trainer on the full batches to float32 round-off, for
+// every communication strategy at 2 and 4 ranks.
+func TestLoaderModesLossParity(t *testing.T) {
+	cfg := tinyConfig()
+	const globalN, iters = 64, 3
+	_, ref := trainSingle(cfg, globalN, iters, 17, 0.5)
+
+	pools := cluster.NewPools()
+	defer pools.Close()
+	wss := NewDistWorkspaces()
+	for _, v := range Variants {
+		for _, ranks := range []int{2, 4} {
+			meanLosses := map[LoaderMode][]float64{}
+			for _, mode := range []LoaderMode{LoaderGlobalMB, LoaderSharded} {
+				dc := distTestConfig(cfg, ranks, globalN, iters, v, true)
+				dc.Loader = mode
+				dc.Pools = pools
+				dc.Workspaces = wss
+				res := RunDistributed(dc)
+				for it := 0; it < iters; it++ {
+					var mean float64
+					for rk := 0; rk < ranks; rk++ {
+						mean += res.Losses[rk][it]
+					}
+					mean /= float64(ranks)
+					meanLosses[mode] = append(meanLosses[mode], mean)
+					if d := math.Abs(mean - ref[it]); d > 1e-6 {
+						t.Errorf("%s %s R=%d iter %d: loss %v vs single-socket %v (|Δ|=%g > 1e-6)",
+							v.Name(), mode, ranks, it, mean, ref[it], d)
+					}
+				}
+			}
+			for it := 0; it < iters; it++ {
+				g, s := meanLosses[LoaderGlobalMB][it], meanLosses[LoaderSharded][it]
+				if d := math.Abs(g - s); d > 1e-6 {
+					t.Errorf("%s R=%d iter %d: global-read loss %v vs sharded %v (|Δ|=%g > 1e-6)",
+						v.Name(), ranks, it, g, s, d)
+				}
+			}
+		}
 	}
 }
 

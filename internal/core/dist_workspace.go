@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/data"
 )
 
 // distKey identifies the shape of a distributed run. A workspace whose key
@@ -53,6 +54,15 @@ type DistWorkspace struct {
 	gaRecv             []float32   // fused gather recv at root
 
 	botGrad, topGrad []float32 // flat MLP gradients for the allreduces
+
+	// loaderBufs is the staging storage behind the rank's data loader
+	// (functional mode): the double-buffered RankBatch ring and, under the
+	// global-read artifact, the full-minibatch buffer. Loader objects are
+	// per-run; this memory persists with the workspace, so steady-state
+	// batch production allocates nothing. Sized by fills, not by the key —
+	// the ensure helpers inside grow monotonically like everything else
+	// here.
+	loaderBufs data.LoaderBuffers
 }
 
 // prepare sizes the workspace for one run: on a key change it rebuilds the

@@ -264,6 +264,20 @@ func (tr *Trainer) Step(mb *data.MiniBatch) float64 {
 	return lossVal
 }
 
+// RunLoader consumes iters batches from ld and steps the trainer on each —
+// the single-socket training loop over a streaming loader, whose prefetch
+// goroutine generates batch i+1 while Step trains on batch i. each, when
+// non-nil, observes every iteration's loss. The caller keeps ownership of
+// ld (and closes it).
+func (tr *Trainer) RunLoader(ld data.Loader, iters int, each func(it int, loss float64)) {
+	for i := 0; i < iters; i++ {
+		l := tr.Step(ld.Next().Local)
+		if each != nil {
+			each(i, l)
+		}
+	}
+}
+
 // Predict returns the click probabilities for a batch (no state change
 // besides the saved forward cache).
 func (tr *Trainer) Predict(mb *data.MiniBatch) []float32 {

@@ -6,6 +6,13 @@
 // Fig. 7/8's MLPerf results) and labels planted by a logistic teacher over
 // latent row scores (so ROC AUC climbs toward a known ceiling, which is what
 // Fig. 16's convergence comparison needs).
+//
+// Every dataset is randomly addressable at sample granularity: FillRange
+// materializes any sample slice of a batch, and FillTableColumn one table's
+// bags over any slice, both into caller-owned buffers. That is the property
+// the sharded per-rank loaders (loader.go) are built on — a rank reads only
+// its N/R slice plus its owned tables' columns, never the full global
+// minibatch the §VI-D2 framework loader re-reads on every rank.
 package data
 
 import (
@@ -26,19 +33,82 @@ type MiniBatch struct {
 	Labels []float32          // N
 }
 
-// Dataset produces deterministic minibatches by index.
+// Reset prepares mb for reuse as an n-sample batch with d dense features
+// and `tables` sparse tables: shapes are set, sparse offsets rebased to an
+// empty state, and storage is reallocated only on capacity growth — the
+// repeated-fill contract the streaming loaders rely on for their
+// zero-allocation steady state.
+func (mb *MiniBatch) Reset(n, d, tables int) {
+	mb.N = n
+	if mb.Dense == nil {
+		mb.Dense = &tensor.Dense{}
+	}
+	mb.Dense.Rows, mb.Dense.Cols = n, d
+	mb.Dense.Data = ensureF32(&mb.Dense.Data, n*d)
+	mb.Labels = ensureF32(&mb.Labels, n)
+	if len(mb.Sparse) != tables {
+		grown := make([]*embedding.Batch, tables)
+		copy(grown, mb.Sparse)
+		mb.Sparse = grown
+	}
+	for t := range mb.Sparse {
+		if mb.Sparse[t] == nil {
+			mb.Sparse[t] = &embedding.Batch{}
+		}
+		mb.Sparse[t].Reset(n)
+	}
+}
+
+// ensureF32 returns *buf resized to n elements, reallocating only on
+// capacity growth.
+func ensureF32(buf *[]float32, n int) []float32 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]float32, n)
+	} else {
+		s = s[:n]
+	}
+	*buf = s
+	return s
+}
+
+// Dataset produces deterministic minibatches by index. Samples are
+// individually addressable: FillRange and FillTableColumn materialize any
+// slice of a batch into caller-owned buffers, so per-rank sharded loading
+// reads exactly its share of the data. Implementations are safe for
+// concurrent fills of distinct buffers (the rank goroutines of a simulated
+// cluster share one Dataset).
 type Dataset interface {
-	// Batch materializes minibatch i with n samples.
+	// Batch materializes minibatch i with n samples. It allocates; hot
+	// paths use FillRange with a reused MiniBatch instead.
 	Batch(i, n int) *MiniBatch
+	// FillRange materializes samples [lo, hi) of minibatch i (n samples
+	// total) into mb, reusing mb's buffers: global sample lo becomes mb
+	// sample 0 and sparse offsets are rebased to start at 0.
+	// FillRange(i, n, 0, n, mb) is the full batch. n matters only to
+	// file-backed datasets (epoch wrap-around); generated datasets derive
+	// samples from (i, sample) alone.
+	FillRange(i, n, lo, hi int, mb *MiniBatch)
+	// FillTableColumn materializes table t's bags for samples [lo, hi) of
+	// minibatch i into b — the model-parallel "column read" a table owner
+	// needs without materializing any other table.
+	FillTableColumn(i, n, t, lo, hi int, b *embedding.Batch)
 	// NumTables returns the sparse feature count.
 	NumTables() int
 	// DenseDim returns the dense feature width.
 	DenseDim() int
 }
 
+// materialize is the shared allocating Batch implementation.
+func materialize(ds Dataset, i, n int) *MiniBatch {
+	mb := &MiniBatch{}
+	ds.FillRange(i, n, 0, n, mb)
+	return mb
+}
+
 // Random is the uniform synthetic dataset used for the Small and Large
 // configurations (§VI-D2): indices uniform over each table, dense features
-// standard uniform, labels Bernoulli(1/2). There is nothing to learn; it
+// uniform in [-1, 1], labels Bernoulli(1/2). There is nothing to learn; it
 // exists to exercise performance.
 type Random struct {
 	Seed    int64
@@ -55,23 +125,39 @@ func (r *Random) NumTables() int { return r.Tables }
 func (r *Random) DenseDim() int { return r.D }
 
 // Batch implements Dataset.
-func (r *Random) Batch(i, n int) *MiniBatch {
-	rng := rand.New(rand.NewSource(r.Seed ^ int64(i)*0x5851F42D4C957F2D))
-	mb := &MiniBatch{
-		N:      n,
-		Dense:  tensor.NewDense(n, r.D),
-		Labels: make([]float32, n),
-	}
-	mb.Dense.Randomize(rng, 1)
-	for t := 0; t < r.Tables; t++ {
-		mb.Sparse = append(mb.Sparse, embedding.MakeBatch(rng, embedding.Uniform{}, n, r.Lookups, r.Rows))
-	}
-	for s := 0; s < n; s++ {
-		if rng.Float32() > 0.5 {
-			mb.Labels[s] = 1
+func (r *Random) Batch(i, n int) *MiniBatch { return materialize(r, i, n) }
+
+// FillRange implements Dataset.
+func (r *Random) FillRange(i, n, lo, hi int, mb *MiniBatch) {
+	mb.Reset(hi-lo, r.D, r.Tables)
+	for s := lo; s < hi; s++ {
+		g := sampleStream(r.Seed, randomTag, i, s)
+		row := mb.Dense.Row(s - lo)
+		for j := range row {
+			row[j] = g.f32()*2 - 1
+		}
+		if g.f32() > 0.5 {
+			mb.Labels[s-lo] = 1
+		} else {
+			mb.Labels[s-lo] = 0
 		}
 	}
-	return mb
+	for t := 0; t < r.Tables; t++ {
+		r.FillTableColumn(i, n, t, lo, hi, mb.Sparse[t])
+	}
+}
+
+// FillTableColumn implements Dataset.
+func (r *Random) FillTableColumn(i, n, t, lo, hi int, b *embedding.Batch) {
+	b.Reset(hi - lo)
+	u := embedding.Uniform{}
+	for s := lo; s < hi; s++ {
+		g := tableStream(r.Seed, randomTag, i, s, t)
+		for l := 0; l < r.Lookups; l++ {
+			b.Indices = append(b.Indices, u.DrawU(g.f64(), r.Rows))
+		}
+		b.Offsets[s-lo+1] = int32(len(b.Indices))
+	}
 }
 
 // ClickLog is the synthetic Criteo-Terabyte substitute. Each table t has a
@@ -132,68 +218,87 @@ func (c *ClickLog) latent(table int, row int32) float64 {
 }
 
 // Batch implements Dataset.
-func (c *ClickLog) Batch(i, n int) *MiniBatch {
-	rng := rand.New(rand.NewSource(c.Seed ^ 0x5DEECE66D ^ int64(i)*0x5851F42D4C957F2D))
-	mb := &MiniBatch{
-		N:      n,
-		Dense:  tensor.NewDense(n, c.D),
-		Labels: make([]float32, n),
-	}
+func (c *ClickLog) Batch(i, n int) *MiniBatch { return materialize(c, i, n) }
+
+// FillRange implements Dataset. The teacher label of sample s needs the
+// latent scores of every table's lookups for s — all regenerated here from
+// the per-(sample, table) streams, so the label a shard computes is
+// bit-identical to the one the full-batch read computes.
+func (c *ClickLog) FillRange(i, n, lo, hi int, mb *MiniBatch) {
+	mb.Reset(hi-lo, c.D, len(c.Rows))
 	zipf := embedding.Zipf{S: c.Skew}
-	for range c.Rows {
-		mb.Sparse = append(mb.Sparse, &embedding.Batch{Offsets: make([]int32, n+1)})
-	}
-	logits := make([]float64, n)
-	for s := 0; s < n; s++ {
-		logits[s] = c.Bias
-		for j := 0; j < c.D; j++ {
+	for s := lo; s < hi; s++ {
+		g := sampleStream(c.Seed, clickTag, i, s)
+		logit := c.Bias
+		row := mb.Dense.Row(s - lo)
+		for j := range row {
 			// counter-like features: |N(0,1)| compressed by log1p, centered
 			// so the teacher's dense term is ~zero-mean.
-			v := math.Log1p(math.Abs(rng.NormFloat64())*3) - 1.2
-			mb.Dense.Set(s, j, float32(v))
-			logits[s] += c.denseW[j] * v
+			v := math.Log1p(math.Abs(g.norm())*3) - 1.2
+			row[j] = float32(v)
+			logit += c.denseW[j] * v
 		}
-	}
-	for t, rows := range c.Rows {
-		b := mb.Sparse[t]
-		for s := 0; s < n; s++ {
-			b.Offsets[s] = int32(len(b.Indices))
+		for t, rows := range c.Rows {
+			gt := tableStream(c.Seed, clickTag, i, s, t)
+			b := mb.Sparse[t]
 			var acc float64
 			for l := 0; l < c.Lookups; l++ {
-				idx := zipf.Draw(rng, rows)
+				idx := zipf.DrawU(gt.f64(), rows)
 				b.Indices = append(b.Indices, idx)
 				acc += c.latent(t, idx)
 			}
-			logits[s] += acc / float64(c.Lookups)
+			b.Offsets[s-lo+1] = int32(len(b.Indices))
+			logit += acc / float64(c.Lookups)
 		}
-		b.Offsets[n] = int32(len(b.Indices))
-	}
-	for s := 0; s < n; s++ {
-		pCTR := 1 / (1 + math.Exp(-logits[s]))
-		if rng.Float64() < pCTR {
-			mb.Labels[s] = 1
+		pCTR := 1 / (1 + math.Exp(-logit))
+		lbl := sampleStream(c.Seed, clickLblTag, i, s)
+		if lbl.f64() < pCTR {
+			mb.Labels[s-lo] = 1
+		} else {
+			mb.Labels[s-lo] = 0
 		}
 	}
-	return mb
 }
 
-// Shard returns the view of mb owned by rank r of R under minibatch
-// (data) parallelism: samples [r·N/R, (r+1)·N/R).
-func (mb *MiniBatch) Shard(r, R int) *MiniBatch {
+// FillTableColumn implements Dataset.
+func (c *ClickLog) FillTableColumn(i, n, t, lo, hi int, b *embedding.Batch) {
+	b.Reset(hi - lo)
+	zipf := embedding.Zipf{S: c.Skew}
+	rows := c.Rows[t]
+	for s := lo; s < hi; s++ {
+		gt := tableStream(c.Seed, clickTag, i, s, t)
+		for l := 0; l < c.Lookups; l++ {
+			b.Indices = append(b.Indices, zipf.DrawU(gt.f64(), rows))
+		}
+		b.Offsets[s-lo+1] = int32(len(b.Indices))
+	}
+}
+
+// ShardInto copies rank r of R's sample shard of mb — samples
+// [r·N/R, (r+1)·N/R) under minibatch (data) parallelism — into out,
+// reusing out's buffers. Sparse offsets are rebased so each shard batch
+// stands on its own, including ragged and empty bags.
+func (mb *MiniBatch) ShardInto(r, R int, out *MiniBatch) {
 	lo := mb.N * r / R
 	hi := mb.N * (r + 1) / R
 	n := hi - lo
-	out := &MiniBatch{N: n, Dense: tensor.NewDense(n, mb.Dense.Cols), Labels: mb.Labels[lo:hi]}
+	out.Reset(n, mb.Dense.Cols, len(mb.Sparse))
 	copy(out.Dense.Data, mb.Dense.Data[lo*mb.Dense.Cols:hi*mb.Dense.Cols])
-	for _, b := range mb.Sparse {
-		sb := &embedding.Batch{Offsets: make([]int32, n+1)}
+	copy(out.Labels, mb.Labels[lo:hi])
+	for t, b := range mb.Sparse {
+		sb := out.Sparse[t]
 		base := b.Offsets[lo]
-		sb.Indices = append(sb.Indices, b.Indices[b.Offsets[lo]:b.Offsets[hi]]...)
+		sb.Indices = append(sb.Indices, b.Indices[base:b.Offsets[hi]]...)
 		for i := 0; i <= n; i++ {
 			sb.Offsets[i] = b.Offsets[lo+i] - base
 		}
-		out.Sparse = append(out.Sparse, sb)
 	}
+}
+
+// Shard returns a freshly allocated copy of the view ShardInto fills.
+func (mb *MiniBatch) Shard(r, R int) *MiniBatch {
+	out := &MiniBatch{}
+	mb.ShardInto(r, R, out)
 	return out
 }
 

@@ -263,3 +263,56 @@ func TestWriteDatasetRejectsVariableBags(t *testing.T) {
 		t.Fatal("lookups mismatch accepted")
 	}
 }
+
+func TestWriteDatasetShardSplitsBatches(t *testing.T) {
+	src := NewClickLog(9, 5, []int{100, 40}, 2)
+	const n, batchN, R = 40, 16, 3
+	var full bytes.Buffer
+	if err := WriteDataset(&full, src, n, batchN, 2); err != nil {
+		t.Fatal(err)
+	}
+	fullDS, err := OpenFileDataset(bytes.NewReader(full.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each shard writer must emit exactly rank r's slice of every global
+	// batch; together the shards repartition the full file.
+	total := 0
+	for r := 0; r < R; r++ {
+		var buf bytes.Buffer
+		if err := WriteDatasetShard(&buf, src, r, R, n, batchN, 2); err != nil {
+			t.Fatal(err)
+		}
+		sh, err := OpenFileDataset(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += sh.N
+		// Walk the shard's records against the full file's batches.
+		rec := 0
+		for batch := 0; batch*batchN < n; batch++ {
+			bn := min(batchN, n-batch*batchN)
+			lo, hi := bn*r/R, bn*(r+1)/R
+			for s := lo; s < hi; s++ {
+				want := fullDS.Batch(0, fullDS.N) // whole file as one batch
+				got := sh.Batch(0, sh.N)
+				gsrc := batch*batchN + s
+				if got.Labels[rec] != want.Labels[gsrc] {
+					t.Fatalf("rank %d record %d: label mismatch vs global sample %d", r, rec, gsrc)
+				}
+				for c := 0; c < 5; c++ {
+					if got.Dense.At(rec, c) != want.Dense.At(gsrc, c) {
+						t.Fatalf("rank %d record %d dense col %d mismatch", r, rec, c)
+					}
+				}
+				rec++
+			}
+		}
+		if rec != sh.N {
+			t.Fatalf("rank %d: walked %d records, file has %d", r, rec, sh.N)
+		}
+	}
+	if total != n {
+		t.Fatalf("shards hold %d of %d samples", total, n)
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"io"
 
 	"repro/internal/embedding"
-	"repro/internal/tensor"
 )
 
 // Binary record format for click-log datasets — the stand-in for the Criteo
@@ -23,15 +22,34 @@ const fileMagic = 0x434C4F47 // "CLOG"
 // of batchN) into w. Variable-size bags are not supported by the fixed
 // record format; ds must produce exactly lookups indices per bag.
 func WriteDataset(w io.Writer, ds Dataset, n, batchN, lookups int) error {
+	return WriteDatasetShard(w, ds, 0, 1, n, batchN, lookups)
+}
+
+// WriteDatasetShard writes rank r of R's sample shard of each consecutive
+// batchN-sample batch of ds — the per-rank split of the source data a
+// sharded file loader serves — until n global samples have been covered.
+// Batches are staged through one reused MiniBatch, so writing streams
+// rather than accumulating garbage. R=1 writes the full dataset.
+func WriteDatasetShard(w io.Writer, ds Dataset, r, R, n, batchN, lookups int) error {
 	bw := bufio.NewWriter(w)
-	hdr := []uint32{fileMagic, uint32(ds.DenseDim()), uint32(ds.NumTables()), uint32(lookups), uint32(n)}
+	batches := (n + batchN - 1) / batchN
+	// The shard's record count: each global batch (the last may be partial)
+	// contributes its [r·bn/R, (r+1)·bn/R) slice.
+	total := 0
+	for batch := 0; batch < batches; batch++ {
+		bn := min(batchN, n-batch*batchN)
+		total += bn*(r+1)/R - bn*r/R
+	}
+	hdr := []uint32{fileMagic, uint32(ds.DenseDim()), uint32(ds.NumTables()), uint32(lookups),
+		uint32(total)}
 	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
-	written := 0
-	for batch := 0; written < n; batch++ {
-		mb := ds.Batch(batch, batchN)
-		for s := 0; s < mb.N && written < n; s++ {
+	mb := &MiniBatch{}
+	for batch := 0; batch < batches; batch++ {
+		bn := min(batchN, n-batch*batchN)
+		ds.FillRange(batch, batchN, bn*r/R, bn*(r+1)/R, mb)
+		for s := 0; s < mb.N; s++ {
 			if err := binary.Write(bw, binary.LittleEndian, mb.Labels[s]); err != nil {
 				return err
 			}
@@ -39,16 +57,15 @@ func WriteDataset(w io.Writer, ds Dataset, n, batchN, lookups int) error {
 				return err
 			}
 			for t, b := range mb.Sparse {
-				lo, hi := b.Offsets[s], b.Offsets[s+1]
-				if int(hi-lo) != lookups {
+				blo, bhi := b.Offsets[s], b.Offsets[s+1]
+				if int(bhi-blo) != lookups {
 					return fmt.Errorf("data: table %d bag %d has %d lookups, format needs %d",
-						t, s, hi-lo, lookups)
+						t, s, bhi-blo, lookups)
 				}
-				if err := binary.Write(bw, binary.LittleEndian, b.Indices[lo:hi]); err != nil {
+				if err := binary.Write(bw, binary.LittleEndian, b.Indices[blo:bhi]); err != nil {
 					return err
 				}
 			}
-			written++
 		}
 	}
 	return bw.Flush()
@@ -104,33 +121,33 @@ func (f *FileDataset) DenseDim() int { return f.D }
 
 // Batch implements Dataset: batch i covers samples [i·n, (i+1)·n) modulo
 // the dataset size (wrapping like epoch iteration does).
-func (f *FileDataset) Batch(i, n int) *MiniBatch {
-	mb := &MiniBatch{
-		N:      n,
-		Dense:  tensor.NewDense(n, f.D),
-		Labels: make([]float32, n),
-	}
-	for t := 0; t < f.Tables; t++ {
-		b := &embedding.Batch{
-			Indices: make([]int32, 0, n*f.Lookups),
-			Offsets: make([]int32, n+1),
-		}
-		mb.Sparse = append(mb.Sparse, b)
-	}
+func (f *FileDataset) Batch(i, n int) *MiniBatch { return materialize(f, i, n) }
+
+// FillRange implements Dataset.
+func (f *FileDataset) FillRange(i, n, lo, hi int, mb *MiniBatch) {
+	mb.Reset(hi-lo, f.D, f.Tables)
 	per := f.Tables * f.Lookups
-	for s := 0; s < n; s++ {
+	for s := lo; s < hi; s++ {
 		src := (i*n + s) % f.N
-		mb.Labels[s] = f.labels[src]
-		copy(mb.Dense.Row(s), f.dense[src*f.D:(src+1)*f.D])
+		out := s - lo
+		mb.Labels[out] = f.labels[src]
+		copy(mb.Dense.Row(out), f.dense[src*f.D:(src+1)*f.D])
 		rec := f.indices[src*per : (src+1)*per]
 		for t := 0; t < f.Tables; t++ {
 			b := mb.Sparse[t]
-			b.Offsets[s] = int32(len(b.Indices))
 			b.Indices = append(b.Indices, rec[t*f.Lookups:(t+1)*f.Lookups]...)
+			b.Offsets[out+1] = int32(len(b.Indices))
 		}
 	}
-	for t := 0; t < f.Tables; t++ {
-		mb.Sparse[t].Offsets[n] = int32(len(mb.Sparse[t].Indices))
+}
+
+// FillTableColumn implements Dataset.
+func (f *FileDataset) FillTableColumn(i, n, t, lo, hi int, b *embedding.Batch) {
+	b.Reset(hi - lo)
+	per := f.Tables * f.Lookups
+	for s := lo; s < hi; s++ {
+		src := (i*n+s)%f.N*per + t*f.Lookups
+		b.Indices = append(b.Indices, f.indices[src:src+f.Lookups]...)
+		b.Offsets[s-lo+1] = int32(len(b.Indices))
 	}
-	return mb
 }

@@ -1,0 +1,251 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+)
+
+// testDatasets returns one instance of every Dataset implementation, all
+// with ragged-friendly shapes (uneven row counts, multi-lookup bags).
+func testDatasets(t *testing.T) map[string]Dataset {
+	t.Helper()
+	rows := []int{1000, 37, 4, 2100}
+	click := NewClickLog(11, 6, rows, 3)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, click, 96, 24, 3); err != nil {
+		t.Fatal(err)
+	}
+	file, err := OpenFileDataset(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Dataset{
+		"Random":   &Random{Seed: 5, D: 8, Tables: 3, Rows: 64, Lookups: 4},
+		"ClickLog": click,
+		"File":     file,
+	}
+}
+
+func sameBatchSlice(t *testing.T, label string, global *MiniBatch, gLo int, shard *MiniBatch) {
+	t.Helper()
+	d := global.Dense.Cols
+	for s := 0; s < shard.N; s++ {
+		if shard.Labels[s] != global.Labels[gLo+s] {
+			t.Fatalf("%s: label %d mismatch", label, s)
+		}
+		for c := 0; c < d; c++ {
+			if shard.Dense.At(s, c) != global.Dense.At(gLo+s, c) {
+				t.Fatalf("%s: dense (%d,%d) mismatch", label, s, c)
+			}
+		}
+	}
+	for ti := range global.Sparse {
+		sameColumnSlice(t, fmt.Sprintf("%s table %d", label, ti), global.Sparse[ti], gLo, shard.Sparse[ti], shard.N)
+	}
+}
+
+func sameColumnSlice(t *testing.T, label string, g *embedding.Batch, gLo int, b *embedding.Batch, n int) {
+	t.Helper()
+	if b.NumBags() != n {
+		t.Fatalf("%s: %d bags want %d", label, b.NumBags(), n)
+	}
+	if b.Offsets[0] != 0 {
+		t.Fatalf("%s: offsets not rebased (start %d)", label, b.Offsets[0])
+	}
+	for s := 0; s < n; s++ {
+		sLo, sHi := b.Offsets[s], b.Offsets[s+1]
+		gL, gH := g.Offsets[gLo+s], g.Offsets[gLo+s+1]
+		if sHi-sLo != gH-gL {
+			t.Fatalf("%s: bag %d size %d want %d", label, s, sHi-sLo, gH-gL)
+		}
+		for k := int32(0); k < sHi-sLo; k++ {
+			if b.Indices[sLo+k] != g.Indices[gL+k] {
+				t.Fatalf("%s: bag %d index %d mismatch", label, s, k)
+			}
+		}
+	}
+}
+
+// TestFillRangeReassemblesGlobalBatch is the sharding property test: for
+// every dataset and random rank counts 2–8, the concatenation of the
+// per-rank FillRange slices must reproduce Dataset.Batch exactly — dense
+// features, labels, and sparse offsets/indices — including the uneven
+// shard boundaries a non-divisible N produces.
+func TestFillRangeReassemblesGlobalBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for name, ds := range testDatasets(t) {
+		for trial := 0; trial < 6; trial++ {
+			R := 2 + rng.Intn(7) // 2..8
+			n := 16 + rng.Intn(80)
+			it := rng.Intn(5)
+			global := ds.Batch(it, n)
+			shard := &MiniBatch{} // reused across ranks: catches stale-buffer bugs
+			covered := 0
+			for r := 0; r < R; r++ {
+				lo, hi := n*r/R, n*(r+1)/R
+				ds.FillRange(it, n, lo, hi, shard)
+				if shard.N != hi-lo {
+					t.Fatalf("%s R=%d rank %d: shard size %d want %d", name, R, r, shard.N, hi-lo)
+				}
+				sameBatchSlice(t, fmt.Sprintf("%s R=%d rank %d", name, R, r), global, lo, shard)
+				covered += shard.N
+			}
+			if covered != n {
+				t.Fatalf("%s R=%d: shards cover %d of %d samples", name, R, covered, n)
+			}
+		}
+	}
+}
+
+// TestFillTableColumnMatchesBatch checks the model-parallel column read: a
+// table owner regenerating one table's bags over any sample range must get
+// exactly the global batch's column.
+func TestFillTableColumnMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, ds := range testDatasets(t) {
+		n := 48
+		global := ds.Batch(3, n)
+		col := &embedding.Batch{}
+		for ti := 0; ti < ds.NumTables(); ti++ {
+			for trial := 0; trial < 4; trial++ {
+				lo := rng.Intn(n)
+				hi := lo + 1 + rng.Intn(n-lo)
+				ds.FillTableColumn(3, n, ti, lo, hi, col)
+				sameColumnSlice(t, fmt.Sprintf("%s col %d [%d,%d)", name, ti, lo, hi),
+					global.Sparse[ti], lo, col, hi-lo)
+			}
+		}
+	}
+}
+
+// TestShardedLoaderMatchesGlobalBatch drives the full loader: per-rank
+// ShardedLoaders must stream batches whose concatenation reproduces the
+// global batch sequence, with owned-table columns equal to the global
+// batch's columns.
+func TestShardedLoaderMatchesGlobalBatch(t *testing.T) {
+	for name, ds := range testDatasets(t) {
+		const R, n, iters = 3, 30, 4
+		owned := make([][]int, R)
+		for ti := 0; ti < ds.NumTables(); ti++ {
+			owned[ti%R] = append(owned[ti%R], ti)
+		}
+		loaders := make([]*ShardedLoader, R)
+		for r := 0; r < R; r++ {
+			loaders[r] = NewShardedLoader(LoaderConfig{
+				DS: ds, GlobalN: n, Rank: r, Ranks: R, Owned: owned[r], Start: 1,
+			})
+			defer loaders[r].Close()
+		}
+		for it := 1; it <= iters; it++ {
+			global := ds.Batch(it, n)
+			for r := 0; r < R; r++ {
+				rb := loaders[r].Next()
+				if rb.Iter != it {
+					t.Fatalf("%s rank %d: iter %d want %d", name, r, rb.Iter, it)
+				}
+				sameBatchSlice(t, fmt.Sprintf("%s rank %d iter %d", name, r, it), global, n*r/R, rb.Local)
+				for li, ti := range owned[r] {
+					sameColumnSlice(t, fmt.Sprintf("%s rank %d owned %d", name, r, ti),
+						global.Sparse[ti], 0, rb.Owned[li], n)
+				}
+			}
+		}
+	}
+}
+
+// TestGlobalReadLoaderMatchesSharded pins the baseline-vs-fixed
+// equivalence: the artifact loader and the sharded loader must produce
+// bit-identical RankBatches (that is what makes the loss-parity acceptance
+// check trivial to reason about).
+func TestGlobalReadLoaderMatchesSharded(t *testing.T) {
+	ds := NewClickLog(21, 5, []int{300, 11, 90}, 2)
+	const R, n = 4, 24
+	owned := []int{1, 2}
+	sh := NewShardedLoader(LoaderConfig{DS: ds, GlobalN: n, Rank: 1, Ranks: R, Owned: owned})
+	defer sh.Close()
+	gl := NewGlobalReadLoader(LoaderConfig{DS: ds, GlobalN: n, Rank: 1, Ranks: R, Owned: owned})
+	defer gl.Close()
+	for it := 0; it < 3; it++ {
+		a, b := sh.Next(), gl.Next()
+		if a.Iter != b.Iter {
+			t.Fatalf("iter skew: %d vs %d", a.Iter, b.Iter)
+		}
+		sameBatchSlice(t, "sharded vs global local", b.Local, 0, a.Local)
+		for li := range owned {
+			sameColumnSlice(t, fmt.Sprintf("owned %d", li), b.Owned[li], 0, a.Owned[li], n)
+		}
+	}
+}
+
+// TestLoaderBuffersReuseAcrossLoaders checks the cross-run story the
+// distributed workspaces rely on: successive loaders borrowing one
+// LoaderBuffers — including switching between the artifact and sharded
+// kinds — keep producing correct batches.
+func TestLoaderBuffersReuseAcrossLoaders(t *testing.T) {
+	ds := NewClickLog(3, 4, []int{120, 60}, 2)
+	bufs := &LoaderBuffers{}
+	const R, n = 2, 20
+	owned := []int{0}
+	for round := 0; round < 3; round++ {
+		var ld Loader
+		if round%2 == 0 {
+			ld = NewGlobalReadLoader(LoaderConfig{DS: ds, GlobalN: n, Rank: 0, Ranks: R, Owned: owned, Buffers: bufs})
+		} else {
+			ld = NewShardedLoader(LoaderConfig{DS: ds, GlobalN: n, Rank: 0, Ranks: R, Owned: owned, Buffers: bufs})
+		}
+		for it := 0; it < 3; it++ {
+			rb := ld.Next()
+			global := ds.Batch(it, n)
+			sameBatchSlice(t, fmt.Sprintf("round %d iter %d", round, it), global, 0, rb.Local)
+			sameColumnSlice(t, "owned col", global.Sparse[0], 0, rb.Owned[0], n)
+		}
+		ld.Close()
+	}
+}
+
+// TestShardIntoRaggedAndEmptyBags is the regression test for the sparse
+// offset rebasing of MiniBatch.Shard/ShardInto over ragged lookups
+// (variable bag sizes, including empty bags and shard slices whose tables
+// contribute zero indices). The reported failure mode — a ClickLog shard
+// coming back with empty sparse batches — must stay impossible.
+func TestShardIntoRaggedAndEmptyBags(t *testing.T) {
+	// A ClickLog shard must never lose its lookups.
+	ds := NewClickLog(13, 4, []int{500, 3, 77}, 5)
+	mb := ds.Batch(2, 17)
+	out := &MiniBatch{}
+	for r := 0; r < 4; r++ {
+		mb.ShardInto(r, 4, out)
+		if err := out.Validate([]int{500, 3, 77}); err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		for ti, b := range out.Sparse {
+			if b.NumLookups() != out.N*5 {
+				t.Errorf("rank %d table %d: %d lookups want %d (empty-shard regression)",
+					r, ti, b.NumLookups(), out.N*5)
+			}
+		}
+		sameBatchSlice(t, fmt.Sprintf("clicklog rank %d", r), mb, mb.N*r/4, out)
+	}
+
+	// Ragged case: hand-built batch with variable and empty bags.
+	rng := rand.New(rand.NewSource(9))
+	ragged := &MiniBatch{N: 10, Dense: tensor.NewDense(10, 2), Labels: make([]float32, 10)}
+	ragged.Sparse = []*embedding.Batch{
+		embedding.MakeVariableBatch(rng, embedding.Uniform{}, 10, 0, 6, 40),
+		embedding.MakeVariableBatch(rng, embedding.Uniform{}, 10, 0, 1, 40),
+	}
+	for R := 2; R <= 8; R++ {
+		for r := 0; r < R; r++ {
+			ragged.ShardInto(r, R, out)
+			if err := out.Validate([]int{40, 40}); err != nil {
+				t.Fatalf("ragged R=%d rank %d: %v", R, r, err)
+			}
+			sameBatchSlice(t, fmt.Sprintf("ragged R=%d rank %d", R, r), ragged, ragged.N*r/R, out)
+		}
+	}
+}

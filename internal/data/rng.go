@@ -1,0 +1,85 @@
+package data
+
+import "math"
+
+// Per-sample counter-based random streams.
+//
+// The original generators drew one sequential rand.Rand stream per batch,
+// which forces whoever wants sample s to first generate samples 0..s-1 —
+// exactly the "every rank reads the full global minibatch" access pattern
+// of the §VI-D2 loader artifact. Sharded loading needs random access: rank
+// r must materialize samples [r·N/R, (r+1)·N/R) — and, for the tables it
+// owns under model parallelism, one table's column over ALL samples —
+// without touching the rest. So every (batch, sample) and every (batch,
+// sample, table) pair seeds its own splitmix64 stream, derived purely from
+// the dataset seed and those coordinates. Streams are value types on the
+// caller's stack: generation performs no heap allocation and is safe for
+// concurrent fills of distinct buffers.
+type sampleRNG struct {
+	s uint64
+}
+
+// splitmix64 is the stream generator: tiny state, cheap seeding, passes
+// BigCrush — exactly what per-sample seeding needs (a rand.Rand would cost
+// an allocation and a ~2 KiB reseed per sample).
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// streamSeed hashes the four stream coordinates into a seed. Each
+// coordinate passes through one splitmix round before mixing so that
+// adjacent (batch, sample) pairs land in unrelated states.
+func streamSeed(seed int64, tag uint64, batch, sub int) sampleRNG {
+	s := uint64(seed) ^ tag
+	splitmix64(&s)
+	s ^= uint64(batch) * 0x5851F42D4C957F2D
+	splitmix64(&s)
+	s ^= uint64(sub) * 0xDA942042E4DD58B5
+	splitmix64(&s)
+	return sampleRNG{s}
+}
+
+// sampleStream returns the stream for sample `sample` of batch `batch`
+// (dense features and the label draw).
+func sampleStream(seed int64, tag uint64, batch, sample int) sampleRNG {
+	return streamSeed(seed, tag, batch, sample)
+}
+
+// tableStream returns the stream for table t's lookups of sample `sample`
+// of batch `batch` — independent of sampleStream so a table column can be
+// regenerated on its own.
+func tableStream(seed int64, tag uint64, batch, sample, t int) sampleRNG {
+	return streamSeed(seed, tag^(0x9E3779B97F4A7C15*uint64(t+1)), batch, sample)
+}
+
+// Stream tags keep the datasets' draws disjoint even under equal seeds.
+const (
+	randomTag   = 0x52414E44 // "RAND"
+	clickTag    = 0x434C4943 // "CLIC"
+	clickLblTag = 0x4C41424C // "LABL"
+)
+
+// u64 returns the next raw 64-bit value.
+func (g *sampleRNG) u64() uint64 { return splitmix64(&g.s) }
+
+// f64 returns a uniform float64 in [0, 1).
+func (g *sampleRNG) f64() float64 {
+	return float64(g.u64()>>11) / (1 << 53)
+}
+
+// f32 returns a uniform float32 in [0, 1).
+func (g *sampleRNG) f32() float32 {
+	return float32(g.u64()>>40) / (1 << 24)
+}
+
+// norm returns a standard normal via Box-Muller (two uniforms per call; the
+// second root is discarded to keep the stream's draw count fixed per call).
+func (g *sampleRNG) norm() float64 {
+	u1 := g.f64()
+	u2 := g.f64()
+	return math.Sqrt(-2*math.Log(u1+1e-300)) * math.Cos(2*math.Pi*u2)
+}

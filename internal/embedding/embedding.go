@@ -74,6 +74,20 @@ type Batch struct {
 // NumBags returns N.
 func (b *Batch) NumBags() int { return len(b.Offsets) - 1 }
 
+// Reset prepares b for refilling with n bags: offsets are sized to n+1 with
+// Offsets[0] = 0 and the index list is truncated (capacity retained), so a
+// fill loop of appends reallocates nothing once the batch has reached its
+// steady-state lookup count.
+func (b *Batch) Reset(n int) {
+	if cap(b.Offsets) < n+1 {
+		b.Offsets = make([]int32, n+1)
+	} else {
+		b.Offsets = b.Offsets[:n+1]
+	}
+	b.Offsets[0] = 0
+	b.Indices = b.Indices[:0]
+}
+
 // NumLookups returns NS.
 func (b *Batch) NumLookups() int { return len(b.Indices) }
 

@@ -24,6 +24,17 @@ type Uniform struct{}
 // Draw implements IndexDist.
 func (Uniform) Draw(rng *rand.Rand, m int) int32 { return int32(rng.Intn(m)) }
 
+// DrawU maps a uniform u ∈ [0, 1) to a row index — the inverse-CDF core of
+// Draw, usable with any uniform source (the per-sample counter-based
+// streams of the data package feed it without a rand.Rand).
+func (Uniform) DrawU(u float64, m int) int32 {
+	r := int32(u * float64(m))
+	if int(r) >= m {
+		r = int32(m - 1)
+	}
+	return r
+}
+
 // Name implements IndexDist.
 func (Uniform) Name() string { return "uniform" }
 
@@ -38,13 +49,16 @@ type Zipf struct {
 
 // Draw implements IndexDist using inverse-CDF sampling on a harmonic
 // approximation; adequate for workload generation and allocation-free.
-func (z Zipf) Draw(rng *rand.Rand, m int) int32 {
+func (z Zipf) Draw(rng *rand.Rand, m int) int32 { return z.DrawU(rng.Float64(), m) }
+
+// DrawU maps a uniform u ∈ [0, 1) to a Zipf-distributed row index — the
+// inverse-CDF core of Draw, usable with any uniform source.
+func (z Zipf) DrawU(u float64, m int) int32 {
 	s := z.S
 	if s <= 0 {
 		s = 1
 	}
 	// Inverse CDF of the continuous analogue p(x) ∝ x^-s on [1, m+1).
-	u := rng.Float64()
 	var x float64
 	if s == 1 {
 		x = math.Exp(u * math.Log(float64(m)+1))

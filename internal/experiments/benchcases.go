@@ -72,6 +72,12 @@ func Fig16StepCase(prec core.Precision) (*core.Trainer, *data.MiniBatch) {
 // this single recipe so they cannot drift apart. The returned cleanup
 // closes the rank pools.
 func DistCase(cfg core.Config, ranks, globalN int, v core.Variant) (core.DistConfig, func()) {
+	return DistLoaderCase(cfg, ranks, globalN, v, core.LoaderNone)
+}
+
+// DistLoaderCase is DistCase with an explicit data-pipeline mode — the
+// recipe behind the loader-artifact vs sharded-loader benchmark pairs.
+func DistLoaderCase(cfg core.Config, ranks, globalN int, v core.Variant, mode core.LoaderMode) (core.DistConfig, func()) {
 	pools := cluster.NewPools()
 	dc := core.DistConfig{
 		Cfg:        cfg,
@@ -81,6 +87,7 @@ func DistCase(cfg core.Config, ranks, globalN int, v core.Variant) (core.DistCon
 		Variant:    v,
 		Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
 		Socket:     perfmodel.CLX8280,
+		Loader:     mode,
 		Pools:      pools,
 		Workspaces: core.NewDistWorkspaces(),
 	}
@@ -101,6 +108,40 @@ func Fig9DistCase() (core.DistConfig, func()) {
 // behind the Fig. 12 benchmarks.
 func Fig12DistCase() (core.DistConfig, func()) {
 	return DistCase(core.Large, 64, core.Large.LocalMB*64, ccl64)
+}
+
+// Fig9DistShardedCase is Fig9DistCase with the sharded streaming loader
+// charged — the fixed-pipeline counterpart tracked alongside the headline
+// strong-scaling run.
+func Fig9DistShardedCase() (core.DistConfig, func()) {
+	return DistLoaderCase(core.Large, 64, core.Large.GlobalMB, ccl64, core.LoaderSharded)
+}
+
+// Fig12DistShardedCase is the weak-scaling run with the sharded loader.
+func Fig12DistShardedCase() (core.DistConfig, func()) {
+	return DistLoaderCase(core.Large, 64, core.Large.LocalMB*64, ccl64, core.LoaderSharded)
+}
+
+// Fig12DistGlobalMBCase is the weak-scaling run carrying the §VI-D2
+// global-read artifact; its virtual ms/iter vs Fig12DistShardedCase is the
+// loader delta docs/PERF.md quotes.
+func Fig12DistGlobalMBCase() (core.DistConfig, func()) {
+	return DistLoaderCase(core.Large, 64, core.Large.LocalMB*64, ccl64, core.LoaderGlobalMB)
+}
+
+// LoaderNextCase returns a warmed-up sharded streaming loader over a
+// 26-table click-log — rank 1 of 8, owning four tables — the fixture
+// behind the loader-production benchmarks (host wall time per RankBatch:
+// the N/R sample slice plus the owned columns over the global batch).
+func LoaderNextCase() (*data.ShardedLoader, func()) {
+	rows := data.ScaleRows(data.CriteoTBRows, 1.0/16384)
+	ds := data.NewClickLog(1, 13, rows, 1)
+	owned := []int{1, 9, 17, 25}
+	ld := data.NewShardedLoader(data.LoaderConfig{
+		DS: ds, GlobalN: 2048, Rank: 1, Ranks: 8, Owned: owned,
+	})
+	ld.Next() // warmup: size the staging buffers
+	return ld, ld.Close
 }
 
 // FusedEmbeddingCase returns the table, batch, and output gradient of the

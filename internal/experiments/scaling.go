@@ -22,14 +22,14 @@ type scalingCase struct {
 	cfg       core.Config
 	strongR   []int
 	baseRanks int
-	loader    bool
+	loader    core.LoaderMode
 }
 
 func scalingCases() []scalingCase {
 	return []scalingCase{
-		{core.Small, []int{2, 4, 8}, 1, false},
-		{core.Large, []int{4, 8, 16, 32, 64}, 4, false},
-		{core.MLPerf, []int{2, 4, 8, 16, 26}, 1, true},
+		{core.Small, []int{2, 4, 8}, 1, core.LoaderNone},
+		{core.Large, []int{4, 8, 16, 32, 64}, 4, core.LoaderNone},
+		{core.MLPerf, []int{2, 4, 8, 16, 26}, 1, core.LoaderGlobalMB},
 	}
 }
 
@@ -50,20 +50,20 @@ func newDistSweep() *distSweep {
 func (sw *distSweep) close() { sw.pools.Close() }
 
 // runDist executes one timing-only distributed run on the OPA cluster.
-func (sw *distSweep) runDist(cfg core.Config, ranks, globalN int, v core.Variant, blocking, loader bool, iters int) *core.DistResult {
+func (sw *distSweep) runDist(cfg core.Config, ranks, globalN int, v core.Variant, blocking bool, loader core.LoaderMode, iters int) *core.DistResult {
 	globalN -= globalN % ranks // the paper's 26-rank runs shard 16K unevenly; we trim
 	return core.RunDistributed(core.DistConfig{
-		Cfg:            cfg,
-		Ranks:          ranks,
-		GlobalN:        globalN,
-		Iters:          iters,
-		Variant:        v,
-		Blocking:       blocking,
-		Topo:           fabric.NewPrunedFatTree(ranks, 12.5e9),
-		Socket:         perfmodel.CLX8280,
-		LoaderGlobalMB: loader,
-		Pools:          sw.pools,
-		Workspaces:     sw.wss,
+		Cfg:        cfg,
+		Ranks:      ranks,
+		GlobalN:    globalN,
+		Iters:      iters,
+		Variant:    v,
+		Blocking:   blocking,
+		Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
+		Socket:     perfmodel.CLX8280,
+		Loader:     loader,
+		Pools:      sw.pools,
+		Workspaces: sw.wss,
 	})
 }
 
