@@ -215,6 +215,24 @@ func BenchmarkFig12Weak64RGlobalMB(b *testing.B) {
 	benchDistFixture(b, experiments.Fig12DistGlobalMBCase)
 }
 
+// The overlap-aware pipeline variants of the Figs. 9/12 headline runs:
+// async backward redistribution with deferred waits and per-collective CCL
+// channels, plus the hierarchical two-level allreduce (fixtures shared with
+// dlrmbench -benchjson; virtual-ms/iter deltas vs the sync cases are the
+// comm-hiding figures of docs/PERF.md).
+func BenchmarkFig9Strong64ROverlap(b *testing.B) {
+	benchDistFixture(b, experiments.Fig9DistOverlapCase)
+}
+func BenchmarkFig12Weak64ROverlap(b *testing.B) {
+	benchDistFixture(b, experiments.Fig12DistOverlapCase)
+}
+func BenchmarkFig9Strong64RHier(b *testing.B) {
+	benchDistFixture(b, experiments.Fig9DistHierCase)
+}
+func BenchmarkFig12Weak64RHier(b *testing.B) {
+	benchDistFixture(b, experiments.Fig12DistHierCase)
+}
+
 // BenchmarkLoaderShardedNext measures steady-state per-rank batch
 // production by the sharded streaming loader (fixture shared with
 // dlrmbench -benchjson); -benchmem documents the zero-allocation property.

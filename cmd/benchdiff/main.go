@@ -135,11 +135,26 @@ func baselineKey(path string) (date string, pr int) {
 	return m[1], pr
 }
 
-// latestBaseline returns the newest committed BENCH_*.json by (date, PR).
-func latestBaseline(dir string) (string, error) {
+// latestBaseline returns the newest committed BENCH_*.json by (date, PR),
+// skipping exclude (the fresh report itself, when it was written into the
+// baseline directory — scripts/bench.sh does exactly that, and a report
+// must never gate against itself).
+func latestBaseline(dir, exclude string) (string, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return "", err
+	}
+	if exclude != "" {
+		if abs, err := filepath.Abs(exclude); err == nil {
+			kept := matches[:0]
+			for _, m := range matches {
+				if am, err := filepath.Abs(m); err == nil && am == abs {
+					continue
+				}
+				kept = append(kept, m)
+			}
+			matches = kept
+		}
 	}
 	if len(matches) == 0 {
 		return "", fmt.Errorf("no BENCH_*.json baseline found in %s", dir)
@@ -183,7 +198,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *oldPath == "" {
-		p, err := latestBaseline(*dir)
+		p, err := latestBaseline(*dir, *newPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			os.Exit(2)

@@ -86,15 +86,24 @@ func TestLatestBaselinePicksNewestDate(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, err := latestBaseline(dir)
+	got, err := latestBaseline(dir, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if filepath.Base(got) != "BENCH_2026-07-27-pr2.json" {
 		t.Errorf("latest baseline %s, want BENCH_2026-07-27-pr2.json", got)
 	}
-	if _, err := latestBaseline(t.TempDir()); err == nil {
+	if _, err := latestBaseline(t.TempDir(), ""); err == nil {
 		t.Error("empty dir must error")
+	}
+	// A fresh report written into the baseline directory (scripts/bench.sh)
+	// must never be picked as its own baseline.
+	got, err = latestBaseline(dir, filepath.Join(dir, "BENCH_2026-07-27-pr2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-07-27.json" {
+		t.Errorf("self-excluding baseline %s, want BENCH_2026-07-27.json", got)
 	}
 }
 

@@ -140,6 +140,16 @@ func writeBenchJSON(path string) error {
 		{"Fig9Strong64RSharded", experiments.Fig9DistShardedCase},
 		{"Fig12Weak64RSharded", experiments.Fig12DistShardedCase},
 		{"Fig12Weak64RGlobalMB", experiments.Fig12DistGlobalMBCase},
+		// Overlap-aware pipeline variants: the same headline runs with the
+		// async backward redistribution / deferred waits / channel routing,
+		// and with the hierarchical two-level allreduce selected — their
+		// virtual ms/iter deltas vs the sync cases are the comm-hiding
+		// figures the PERF doc quotes, and the regression gate keeps the
+		// overlapped dispatch path allocation-free and fast.
+		{"Fig9Strong64ROverlap", experiments.Fig9DistOverlapCase},
+		{"Fig12Weak64ROverlap", experiments.Fig12DistOverlapCase},
+		{"Fig9Strong64RHier", experiments.Fig9DistHierCase},
+		{"Fig12Weak64RHier", experiments.Fig12DistHierCase},
 	} {
 		dc, done := c.mk()
 		runBench(report, c.name, func(b *testing.B) {

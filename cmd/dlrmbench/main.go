@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dlrmbench -exp table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|loader|all
+//	dlrmbench -exp table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|loader|overlap|all
 //	dlrmbench -exp fig16 -iters 800        # more training iterations
 //	dlrmbench -exp fig7 -quick             # skip the slow Reference runs
 //	dlrmbench -benchjson BENCH_2026-07-27.json   # machine-readable kernel benchmarks
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 
 	"repro/internal/experiments"
@@ -77,6 +78,7 @@ func main() {
 	run("fig14", func() fmt.Stringer { return experiments.RunFig14(scale) })
 	run("fig15", func() fmt.Stringer { return experiments.RunFig15(scale) })
 	run("loader", func() fmt.Stringer { return experiments.RunLoaderPipeline(scale) })
+	run("overlap", func() fmt.Stringer { return experiments.RunOverlap(scale) })
 	run("fig16", func() fmt.Stringer {
 		o := experiments.DefaultFig16Opts()
 		if *quick {
@@ -93,9 +95,9 @@ func main() {
 	run("ablation-capacity", func() fmt.Stringer { return experiments.AblationCapacity() })
 	run("ablation-fused", func() fmt.Stringer { return experiments.AblationFusedEmbedding(3) })
 
-	known := "table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 loader " +
+	known := "table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 loader overlap " +
 		"ablation-allreduce ablation-commcores ablation-capacity ablation-fused all"
-	if *exp != "all" && !strings.Contains(known, *exp) {
+	if !slices.Contains(strings.Fields(known), *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: %s\n", *exp, known)
 		os.Exit(2)
 	}

@@ -180,10 +180,11 @@ type Rank struct {
 	ID  int
 	Eng *Engine
 
-	now      float64
-	commFree []float64
-	seq      int64
-	Stats    Stats
+	now       float64
+	commFree  []float64
+	asyncFree float64 // background-thread stream (Async): busy until here
+	seq       int64
+	Stats     Stats
 }
 
 // Pool returns this rank's persistent compute worker pool, lazily created
@@ -284,6 +285,29 @@ func (r *Rank) Prep(label string, seconds float64) {
 	r.Stats.Prep[label] += seconds
 }
 
+// Async charges seconds of background work — a prefetching loader goroutine,
+// a double-buffered staging copy — to a single per-rank background stream
+// that runs concurrently with the compute clock. The work starts now, or
+// when the previous Async operation finishes (one background thread, FIFO),
+// and the returned Handle exposes on Wait only whatever outlasts the compute
+// issued in the meantime. Busy time is recorded under label in CommBusy, so
+// hidden-vs-exposed accounting works exactly as for collectives; unlike a
+// collective it involves no rendezvous (the work is rank-local) and charges
+// no call overhead.
+func (r *Rank) Async(label string, seconds float64) Handle {
+	if seconds < 0 {
+		panic("cluster: negative async time")
+	}
+	start := r.now
+	if r.asyncFree > start {
+		start = r.asyncFree
+	}
+	finish := start + seconds
+	r.asyncFree = finish
+	r.Stats.CommBusy[label] += seconds
+	return Handle{Label: label, finish: finish}
+}
+
 // Collective issues one collective operation. payload carries this rank's
 // contribution (a pointer to real data and/or receive buffers); lead runs
 // once, on the last-arriving rank with that rank's arg, moving data between
@@ -296,13 +320,27 @@ func (r *Rank) Prep(label string, seconds float64) {
 // Channel selection: MPI has one FIFO channel; CCL spreads labels across
 // its channels so independent collectives progress concurrently.
 func (r *Rank) Collective(label string, payload, arg any, lead LeaderFunc) Handle {
+	return r.CollectiveOn(label, -1, payload, arg, lead)
+}
+
+// CollectiveOn is Collective with an explicit channel hint: channel ≥ 0 pins
+// the operation to that CCL channel (taken mod CCLChannels), so callers that
+// issue several concurrent collectives can place them on distinct FIFOs and
+// have the per-channel queueing model charge true contention instead of
+// whatever the label hash happens to collide. channel < 0 keeps the default
+// label-hash placement; the MPI backend always has exactly one channel.
+func (r *Rank) CollectiveOn(label string, channel int, payload, arg any, lead LeaderFunc) Handle {
 	cfg := r.Eng.Cfg
 	r.now += cfg.CallOverhead
 	r.Stats.Prep[label] += cfg.CallOverhead
 
 	ch := 0
 	if cfg.Backend == CCLBackend {
-		ch = hashLabel(label) % len(r.commFree)
+		if channel >= 0 {
+			ch = channel % len(r.commFree)
+		} else {
+			ch = hashLabel(label) % len(r.commFree)
+		}
 	}
 	ready := r.now
 	if r.commFree[ch] > ready {

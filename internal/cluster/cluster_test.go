@@ -158,6 +158,97 @@ func TestCCLChannelsOverlapIndependentOps(t *testing.T) {
 	}
 }
 
+func TestCollectiveOnPinsChannel(t *testing.T) {
+	// Same label, explicit distinct channels: the two operations must run
+	// concurrently instead of serializing on the label-hash channel.
+	cfg := testCfg(2, CCLBackend)
+	cfg.CCLChannels = 4
+	pinned := Run(cfg, func(r *Rank) {
+		x1 := &sumXchg{dur: 0.4}
+		h1 := r.CollectiveOn("redist", 0, x1, x1, sumLead)
+		x2 := &sumXchg{dur: 0.4}
+		h2 := r.CollectiveOn("redist", 1, x2, x2, sumLead)
+		r.Wait(h1)
+		r.Wait(h2)
+	})
+	hashed := Run(cfg, func(r *Rank) {
+		_, h1 := sumCollective(r, "redist", 0, 0.4)
+		_, h2 := sumCollective(r, "redist", 0, 0.4)
+		r.Wait(h1)
+		r.Wait(h2)
+	})
+	for i := range pinned {
+		pw, hw := pinned[i].TotalWait(), hashed[i].TotalWait()
+		if pw >= hw {
+			t.Fatalf("rank %d: pinned channels wait %g must beat same-channel FIFO %g", i, pw, hw)
+		}
+	}
+	// MPI has a single channel: a hint must not change anything.
+	mpi := Run(testCfg(2, MPIBackend), func(r *Rank) {
+		x1 := &sumXchg{dur: 0.4}
+		h1 := r.CollectiveOn("redist", 0, x1, x1, sumLead)
+		x2 := &sumXchg{dur: 0.4}
+		h2 := r.CollectiveOn("redist", 3, x2, x2, sumLead)
+		r.Wait(h1)
+		r.Wait(h2)
+	})
+	for i := range mpi {
+		if mpi[i].TotalWait() < 0.79 {
+			t.Fatalf("rank %d: MPI must serialize regardless of channel hints (wait %g)", i, mpi[i].TotalWait())
+		}
+	}
+}
+
+func TestAsyncBackgroundCharge(t *testing.T) {
+	// Async work is hidden behind compute issued before its Wait, exposed
+	// only when compute is too short, and FIFO on its one background thread.
+	Run(testCfg(1, CCLBackend), func(r *Rank) {
+		h := r.Async("loader", 0.3)
+		r.Compute(0.5) // longer than the prefetch: fully hidden
+		t0 := r.Now()
+		r.Wait(h)
+		if r.Now() != t0 {
+			t.Errorf("hidden async work advanced the clock: %g → %g", t0, r.Now())
+		}
+
+		h = r.Async("loader", 0.3)
+		r.Compute(0.1) // too short: 0.2 exposed
+		t0 = r.Now()
+		r.Wait(h)
+		if d := r.Now() - t0; !close1e9(d, 0.2) {
+			t.Errorf("exposed async time %g, want 0.2", d)
+		}
+
+		// Two charges queue on the single background thread: the second
+		// starts when the first finishes, not at issue time.
+		start := r.Now()
+		h1 := r.Async("loader", 0.2)
+		h2 := r.Async("loader", 0.2)
+		r.Wait(h1)
+		r.Wait(h2)
+		if d := r.Now() - start; !close1e9(d, 0.4) {
+			t.Errorf("queued async charges took %g, want 0.4 (FIFO background thread)", d)
+		}
+	})
+	// Accounting: busy under the label, exposure under Wait.
+	stats := Run(testCfg(1, CCLBackend), func(r *Rank) {
+		h := r.Async("loader", 0.3)
+		r.Compute(0.1)
+		r.Wait(h)
+	})
+	if b := stats[0].CommBusy["loader"]; !close1e9(b, 0.3) {
+		t.Errorf("async busy %g, want 0.3", b)
+	}
+	if w := stats[0].Wait["loader"]; !close1e9(w, 0.2) {
+		t.Errorf("async exposed wait %g, want 0.2", w)
+	}
+}
+
+func close1e9(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
 func TestMPIInterferenceInflatesOverlappedCompute(t *testing.T) {
 	stats := Run(testCfg(2, MPIBackend), func(r *Rank) {
 		_, h := sumCollective(r, "ar", 0, 1.0)

@@ -25,6 +25,20 @@ const (
 	// carries (R−1)·bytes in each direction. The baseline a framework uses
 	// when nobody tuned it.
 	FlatTree
+	// Hierarchical is the two-level allreduce matching the cluster's
+	// dual-socket nodes (§V-B): an intra-node ring reduce-scatter leaves each
+	// socket owning 1/G of the reduced node sum, G concurrent inter-node
+	// rings allreduce the shards across nodes, and an intra-node all-gather
+	// reassembles. Same total volume as the flat ring but 2(G−1)+2(R/G−1)
+	// phases instead of 2(R−1) — it trades nothing to halve the latency term
+	// at G=2, which is what makes it strictly faster on the OPA fat-tree.
+	Hierarchical
+	// BinaryTree is the NCCL-style pipelined double binary tree: two
+	// complementary trees each reduce-and-broadcast half the message in
+	// chunks, so every rank sends/receives at most two chunk streams per
+	// step. Depth-many phases instead of R−1: latency-friendly at scale,
+	// but the interior ranks' 2-child fan-in caps bandwidth below the ring.
+	BinaryTree
 )
 
 // String returns the algorithm name.
@@ -36,13 +50,28 @@ func (a AllreduceAlgo) String() string {
 		return "recursive halving"
 	case FlatTree:
 		return "flat tree"
+	case Hierarchical:
+		return "hierarchical 2-level"
+	case BinaryTree:
+		return "binary tree"
 	default:
 		return "unknown"
 	}
 }
 
 // AllreduceAlgos lists the modeled algorithms.
-var AllreduceAlgos = []AllreduceAlgo{RingRSAG, RecursiveHalving, FlatTree}
+var AllreduceAlgos = []AllreduceAlgo{RingRSAG, RecursiveHalving, FlatTree, Hierarchical, BinaryTree}
+
+// HierGroupSize returns the intra-node group size of the Hierarchical
+// allreduce for a communicator of r ranks: the paper's cluster packs two
+// sockets (ranks) per node, so groups of 2 whenever r divides evenly; odd or
+// trivial sizes fall back to 1 (plain ring).
+func HierGroupSize(r int) int {
+	if r > 2 && r%2 == 0 {
+		return 2
+	}
+	return 1
+}
 
 // AllreduceTimeAlgo returns the modeled duration of an allreduce of bytes
 // per rank under the chosen algorithm.
@@ -82,6 +111,62 @@ func (c *Comm) AllreduceTimeAlgo(algo AllreduceAlgo, bytes float64) float64 {
 			c.flows = append(c.flows, fabric.Flow{Src: 0, Dst: i, Bytes: bytes})
 		}
 		return total + c.fab.PhaseTime(c.Topo, c.flows)
+	case Hierarchical:
+		g := HierGroupSize(r)
+		if g <= 1 {
+			return c.AllreduceTime(bytes)
+		}
+		n := r / g // nodes
+		var total float64
+		// Intra-node ring phase: rank i sends bytes/G to the next rank of its
+		// group; G−1 such phases reduce-scatter, G−1 more all-gather at the
+		// end. Group neighbours share a leaf, so these phases never cross the
+		// trunk and pay the short latency.
+		c.flows = c.flows[:0]
+		for i := 0; i < r; i++ {
+			base := (i / g) * g
+			c.flows = append(c.flows, fabric.Flow{Src: i, Dst: base + (i-base+1)%g, Bytes: bytes / float64(g)})
+		}
+		total += 2 * float64(g-1) * c.fab.PhaseTime(c.Topo, c.flows)
+		if n > 1 {
+			// Inter-node phase: G concurrent rings (one per local shard
+			// index), each allreducing bytes/G over the n nodes — every rank
+			// sends bytes/R to its same-index peer in the next node.
+			c.flows = c.flows[:0]
+			for i := 0; i < r; i++ {
+				c.flows = append(c.flows, fabric.Flow{Src: i, Dst: (i + g) % r, Bytes: bytes / float64(r)})
+			}
+			total += 2 * float64(n-1) * c.fab.PhaseTime(c.Topo, c.flows)
+		}
+		return total
+	case BinaryTree:
+		// Double binary tree, pipelined: tree A is the heap-order tree over
+		// ranks, tree B its mirror (heap order over reversed ids), each
+		// carrying half the message split into chunks. In steady state every
+		// tree edge moves one chunk up (reduce) and one down (broadcast) per
+		// step — full-duplex links charge the directions separately — and the
+		// pipeline drains after depth-of-both-passes + chunks − 1 steps.
+		depth := bits.Len(uint(r - 1))
+		chunks := 4 * depth
+		if chunks < 8 {
+			chunks = 8
+		}
+		per := bytes / 2 / float64(chunks)
+		c.flows = c.flows[:0]
+		for i := 1; i < r; i++ {
+			pa := (i - 1) / 2 // tree A parent (heap order)
+			c.flows = append(c.flows,
+				fabric.Flow{Src: i, Dst: pa, Bytes: per},
+				fabric.Flow{Src: pa, Dst: i, Bytes: per})
+			// Tree B: the same heap shape over reversed rank ids, so interior
+			// ranks of tree A are leaves of tree B and vice versa.
+			child, pb := r-1-i, r-1-(i-1)/2
+			c.flows = append(c.flows,
+				fabric.Flow{Src: child, Dst: pb, Bytes: per},
+				fabric.Flow{Src: pb, Dst: child, Bytes: per})
+		}
+		steps := 2*depth + chunks - 1
+		return float64(steps) * c.fab.PhaseTime(c.Topo, c.flows)
 	default:
 		return c.AllreduceTime(bytes)
 	}

@@ -76,10 +76,90 @@ func TestAllreduceAlgoSingleRankFree(t *testing.T) {
 }
 
 func TestAllreduceAlgoNames(t *testing.T) {
-	if RingRSAG.String() == "" || RecursiveHalving.String() == "" || FlatTree.String() == "" {
-		t.Fatal("names missing")
+	for _, a := range AllreduceAlgos {
+		if a.String() == "" || a.String() == "unknown" {
+			t.Fatalf("algo %d has no name", int(a))
+		}
 	}
 	if AllreduceAlgo(99).String() != "unknown" {
 		t.Fatal("unknown algo name")
+	}
+}
+
+// TestHierarchicalBeatsRingOnFatTree pins the two-level algorithm's win:
+// same total volume as the flat ring but 2(G−1)+2(R/G−1) phases instead of
+// 2(R−1), so the per-phase latency term halves at G=2 — strictly faster on
+// the OPA fat-tree at every volume, with the gap largest when latency
+// dominates.
+func TestHierarchicalBeatsRingOnFatTree(t *testing.T) {
+	c, release := commAt(64)
+	defer release()
+	for _, bytes := range []float64{4e3, 9.5e6, 1e9} {
+		ring := c.AllreduceTimeAlgo(RingRSAG, bytes)
+		hier := c.AllreduceTimeAlgo(Hierarchical, bytes)
+		if hier >= ring {
+			t.Errorf("hierarchical (%g) must strictly beat ring (%g) at %g bytes", hier, ring, bytes)
+		}
+	}
+	small := c.AllreduceTimeAlgo(Hierarchical, 4e3) / c.AllreduceTimeAlgo(RingRSAG, 4e3)
+	large := c.AllreduceTimeAlgo(Hierarchical, 1e9) / c.AllreduceTimeAlgo(RingRSAG, 1e9)
+	if small >= large {
+		t.Errorf("hierarchical advantage should shrink as bandwidth dominates: ratio %.3f (4KB) vs %.3f (1GB)", small, large)
+	}
+}
+
+// TestHierarchicalFallsBackToRing documents the group rule: with no even
+// node grouping (odd or trivial rank counts) the hierarchical algorithm
+// degenerates to the plain ring, charging the identical time.
+func TestHierarchicalFallsBackToRing(t *testing.T) {
+	for _, ranks := range []int{2, 7} {
+		c, release := commAt(ranks)
+		ring := c.AllreduceTimeAlgo(RingRSAG, 1e6)
+		hier := c.AllreduceTimeAlgo(Hierarchical, 1e6)
+		release()
+		if hier != ring {
+			t.Errorf("%dR: hierarchical (%g) must equal ring (%g) without an even grouping", ranks, hier, ring)
+		}
+	}
+	if g := HierGroupSize(2); g != 1 {
+		t.Errorf("HierGroupSize(2) = %d, want 1 (a 2-rank ring has nothing to nest)", g)
+	}
+	if g := HierGroupSize(64); g != 2 {
+		t.Errorf("HierGroupSize(64) = %d, want 2 (dual-socket nodes)", g)
+	}
+}
+
+// TestBinaryTreeTradeoffs pins the NCCL-style double binary tree to its
+// regime: depth-many pipelined phases beat the ring's 2(R−1) latencies on
+// tiny messages, while the interior fan-in keeps it behind the ring (but
+// far ahead of the untuned flat tree) on bandwidth-bound volumes.
+func TestBinaryTreeTradeoffs(t *testing.T) {
+	c, release := commAt(64)
+	defer release()
+	const tiny, huge = 4e3, 1e9
+	if tree, ring := c.AllreduceTimeAlgo(BinaryTree, tiny), c.AllreduceTimeAlgo(RingRSAG, tiny); tree >= ring {
+		t.Errorf("binary tree (%g) must beat ring (%g) on 4KB: 2log2(R) phases vs 2(R-1)", tree, ring)
+	}
+	tree, ring := c.AllreduceTimeAlgo(BinaryTree, huge), c.AllreduceTimeAlgo(RingRSAG, huge)
+	flat := c.AllreduceTimeAlgo(FlatTree, huge)
+	if tree <= ring {
+		t.Errorf("binary tree (%g) should trail ring (%g) on 1GB: 2-child fan-in caps bandwidth", tree, ring)
+	}
+	if tree >= flat/4 {
+		t.Errorf("binary tree (%g) must be far ahead of the flat tree (%g) on 1GB", tree, flat)
+	}
+}
+
+// TestAllreduceAlgoPositiveAcrossRanks guards the flow construction of the
+// new algorithms over awkward sizes (odd, non-power-of-two, minimum).
+func TestAllreduceAlgoPositiveAcrossRanks(t *testing.T) {
+	for _, ranks := range []int{2, 3, 5, 6, 26, 64} {
+		c, release := commAt(ranks)
+		for _, a := range AllreduceAlgos {
+			if d := c.AllreduceTimeAlgo(a, 1e6); d <= 0 {
+				t.Errorf("%dR %v: non-positive duration %g", ranks, a, d)
+			}
+		}
+		release()
 	}
 }

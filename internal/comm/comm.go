@@ -58,6 +58,7 @@ type xchg struct {
 	bytes    float64 // modeled volume (total or per-block, per collective)
 	blockLen int
 	root     int
+	algo     AllreduceAlgo // allreduce cost-model selector (AllreduceAlgoCost)
 }
 
 // New returns the communicator for rank r over topo.
@@ -76,8 +77,14 @@ func (c *Comm) Size() int { return c.size }
 // issue resets the parameter fields of the reusable record and hands it to
 // the cluster rendezvous.
 func (c *Comm) issue(label string, lead cluster.LeaderFunc, p xchg) cluster.Handle {
+	return c.issueOn(label, -1, lead, p)
+}
+
+// issueOn is issue with an explicit CCL channel hint (see
+// cluster.Rank.CollectiveOn); ch < 0 keeps label-hash placement.
+func (c *Comm) issueOn(label string, ch int, lead cluster.LeaderFunc, p xchg) cluster.Handle {
 	c.pay = p
-	return c.R.Collective(label, &c.pay, &c.pay, lead)
+	return c.R.CollectiveOn(label, ch, &c.pay, &c.pay, lead)
 }
 
 // ringFlows fills the scratch flow list with the neighbour exchanges of one

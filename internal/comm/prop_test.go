@@ -62,6 +62,62 @@ func TestAllreducePropertyRandom(t *testing.T) {
 	}
 }
 
+// TestAllreduceAlgoLeadersPropertyRandom pins the algorithm-selectable
+// allreduce leader to the mathematical definition: whatever cost model is
+// selected (ring, recursive halving, flat tree, hierarchical two-level,
+// binary tree) and whatever CCL channel the collective is pinned to, the
+// data movement must equal the naive single-threaded sum over random rank
+// counts 2–8 — and the charged busy time must match the algorithm's cost
+// model exactly.
+func TestAllreduceAlgoLeadersPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 30; trial++ {
+		ranks := 2 + rng.Intn(7) // 2..8
+		n := 1 + rng.Intn(200)
+		avg := rng.Intn(2) == 0
+		algo := AllreduceAlgos[rng.Intn(len(AllreduceAlgos))]
+		ch := rng.Intn(5) - 1 // -1 (label hash) .. 3 (pinned)
+		backend := cluster.CCLBackend
+		if rng.Intn(2) == 0 {
+			backend = cluster.MPIBackend
+		}
+		in := randInputs(rng, ranks, n)
+
+		want := make([]float64, n)
+		for _, v := range in {
+			for j, x := range v {
+				want[j] += float64(x)
+			}
+		}
+		if avg {
+			for j := range want {
+				want[j] /= float64(ranks)
+			}
+		}
+		stats := runComm(ranks, backend, func(c *Comm) {
+			buf := append([]float32(nil), in[c.Rank()]...)
+			h := c.AllreduceAlgoCost("ar", ch, buf, avg, float64(4*n), algo)
+			c.R.Wait(h)
+			for j := range buf {
+				if math.Abs(float64(buf[j])-want[j]) > 1e-4 {
+					t.Errorf("trial %d ranks=%d algo=%v ch=%d: rank %d elem %d = %g want %g",
+						trial, ranks, algo, ch, c.Rank(), j, buf[j], want[j])
+					return
+				}
+			}
+			wantT := c.AllreduceTimeAlgo(algo, float64(4*n))
+			if wantT <= 0 {
+				t.Errorf("trial %d: algo %v charged non-positive time %g", trial, algo, wantT)
+			}
+		})
+		for rk, s := range stats {
+			if s.CommBusy["ar"] <= 0 {
+				t.Fatalf("trial %d algo=%v: rank %d recorded no allreduce busy time", trial, algo, rk)
+			}
+		}
+	}
+}
+
 func TestAlltoallPropertyRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(202))
 	for trial := 0; trial < 20; trial++ {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/comm"
@@ -122,6 +123,19 @@ type DistConfig struct {
 	// also selects which real loader feeds the ranks (LoaderNone trains
 	// through the sharded pipeline without charging for it).
 	Loader LoaderMode
+	// Overlap enables the overlap-aware pipeline (§IV-A, §VI-D): the
+	// backward embedding redistribution is issued as soon as the interaction
+	// backward produces its gradients and waited only at the embedding
+	// update, the loader's per-iteration charge runs on the background
+	// prefetch stream hidden behind the previous iteration's compute, and
+	// concurrent collectives are pinned to distinct CCL channels. False
+	// reproduces the paper's instrumented synchronous schedule (backward
+	// redistribution waited where issued, loader charged serially).
+	Overlap bool
+	// Allreduce selects the MLP-gradient allreduce algorithm's cost model
+	// (data movement is identical). The zero value is the ring
+	// reduce-scatter+all-gather the paper's tuned runs use.
+	Allreduce comm.AllreduceAlgo
 
 	// Functional execution: when RunCfg is non-nil, every rank instantiates
 	// a scaled model shard and really trains on Dataset (used by the
@@ -165,6 +179,53 @@ func (r *DistResult) TotalCommPerIter() float64 {
 		t += v
 	}
 	return t
+}
+
+// Exposure decomposes one collective label's per-iteration time: Busy is
+// the raw in-flight duration the cost models charged, Exposed the part the
+// compute stream actually stalled on, and Hidden the part overlapped behind
+// compute — the "how much communication is hidden" figure of §IV-A/§VI-D.
+// Exposed can exceed Busy when per-channel FIFO queueing delays an
+// operation's start beyond its issue point; Hidden is clamped at zero.
+type Exposure struct {
+	Label   string
+	Busy    float64
+	Exposed float64
+	Hidden  float64
+}
+
+// HiddenShare returns the fraction of the label's busy time hidden behind
+// compute (0 when the label never went busy).
+func (e Exposure) HiddenShare() float64 {
+	if e.Busy <= 0 {
+		return 0
+	}
+	return e.Hidden / e.Busy
+}
+
+// Exposures reports the per-label exposed-vs-hidden communication breakdown,
+// sorted by label for stable output. Labels that only ever waited (e.g. a
+// barrier) appear with zero busy time.
+func (r *DistResult) Exposures() []Exposure {
+	labels := make([]string, 0, len(r.BusyPerIter)+len(r.WaitPerIter))
+	for l := range r.BusyPerIter {
+		labels = append(labels, l)
+	}
+	for l := range r.WaitPerIter {
+		if _, ok := r.BusyPerIter[l]; !ok {
+			labels = append(labels, l)
+		}
+	}
+	sort.Strings(labels)
+	out := make([]Exposure, 0, len(labels))
+	for _, l := range labels {
+		e := Exposure{Label: l, Busy: r.BusyPerIter[l], Exposed: r.WaitPerIter[l]}
+		if e.Hidden = e.Busy - e.Exposed; e.Hidden < 0 {
+			e.Hidden = 0
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // funcState holds the real-execution state of one rank; the reusable
@@ -296,21 +357,55 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 	scatterBlockBytes := float64(shardN) * float64(cfg.EmbDim) * 4
 	arBytesBot, arBytesTop := mlpParamBytes(cfg.BotSizes()), mlpParamBytes(cfg.TopSizes())
 
+	// Per-iteration loader cost. The §VI-D2 artifact reads the FULL global
+	// minibatch on every rank — O(N·R) cluster-wide; the sharded pipeline
+	// reads only this rank's N/R sample slice plus its owned tables'
+	// full-batch index columns — ≈2 shares, constant in R.
+	var loaderCost float64
+	switch dc.Loader {
+	case LoaderGlobalMB:
+		loaderCost = loaderPerSample * float64(dc.GlobalN)
+	case LoaderSharded:
+		ownedShare := float64(dc.GlobalN) * float64(len(locT)) / float64(cfg.Tables)
+		loaderCost = loaderPerSample * (float64(shardN) + ownedShare)
+	}
+
+	// CCL channel plan: the overlapped pipeline pins each concurrently
+	// in-flight collective to its own channel so the per-channel FIFO model
+	// charges true contention; the sync schedule keeps label-hash placement.
+	chFwd, chTop, chBot, chBwd := -1, -1, -1, -1
+	if dc.Overlap {
+		chFwd, chTop, chBot, chBwd = 0, 1, 2, 3
+	}
+
+	// In the overlapped pipeline the loader is the real double-buffered
+	// prefetch goroutine: batch 0's fetch starts at t=0 and is exposed once
+	// (cold start); every later batch is fetched on the background stream
+	// while the previous iteration computes, surfacing only when compute is
+	// too short to cover it.
+	var loaderH cluster.Handle
+	if dc.Overlap && loaderCost > 0 {
+		loaderH = r.Async("loader", loaderCost)
+	}
+
 	for it := 0; it < dc.Iters; it++ {
-		// (0) data loader. The §VI-D2 artifact reads the FULL global
-		// minibatch on every rank — O(N·R) cluster-wide; the sharded
-		// pipeline reads only this rank's N/R sample slice plus its owned
-		// tables' full-batch index columns — ≈2 shares, constant in R.
-		switch dc.Loader {
-		case LoaderGlobalMB:
-			r.Prep("loader", loaderPerSample*float64(dc.GlobalN))
-		case LoaderSharded:
-			ownedShare := float64(dc.GlobalN) * float64(len(locT)) / float64(cfg.Tables)
-			r.Prep("loader", loaderPerSample*(float64(shardN)+ownedShare))
+		// (0) data loader: wait for the prefetched batch (overlapped) or
+		// charge the read serially (the paper's framework path).
+		if loaderCost > 0 {
+			if dc.Overlap {
+				r.Wait(loaderH)
+			} else {
+				r.Prep("loader", loaderCost)
+			}
 		}
 		var rb *data.RankBatch
 		if fn != nil {
 			rb = fn.loader.Next()
+		}
+		if dc.Overlap && loaderCost > 0 && it+1 < dc.Iters {
+			// Start prefetching the next batch behind this iteration (none
+			// after the last one, so busy time stays one charge per iter).
+			loaderH = r.Async("loader", loaderCost)
 		}
 
 		// (1) Embedding forward for LOCAL tables over the GLOBAL minibatch
@@ -323,7 +418,7 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		}
 
 		// (2) Redistribute embedding outputs (model → data parallel).
-		embOut, embHandles := dc.forwardRedistribute(cm, r, fn, ws, maxLoc, shardN, a2aBlockBytes, scatterBlockBytes)
+		embOut, embHandles := dc.forwardRedistribute(cm, r, fn, ws, maxLoc, shardN, a2aBlockBytes, scatterBlockBytes, chFwd)
 
 		// (3) Bottom MLP forward on the local shard (overlaps the alltoall:
 		// the only compute that can hide it, §VI-D).
@@ -360,21 +455,41 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 			flattenGrads(fn.model.Top, ws.topGrad)
 		}
 		r.Prep("allreduce", sock.StreamTime(2*arBytesTop, cores))
-		hTop := cm.AllreduceCost("allreduce", grad(fn, ws, true), false, arBytesTop)
+		hTop := cm.AllreduceAlgoCost("allreduce", chTop, grad(fn, ws, true), false, arBytesTop, dc.Allreduce)
 
-		// (7) Interaction backward + bottom MLP backward, enqueue its
-		// allreduce.
-		r.Compute(interFwd + 2*botFwd)
-		if fn != nil {
-			flattenGrads(fn.model.Bot, ws.botGrad)
+		var hBot cluster.Handle
+		if dc.Overlap {
+			// (7) The interaction backward is what produces the embedding
+			// gradients, so the backward redistribution can launch right
+			// after it — before the bottom-MLP backward and before its
+			// allreduce is enqueued — and the remaining backward compute
+			// hides it. Waits are deferred to the latest consumer: the
+			// redistribution at the embedding update (step 8), the
+			// allreduces at the SGD (step 9).
+			r.Compute(interFwd)
+			dc.backwardRedistributeIssue(cm, r, fn, ws, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes, chBwd, false)
+			r.Compute(2 * botFwd)
+			if fn != nil {
+				flattenGrads(fn.model.Bot, ws.botGrad)
+			}
+			r.Prep("allreduce", sock.StreamTime(2*arBytesBot, cores))
+			hBot = cm.AllreduceAlgoCost("allreduce", chBot, grad(fn, ws, false), false, arBytesBot, dc.Allreduce)
+			dc.backwardRedistributeFinish(r, fn, ws, shardN)
+		} else {
+			// (7) Interaction backward + bottom MLP backward, enqueue its
+			// allreduce.
+			r.Compute(interFwd + 2*botFwd)
+			if fn != nil {
+				flattenGrads(fn.model.Bot, ws.botGrad)
+			}
+			r.Prep("allreduce", sock.StreamTime(2*arBytesBot, cores))
+			hBot = cm.AllreduceAlgoCost("allreduce", chBot, grad(fn, ws, false), false, arBytesBot, dc.Allreduce)
+
+			// (8) Redistribute embedding gradients back to their owners
+			// (data → model parallel) into ws.dOutFull, waited where issued
+			// (the instrumented synchronous schedule).
+			dc.backwardRedistribute(cm, r, fn, ws, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes)
 		}
-		r.Prep("allreduce", sock.StreamTime(2*arBytesBot, cores))
-		hBot := cm.AllreduceCost("allreduce", grad(fn, ws, false), false, arBytesBot)
-
-		// (8) Redistribute embedding gradients back to their owners
-		// (data → model parallel) into ws.dOutFull, and update the local
-		// tables.
-		dc.backwardRedistribute(cm, r, fn, ws, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes)
 		r.Compute(embUpd)
 		if fn != nil {
 			for li, t := range locT {

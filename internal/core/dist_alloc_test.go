@@ -14,13 +14,15 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/embedding"
 	"repro/internal/par"
 )
 
 // distAllocsPerIter returns the marginal allocations per timing-mode
-// iteration for the given variant, after warming pools and workspaces.
-func distAllocsPerIter(t *testing.T, v Variant) float64 {
+// iteration for the given variant and pipeline schedule, after warming
+// pools and workspaces.
+func distAllocsPerIter(t *testing.T, v Variant, overlap bool, algo comm.AllreduceAlgo) float64 {
 	t.Helper()
 	if raceEnabled {
 		t.Skip("allocation counts are perturbed by the race detector")
@@ -33,6 +35,8 @@ func distAllocsPerIter(t *testing.T, v Variant) float64 {
 		dc := distTestConfig(Small, ranks, Small.GlobalMB, iters, v, false)
 		dc.Pools = pools
 		dc.Workspaces = wss
+		dc.Overlap = overlap
+		dc.Allreduce = algo
 		return func() { RunDistributed(dc) }
 	}
 	const short, long = 2, 12
@@ -44,13 +48,33 @@ func distAllocsPerIter(t *testing.T, v Variant) float64 {
 
 // TestDistributedStepZeroAllocs pins the tentpole invariant: steady-state
 // timing-mode iterations allocate nothing, for all three communication
-// strategies on both backends.
+// strategies on both backends, under both the synchronous and the
+// overlapped pipeline schedule.
 func TestDistributedStepZeroAllocs(t *testing.T) {
 	for _, strat := range []CommStrategy{ScatterList, FusedScatter, Alltoall} {
 		for _, backend := range []cluster.Backend{cluster.MPIBackend, cluster.CCLBackend} {
-			v := Variant{Strategy: strat, Backend: backend}
-			if got := distAllocsPerIter(t, v); got != 0 {
-				t.Errorf("%s: %v allocs per steady-state distributed iteration, want 0", v.Name(), got)
+			for _, overlap := range []bool{false, true} {
+				v := Variant{Strategy: strat, Backend: backend}
+				if got := distAllocsPerIter(t, v, overlap, comm.RingRSAG); got != 0 {
+					t.Errorf("%s overlap=%v: %v allocs per steady-state distributed iteration, want 0",
+						v.Name(), overlap, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDistributedStepZeroAllocsAllreduceAlgos extends the invariant to the
+// selectable allreduce algorithms: the hierarchical two-level and the
+// NCCL-style binary-tree cost models must stay allocation-free in steady
+// state too (their flow lists live in the per-Comm scratch).
+func TestDistributedStepZeroAllocsAllreduceAlgos(t *testing.T) {
+	v := Variant{Strategy: Alltoall, Backend: cluster.CCLBackend}
+	for _, algo := range []comm.AllreduceAlgo{comm.Hierarchical, comm.BinaryTree} {
+		for _, overlap := range []bool{false, true} {
+			if got := distAllocsPerIter(t, v, overlap, algo); got != 0 {
+				t.Errorf("%s %v overlap=%v: %v allocs per steady-state iteration, want 0",
+					v.Name(), algo, overlap, got)
 			}
 		}
 	}

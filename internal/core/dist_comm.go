@@ -12,10 +12,11 @@ import (
 // buffers (the data is in place when the collectives are issued; the
 // handles defer only virtual time); in timing mode it returns nil outputs
 // but the identical collective sequence. The handle slice is workspace
-// storage reused across iterations.
+// storage reused across iterations. ch is the CCL channel hint (< 0 =
+// label-hash placement).
 func (dc DistConfig) forwardRedistribute(
 	cm *comm.Comm, r *cluster.Rank, fn *funcState, ws *DistWorkspace,
-	maxLoc, shardN int, a2aBlockBytes, scatterBlockBytes float64,
+	maxLoc, shardN int, a2aBlockBytes, scatterBlockBytes float64, ch int,
 ) ([][]float32, []cluster.Handle) {
 	cfg := dc.Cfg
 	ranks := dc.Ranks
@@ -43,7 +44,7 @@ func (dc DistConfig) forwardRedistribute(
 			}
 		}
 		r.Prep("alltoall", dc.Socket.StreamTime(2*a2aBlockBytes*float64(ranks), r.ComputeCores()))
-		h := cm.AlltoallCost("alltoall", send, recv, blockLen, a2aBlockBytes)
+		h := cm.AlltoallCostOn("alltoall", ch, send, recv, blockLen, a2aBlockBytes)
 		handles = append(handles, h)
 		if fn != nil {
 			e := fn.cfg.EmbDim
@@ -67,7 +68,7 @@ func (dc DistConfig) forwardRedistribute(
 					send = ws.embFull[LocalTableIndex(t, ranks)]
 				}
 			}
-			h := cm.ScatterCost("alltoall", root, send, recv, blockLen, scatterBlockBytes)
+			h := cm.ScatterCostOn("alltoall", ch, root, send, recv, blockLen, scatterBlockBytes)
 			handles = append(handles, h)
 			if fn != nil {
 				embOut[t] = recv
@@ -103,7 +104,7 @@ func (dc DistConfig) forwardRedistribute(
 				r.Prep("alltoall", dc.Socket.StreamTime(
 					2*float64(len(tabs))*scatterBlockBytes*float64(ranks), r.ComputeCores()))
 			}
-			h := cm.ScatterCost("alltoall", root, send, recv, blockLen,
+			h := cm.ScatterCostOn("alltoall", ch, root, send, recv, blockLen,
 				float64(len(tabs))*scatterBlockBytes)
 			handles = append(handles, h)
 			if fn != nil {
@@ -122,14 +123,35 @@ func (dc DistConfig) forwardRedistribute(
 // backwardRedistribute sends each table's output gradients back to the
 // owning rank (data → model parallel), assembling the full-global-minibatch
 // gradient rows of every owned table into ws.dOutFull (indexed by local
-// table position).
+// table position). This is the synchronous schedule: every collective is
+// waited where issued (waitEach), which is what the paper's instrumented
+// runs measure; the overlapped pipeline calls the Issue/Finish halves
+// directly with compute in between.
 func (dc DistConfig) backwardRedistribute(
 	cm *comm.Comm, r *cluster.Rank, fn *funcState, ws *DistWorkspace,
 	maxLoc, shardN int, dEmb [][]float32, a2aBlockBytes, scatterBlockBytes float64,
 ) {
+	dc.backwardRedistributeIssue(cm, r, fn, ws, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes, -1, true)
+	dc.backwardRedistributeFinish(r, fn, ws, shardN)
+}
+
+// backwardRedistributeIssue stages the send buffers and issues every
+// collective of the strategy onto CCL channel ch, recording the handles in
+// ws.bwdHandles. With waitEach each collective is waited immediately (the
+// synchronous schedule: under per-channel FIFO, issue-wait-issue-wait and
+// issue-issue-wait-wait charge different queueing, so the sync path must
+// keep its interleaving); without it the handles stay pending for
+// backwardRedistributeFinish, and the data is already moved when each issue
+// returns (the rendezvous is synchronous — only virtual time is deferred),
+// so the compute that follows — the bottom-MLP backward — hides the
+// collectives' modeled duration.
+func (dc DistConfig) backwardRedistributeIssue(
+	cm *comm.Comm, r *cluster.Rank, fn *funcState, ws *DistWorkspace,
+	maxLoc, shardN int, dEmb [][]float32, a2aBlockBytes, scatterBlockBytes float64, ch int, waitEach bool,
+) {
 	cfg := dc.Cfg
 	ranks := dc.Ranks
-	locT := ws.locT
+	handles := ws.bwdHandles[:0]
 
 	switch dc.Variant.Strategy {
 	case Alltoall:
@@ -147,19 +169,11 @@ func (dc DistConfig) backwardRedistribute(
 			}
 		}
 		r.Prep("alltoall", dc.Socket.StreamTime(2*a2aBlockBytes*float64(ranks), r.ComputeCores()))
-		h := cm.AlltoallCost("alltoall", send, recv, blockLen, a2aBlockBytes)
-		r.Wait(h)
-		if fn != nil {
-			e := fn.cfg.EmbDim
-			rowLen := shardN * e
-			for li := range locT {
-				full := ws.dOutFull[li]
-				for src := 0; src < ranks; src++ {
-					copy(full[src*rowLen:(src+1)*rowLen],
-						recv[src*blockLen+li*rowLen:src*blockLen+(li+1)*rowLen])
-				}
-			}
+		h := cm.AlltoallCostOn("alltoall", ch, send, recv, blockLen, a2aBlockBytes)
+		if waitEach {
+			r.Wait(h)
 		}
+		handles = append(handles, h)
 
 	case ScatterList:
 		for t := 0; t < cfg.Tables; t++ {
@@ -173,8 +187,11 @@ func (dc DistConfig) backwardRedistribute(
 					recv = ws.dOutFull[LocalTableIndex(t, ranks)]
 				}
 			}
-			h := cm.GatherCost("alltoall", root, send, recv, scatterBlockBytes)
-			r.Wait(h)
+			h := cm.GatherCostOn("alltoall", ch, root, send, recv, scatterBlockBytes)
+			if waitEach {
+				r.Wait(h)
+			}
+			handles = append(handles, h)
 		}
 
 	case FusedScatter:
@@ -195,20 +212,61 @@ func (dc DistConfig) backwardRedistribute(
 					recv = ws.gaRecv[:ranks*len(tabs)*rowLen]
 				}
 			}
-			h := cm.GatherCost("alltoall", root, send, recv,
+			h := cm.GatherCostOn("alltoall", ch, root, send, recv,
 				float64(len(tabs))*scatterBlockBytes)
-			r.Wait(h)
-			if fn != nil && r.ID == root {
-				e := fn.cfg.EmbDim
-				rowLen := shardN * e
-				blockLen := len(tabs) * rowLen
-				for li := range tabs {
-					full := ws.dOutFull[li]
-					for src := 0; src < ranks; src++ {
-						copy(full[src*rowLen:(src+1)*rowLen],
-							recv[src*blockLen+li*rowLen:src*blockLen+(li+1)*rowLen])
-					}
-				}
+			if waitEach {
+				r.Wait(h)
+			}
+			handles = append(handles, h)
+		}
+	}
+	ws.bwdHandles = handles
+}
+
+// backwardRedistributeFinish waits out the handles issued by
+// backwardRedistributeIssue — the redistribution's latest consumer is the
+// embedding update that follows — and assembles the received gradient rows
+// into ws.dOutFull for the strategies whose receive layout needs it.
+func (dc DistConfig) backwardRedistributeFinish(
+	r *cluster.Rank, fn *funcState, ws *DistWorkspace, shardN int,
+) {
+	for _, h := range ws.bwdHandles {
+		r.Wait(h)
+	}
+	if fn == nil {
+		return
+	}
+	ranks := dc.Ranks
+	e := fn.cfg.EmbDim
+	rowLen := shardN * e
+
+	switch dc.Variant.Strategy {
+	case Alltoall:
+		blockLen := MaxLocalTables(dc.Cfg, ranks) * rowLen
+		recv := ws.a2aRecvB
+		for li := range ws.locT {
+			full := ws.dOutFull[li]
+			for src := 0; src < ranks; src++ {
+				copy(full[src*rowLen:(src+1)*rowLen],
+					recv[src*blockLen+li*rowLen:src*blockLen+(li+1)*rowLen])
+			}
+		}
+
+	case ScatterList:
+		// The gathers landed directly in ws.dOutFull; nothing to assemble.
+
+	case FusedScatter:
+		tabs := ws.locT
+		if len(tabs) == 0 {
+			return
+		}
+		recv := ws.gaRecv[:ranks*len(tabs)*rowLen]
+		blockLen := len(tabs) * rowLen
+		for li := range tabs {
+			full := ws.dOutFull[li]
+			for src := 0; src < ranks; src++ {
+				copy(full[src*rowLen:(src+1)*rowLen],
+					recv[src*blockLen+li*rowLen:src*blockLen+(li+1)*rowLen])
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/embedding"
 	"repro/internal/fabric"
@@ -371,6 +372,199 @@ func TestCommCoresKnob(t *testing.T) {
 	if one.ComputePerIter >= four.ComputePerIter {
 		t.Fatal("1 comm core leaves more cores for compute")
 	}
+}
+
+// TestOverlapReducesIterationTime pins the tentpole's timing claim: with
+// the CCL backend and the native alltoall, the overlap-aware pipeline
+// (async backward redistribution, deferred waits, distinct channels)
+// strictly reduces the virtual iteration time versus the synchronous
+// schedule on both the Fig. 9 strong-scaling and Fig. 12 weak-scaling runs
+// at 16+ ranks.
+func TestOverlapReducesIterationTime(t *testing.T) {
+	v := Variant{Alltoall, cluster.CCLBackend}
+	mk := func(ranks, gn int, overlap bool) *DistResult {
+		dc := distTestConfig(Large, ranks, gn, 2, v, false)
+		dc.Overlap = overlap
+		return RunDistributed(dc)
+	}
+	for _, ranks := range []int{16, 32, 64} {
+		for _, weak := range []bool{false, true} {
+			gn := Large.GlobalMB
+			label := "strong"
+			if weak {
+				gn = Large.LocalMB * ranks
+				label = "weak"
+			}
+			sync := mk(ranks, gn, false)
+			ovl := mk(ranks, gn, true)
+			if ovl.IterSeconds >= sync.IterSeconds {
+				t.Errorf("%s %dR: overlapped %.3fms must beat sync %.3fms",
+					label, ranks, ovl.IterSeconds*1e3, sync.IterSeconds*1e3)
+			}
+		}
+	}
+}
+
+// TestOverlapHidesBackwardAlltoall checks the mechanism, not just the
+// outcome: under the overlapped schedule the alltoall's exposed wait drops
+// (part of the backward redistribution hides behind the bottom-MLP
+// backward) while its busy time is unchanged — the collective itself got
+// no faster, it just stopped stalling the compute stream.
+func TestOverlapHidesBackwardAlltoall(t *testing.T) {
+	v := Variant{Alltoall, cluster.CCLBackend}
+	mk := func(overlap bool) *DistResult {
+		dc := distTestConfig(Large, 32, Large.GlobalMB, 2, v, false)
+		dc.Overlap = overlap
+		return RunDistributed(dc)
+	}
+	sync, ovl := mk(false), mk(true)
+	if ovl.WaitPerIter["alltoall"] >= sync.WaitPerIter["alltoall"] {
+		t.Errorf("overlap must reduce exposed alltoall wait: %.3f vs %.3f ms",
+			ovl.WaitPerIter["alltoall"]*1e3, sync.WaitPerIter["alltoall"]*1e3)
+	}
+	rel := math.Abs(ovl.BusyPerIter["alltoall"]-sync.BusyPerIter["alltoall"]) / sync.BusyPerIter["alltoall"]
+	if rel > 1e-9 {
+		t.Errorf("alltoall busy time must not change with overlap (rel diff %g)", rel)
+	}
+}
+
+// TestOverlapHidesLoaderCharge pins the prefetch-hidden loader model: the
+// background-charged loader exposes only its cold start, so the exposed
+// share shrinks with the iteration count while busy time stays one charge
+// per iteration — matching the real double-buffered prefetch goroutine.
+func TestOverlapHidesLoaderCharge(t *testing.T) {
+	mk := func(iters int, overlap bool) *DistResult {
+		dc := distTestConfig(MLPerf, 16, MLPerf.LocalMB*16, iters, Variant{Alltoall, cluster.CCLBackend}, false)
+		dc.Loader = LoaderSharded
+		dc.Overlap = overlap
+		return RunDistributed(dc)
+	}
+	sync := mk(4, false)
+	ovl := mk(4, true)
+	if sync.PrepPerIter["loader"] <= 0 {
+		t.Fatal("sync schedule must charge the loader serially")
+	}
+	if ovl.PrepPerIter["loader"] != 0 {
+		t.Fatal("overlapped schedule must not charge the loader as serial Prep")
+	}
+	// Busy equals the serial charge (same work, different stream)…
+	if d := math.Abs(ovl.BusyPerIter["loader"] - sync.PrepPerIter["loader"]); d > 1e-12 {
+		t.Errorf("loader busy %.6fms must equal the serial charge %.6fms",
+			ovl.BusyPerIter["loader"]*1e3, sync.PrepPerIter["loader"]*1e3)
+	}
+	// …but most of it hides behind the previous iteration's compute: only
+	// the cold start is exposed, so 1/iters of the total.
+	if ovl.WaitPerIter["loader"] >= ovl.BusyPerIter["loader"]*0.5 {
+		t.Errorf("loader exposure %.3fms should be far below busy %.3fms (cold start only)",
+			ovl.WaitPerIter["loader"]*1e3, ovl.BusyPerIter["loader"]*1e3)
+	}
+	long := mk(8, true)
+	if long.WaitPerIter["loader"] >= ovl.WaitPerIter["loader"] {
+		t.Error("amortized cold start: more iterations must reduce per-iter loader exposure")
+	}
+	if ovl.IterSeconds >= sync.IterSeconds {
+		t.Errorf("hiding the loader must reduce iteration time: %.3f vs %.3f ms",
+			ovl.IterSeconds*1e3, sync.IterSeconds*1e3)
+	}
+}
+
+// TestExposuresAccounting checks the per-label breakdown the overlap
+// ablation reports: Busy = Exposed + Hidden for every label (Hidden clamped
+// at zero), and under the overlapped pipeline the allreduce label is mostly
+// hidden on the CCL backend (the paper's §IV-A design point).
+func TestExposuresAccounting(t *testing.T) {
+	dc := distTestConfig(Large, 32, Large.GlobalMB, 2, Variant{Alltoall, cluster.CCLBackend}, false)
+	dc.Overlap = true
+	res := RunDistributed(dc)
+	seen := map[string]bool{}
+	for _, e := range res.Exposures() {
+		seen[e.Label] = true
+		if e.Busy < 0 || e.Exposed < 0 || e.Hidden < 0 {
+			t.Fatalf("%s: negative component %+v", e.Label, e)
+		}
+		if e.Busy > e.Exposed && math.Abs(e.Busy-e.Exposed-e.Hidden) > 1e-12 {
+			t.Fatalf("%s: busy %.9f != exposed %.9f + hidden %.9f", e.Label, e.Busy, e.Exposed, e.Hidden)
+		}
+		if s := e.HiddenShare(); s < 0 || s > 1 {
+			t.Fatalf("%s: hidden share %v out of range", e.Label, s)
+		}
+	}
+	if !seen["alltoall"] || !seen["allreduce"] {
+		t.Fatalf("expected alltoall and allreduce labels, got %v", seen)
+	}
+	for _, e := range res.Exposures() {
+		if e.Label == "allreduce" && e.HiddenShare() < 0.5 {
+			t.Errorf("CCL overlapped allreduce should be mostly hidden, share %.2f", e.HiddenShare())
+		}
+	}
+}
+
+// TestHierarchicalAllreduceSelectable checks the DistConfig algorithm knob:
+// the hierarchical two-level allreduce must strictly reduce the allreduce
+// busy time versus the ring on the fat-tree (it halves the latency term at
+// identical volume), and the binary tree must change the charge too.
+func TestHierarchicalAllreduceSelectable(t *testing.T) {
+	mk := func(algo comm.AllreduceAlgo) *DistResult {
+		dc := distTestConfig(Small, 8, Small.GlobalMB, 2, Variant{Alltoall, cluster.CCLBackend}, false)
+		dc.Overlap = true
+		dc.Allreduce = algo
+		return RunDistributed(dc)
+	}
+	ring, hier, tree := mk(comm.RingRSAG), mk(comm.Hierarchical), mk(comm.BinaryTree)
+	if hier.BusyPerIter["allreduce"] >= ring.BusyPerIter["allreduce"] {
+		t.Errorf("hierarchical allreduce busy %.4fms must beat ring %.4fms",
+			hier.BusyPerIter["allreduce"]*1e3, ring.BusyPerIter["allreduce"]*1e3)
+	}
+	if tree.BusyPerIter["allreduce"] == ring.BusyPerIter["allreduce"] {
+		t.Error("binary-tree allreduce must charge a different cost model than ring")
+	}
+}
+
+// TestOverlapLossParity extends the loss-parity invariant to the overlapped
+// pipeline and both new allreduce algorithms: reordering issue points and
+// deferring waits must not move a single bit of the functional math — the
+// mean shard loss must still match the single-socket trainer at 1e-6 for
+// every strategy on both backends.
+func TestOverlapLossParity(t *testing.T) {
+	cfg := tinyConfig()
+	const globalN, iters = 64, 3
+	_, ref := trainSingle(cfg, globalN, iters, 17, 0.5)
+
+	pools := cluster.NewPools()
+	defer pools.Close()
+	wss := NewDistWorkspaces()
+	check := func(v Variant, ranks int, algo comm.AllreduceAlgo, loader LoaderMode) {
+		dc := distTestConfig(cfg, ranks, globalN, iters, v, true)
+		dc.Overlap = true
+		dc.Allreduce = algo
+		dc.Loader = loader
+		dc.Pools = pools
+		dc.Workspaces = wss
+		res := RunDistributed(dc)
+		for it := 0; it < iters; it++ {
+			var mean float64
+			for rk := 0; rk < ranks; rk++ {
+				mean += res.Losses[rk][it]
+			}
+			mean /= float64(ranks)
+			if d := math.Abs(mean - ref[it]); d > 1e-6 {
+				t.Errorf("%s R=%d %v %v iter %d: loss %v vs single-socket %v (|Δ|=%g > 1e-6)",
+					v.Name(), ranks, algo, loader, it, mean, ref[it], d)
+			}
+		}
+	}
+	for _, v := range Variants {
+		for _, ranks := range []int{2, 4} {
+			check(v, ranks, comm.RingRSAG, LoaderNone)
+		}
+	}
+	// Algorithm selection changes only the cost model; parity must survive
+	// it, as must the prefetch-hidden loader modes.
+	ccl := Variant{Alltoall, cluster.CCLBackend}
+	check(ccl, 4, comm.Hierarchical, LoaderNone)
+	check(ccl, 4, comm.BinaryTree, LoaderNone)
+	check(ccl, 4, comm.RingRSAG, LoaderSharded)
+	check(ccl, 2, comm.RingRSAG, LoaderGlobalMB)
 }
 
 // TestDistributedLossParity is the workspace-aliasing canary: with per-rank

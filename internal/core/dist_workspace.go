@@ -33,9 +33,10 @@ type distKey struct {
 type DistWorkspace struct {
 	key distKey
 
-	handles      []cluster.Handle
-	tablesByRank [][]int // rank → owned table ids (round-robin)
-	locT         []int   // this rank's entry of tablesByRank
+	handles      []cluster.Handle // forward redistribution (reused per iter)
+	bwdHandles   []cluster.Handle // overlapped backward redistribution
+	tablesByRank [][]int          // rank → owned table ids (round-robin)
+	locT         []int            // this rank's entry of tablesByRank
 
 	// Functional-mode buffers; all indexed by local table position li
 	// (table id t = rank + li·ranks) unless noted.
@@ -85,6 +86,7 @@ func (ws *DistWorkspace) prepare(dc *DistConfig, rank int) {
 	}
 	ws.locT = ws.tablesByRank[rank]
 	ws.handles = ws.handles[:0]
+	ws.bwdHandles = ws.bwdHandles[:0]
 }
 
 // resize rebuilds the table map and re-ensures the strategy's buffers for a

@@ -19,8 +19,9 @@ import (
 // halving the latency-bound ones, and the untuned flat tree loses both.
 func AblationAllreduce() *Table {
 	t := &Table{
-		Title:   "Ablation: allreduce algorithm vs gradient volume (ms, OPA fat-tree)",
-		Headers: []string{"volume", "ranks", "ring RS+AG", "recursive halving", "flat tree", "best"},
+		Title: "Ablation: allreduce algorithm vs gradient volume (ms, OPA fat-tree)",
+		Headers: []string{"volume", "ranks", "ring RS+AG", "recursive halving", "flat tree",
+			"hierarchical", "binary tree", "best"},
 	}
 	vols := []struct {
 		name  string
@@ -45,6 +46,8 @@ func AblationAllreduce() *Table {
 						ms(c.AllreduceTimeAlgo(comm.RingRSAG, v.bytes)),
 						ms(c.AllreduceTimeAlgo(comm.RecursiveHalving, v.bytes)),
 						ms(c.AllreduceTimeAlgo(comm.FlatTree, v.bytes)),
+						ms(c.AllreduceTimeAlgo(comm.Hierarchical, v.bytes)),
+						ms(c.AllreduceTimeAlgo(comm.BinaryTree, v.bytes)),
 						best.String()}
 				})
 			t.AddRow(row...)

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/embedding"
@@ -78,6 +79,14 @@ func DistCase(cfg core.Config, ranks, globalN int, v core.Variant) (core.DistCon
 // DistLoaderCase is DistCase with an explicit data-pipeline mode — the
 // recipe behind the loader-artifact vs sharded-loader benchmark pairs.
 func DistLoaderCase(cfg core.Config, ranks, globalN int, v core.Variant, mode core.LoaderMode) (core.DistConfig, func()) {
+	return DistPipelineCase(cfg, ranks, globalN, v, mode, false, comm.RingRSAG)
+}
+
+// DistPipelineCase is the fully-parameterized distributed fixture: loader
+// mode, overlap-aware schedule, and allreduce algorithm — the recipe behind
+// the overlap/hierarchical bench cases the regression gate tracks.
+func DistPipelineCase(cfg core.Config, ranks, globalN int, v core.Variant,
+	mode core.LoaderMode, overlap bool, algo comm.AllreduceAlgo) (core.DistConfig, func()) {
 	pools := cluster.NewPools()
 	dc := core.DistConfig{
 		Cfg:        cfg,
@@ -88,6 +97,8 @@ func DistLoaderCase(cfg core.Config, ranks, globalN int, v core.Variant, mode co
 		Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
 		Socket:     perfmodel.CLX8280,
 		Loader:     mode,
+		Overlap:    overlap,
+		Allreduce:  algo,
 		Pools:      pools,
 		Workspaces: core.NewDistWorkspaces(),
 	}
@@ -127,6 +138,32 @@ func Fig12DistShardedCase() (core.DistConfig, func()) {
 // loader delta docs/PERF.md quotes.
 func Fig12DistGlobalMBCase() (core.DistConfig, func()) {
 	return DistLoaderCase(core.Large, 64, core.Large.LocalMB*64, ccl64, core.LoaderGlobalMB)
+}
+
+// Fig9DistOverlapCase is the strong-scaling headline run under the
+// overlap-aware pipeline (async backward alltoall, deferred waits, distinct
+// CCL channels) — its virtual ms/iter vs Fig9DistCase is the comm-hiding
+// delta the PERF doc quotes.
+func Fig9DistOverlapCase() (core.DistConfig, func()) {
+	return DistPipelineCase(core.Large, 64, core.Large.GlobalMB, ccl64, core.LoaderNone, true, comm.RingRSAG)
+}
+
+// Fig12DistOverlapCase is the weak-scaling counterpart of
+// Fig9DistOverlapCase.
+func Fig12DistOverlapCase() (core.DistConfig, func()) {
+	return DistPipelineCase(core.Large, 64, core.Large.LocalMB*64, ccl64, core.LoaderNone, true, comm.RingRSAG)
+}
+
+// Fig9DistHierCase is the overlapped strong-scaling run with the
+// hierarchical two-level allreduce selected.
+func Fig9DistHierCase() (core.DistConfig, func()) {
+	return DistPipelineCase(core.Large, 64, core.Large.GlobalMB, ccl64, core.LoaderNone, true, comm.Hierarchical)
+}
+
+// Fig12DistHierCase is the overlapped weak-scaling run with the
+// hierarchical two-level allreduce selected.
+func Fig12DistHierCase() (core.DistConfig, func()) {
+	return DistPipelineCase(core.Large, 64, core.Large.LocalMB*64, ccl64, core.LoaderNone, true, comm.Hierarchical)
 }
 
 // LoaderNextCase returns a warmed-up sharded streaming loader over a

@@ -269,12 +269,18 @@ func TestAblationAllreduceShape(t *testing.T) {
 	for _, row := range tab.Rows {
 		ring := parseF(t, row[2])
 		flat := parseF(t, row[4])
+		hier := parseF(t, row[5])
 		// The untuned flat tree must never win.
-		if row[5] == "flat tree" {
+		if row[7] == "flat tree" {
 			t.Fatalf("flat tree won a regime: %v", row)
 		}
 		if flat < ring*0.99 && row[0] != "4 KB (latency-bound)" {
 			t.Fatalf("flat tree beat ring on a bandwidth volume: %v", row)
+		}
+		// The two-level algorithm never loses to the flat ring at even rank
+		// counts (same volume, fewer phases).
+		if hier > ring*1.001 {
+			t.Fatalf("hierarchical lost to ring: %v", row)
 		}
 	}
 	// Latency-bound regime: recursive halving wins at 64 ranks.
@@ -282,8 +288,8 @@ func TestAblationAllreduceShape(t *testing.T) {
 	if last[0] != "4 KB (latency-bound)" || last[1] != "64R" {
 		t.Fatalf("unexpected row order: %v", last)
 	}
-	if last[5] != "recursive halving" {
-		t.Fatalf("recursive halving should win tiny messages at 64R, got %q", last[5])
+	if last[7] != "recursive halving" {
+		t.Fatalf("recursive halving should win tiny messages at 64R, got %q", last[7])
 	}
 }
 

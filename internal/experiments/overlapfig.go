@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/perfmodel"
+)
+
+// runDistOpt is runDist with the overlap-pipeline knobs: the overlapped
+// schedule (async backward redistribution, deferred waits, prefetch-hidden
+// loader, per-collective CCL channels) and the allreduce algorithm.
+func (sw *distSweep) runDistOpt(cfg core.Config, ranks, globalN int, v core.Variant,
+	loader core.LoaderMode, iters int, overlap bool, algo comm.AllreduceAlgo) *core.DistResult {
+	globalN -= globalN % ranks
+	return core.RunDistributed(core.DistConfig{
+		Cfg:        cfg,
+		Ranks:      ranks,
+		GlobalN:    globalN,
+		Iters:      iters,
+		Variant:    v,
+		Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
+		Socket:     perfmodel.CLX8280,
+		Loader:     loader,
+		Overlap:    overlap,
+		Allreduce:  algo,
+		Pools:      sw.pools,
+		Workspaces: sw.wss,
+	})
+}
+
+// overlapMode is one schedule of the RunOverlap ablation.
+type overlapMode struct {
+	name    string
+	overlap bool
+	algo    comm.AllreduceAlgo
+}
+
+func overlapModes() []overlapMode {
+	return []overlapMode{
+		{"sync", false, comm.RingRSAG},
+		{"overlapped", true, comm.RingRSAG},
+		{"overlapped+hier", true, comm.Hierarchical},
+	}
+}
+
+// expCell formats one label's exposed-vs-busy communication split.
+func expCell(res *core.DistResult, label string) string {
+	for _, e := range res.Exposures() {
+		if e.Label == label {
+			if e.Busy == 0 && e.Exposed == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f/%.1f (%.0f%% hid)", e.Exposed*1e3, e.Busy*1e3, e.HiddenShare()*100)
+		}
+	}
+	return "-"
+}
+
+// RunOverlap reproduces the overlap ablation of §IV-A/§VI-D as a
+// first-class figure: the same strong- (Fig. 9) and weak-scaling (Fig. 12)
+// runs under three schedules — the instrumented synchronous pipeline
+// (backward redistribution waited where issued, loader charged serially),
+// the overlap-aware pipeline (backward alltoall issued before the bottom-MLP
+// allreduce and hidden behind its backward, waits deferred to the latest
+// consumer, loader prefetch-hidden, concurrent collectives on distinct CCL
+// channels), and the overlapped pipeline with the hierarchical two-level
+// allreduce. Per label the exposed-vs-busy split quantifies exactly how
+// much communication each schedule hides.
+func RunOverlap(o ScalingOpts) *Table {
+	t := &Table{
+		Title: "Overlap ablation: sync vs overlapped pipeline vs overlapped + hierarchical allreduce " +
+			"(CCL Alltoall; exposed/busy ms per collective)",
+		Headers: []string{"scaling", "config", "ranks", "schedule", "ms/iter", "vs sync",
+			"a2a exp/busy", "ar exp/busy", "loader exp/busy"},
+	}
+	sw := newDistSweep()
+	defer sw.close()
+	v := core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend}
+	cases := []struct {
+		scaling string
+		cfg     core.Config
+		ranks   []int
+		gn      func(cfg core.Config, r int) int
+		loader  core.LoaderMode
+	}{
+		{"strong (Fig9)", core.Large, []int{16, 32, 64},
+			func(cfg core.Config, _ int) int { return cfg.GlobalMB }, core.LoaderNone},
+		{"weak (Fig12)", core.Large, []int{16, 32, 64},
+			func(cfg core.Config, r int) int { return cfg.LocalMB * r }, core.LoaderNone},
+		{"weak (Fig12)", core.MLPerf, []int{16, 26},
+			func(cfg core.Config, r int) int { return cfg.LocalMB * r }, core.LoaderSharded},
+	}
+	for _, c := range cases {
+		for _, r := range c.ranks {
+			var sync float64
+			for _, m := range overlapModes() {
+				res := sw.runDistOpt(c.cfg, r, c.gn(c.cfg, r), v, c.loader, o.Iters, m.overlap, m.algo)
+				delta := "-"
+				if m.name == "sync" {
+					sync = res.IterSeconds
+				} else {
+					delta = fmt.Sprintf("%+.1f%%", (res.IterSeconds/sync-1)*100)
+				}
+				t.AddRow(c.scaling, c.cfg.Name, fmt.Sprintf("%dR", r), m.name,
+					ms(res.IterSeconds), delta,
+					expCell(res, "alltoall"), expCell(res, "allreduce"), expCell(res, "loader"))
+			}
+		}
+	}
+	t.AddNote("paper §IV-A: dense-MLP allreduces overlap the sparse backward, embedding alltoalls overlap MLP compute; " +
+		"\"the communication is almost completely hidden unless compute is too short\"")
+	t.AddNote("overlapped: backward alltoall issued right after the interaction backward and hidden behind the " +
+		"bottom-MLP backward; waits deferred to the embedding update / SGD; loader prefetch-hidden (cold start only)")
+	t.AddNote("MPI overlap is NOT shown as a win: its unpinned progress thread inflates overlapped compute " +
+		"(§VI-D1 interference artifact) — run fig10/fig11 for that story")
+	return t
+}

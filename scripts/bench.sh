@@ -3,9 +3,11 @@
 #
 # Runs the curated kernel micro-benchmarks (the ones behind the paper's
 # figures) via `dlrmbench -benchjson` and writes BENCH_<date>.json in the
-# repo root (or $1 if given). Future PRs diff these files to track the perf
-# trajectory: ns_per_op for speed, allocs_per_op for the zero-allocation
-# steady-state invariant.
+# repo root (or $1 if given), then prints the wall/alloc delta against the
+# newest previously committed BENCH_*.json (cmd/benchdiff) so perf PR
+# descriptions can quote it directly. The delta is informational here — the
+# CI bench-gate job is what enforces it; a regression does not fail this
+# script.
 #
 # Usage:
 #   scripts/bench.sh                # writes ./BENCH_YYYY-MM-DD.json
@@ -17,6 +19,14 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_$(date +%F).json}"
 
 go run ./cmd/dlrmbench -benchjson "$out"
+
+# Delta vs the newest committed baseline. benchdiff excludes $out itself
+# from baseline discovery, so writing into the repo root is safe; a missing
+# baseline (fresh clone) or a regression only prints, never fails the
+# recording run.
+echo
+echo "Delta vs newest committed BENCH_*.json (informational; CI gate enforces):"
+go run ./cmd/benchdiff -new "$out" || true
 
 # Also append the raw `go test -bench` view for the full benchmark index;
 # useful for eyeballing but the JSON is the canonical record.
