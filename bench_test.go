@@ -233,6 +233,18 @@ func BenchmarkFig12Weak64RHier(b *testing.B) {
 	benchDistFixture(b, experiments.Fig12DistHierCase)
 }
 
+// The bucketed gradient-allreduce variants (Fig. 2): layer-stepped backward
+// issuing one allreduce per 64 MiB bucket from inside the layer callback,
+// waits deferred per-bucket to the SGD (fixtures shared with dlrmbench
+// -benchjson; the virtual-ms/iter delta vs the Overlap cases is the
+// bucketing win docs/PERF.md quotes).
+func BenchmarkFig9Strong64RBucketed(b *testing.B) {
+	benchDistFixture(b, experiments.Fig9DistBucketedCase)
+}
+func BenchmarkFig12Weak64RBucketed(b *testing.B) {
+	benchDistFixture(b, experiments.Fig12DistBucketedCase)
+}
+
 // BenchmarkLoaderShardedNext measures steady-state per-rank batch
 // production by the sharded streaming loader (fixture shared with
 // dlrmbench -benchjson); -benchmem documents the zero-allocation property.

@@ -191,6 +191,7 @@ func main() {
 	dir := flag.String("dir", ".", "directory holding the committed baselines")
 	threshold := flag.Float64("threshold", 25, "max wall-time regression in percent")
 	virtTol := flag.Float64("virtual-tol", 5, "virtual ms/iter drift in percent beyond which a case is skipped")
+	filter := flag.String("filter", "", "only compare cases matching this regexp on BOTH sides (for partial reports, e.g. scripts/bench.sh -quick)")
 	flag.Parse()
 
 	if *newPath == "" {
@@ -214,6 +215,32 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *filter != "" {
+		// A filtered comparison trims BOTH reports, so a deliberately
+		// partial fresh report (quick mode) is not flagged as lost
+		// baseline coverage.
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+		keep := func(in []benchEntry) []benchEntry {
+			var out []benchEntry
+			for _, b := range in {
+				if re.MatchString(b.Name) {
+					out = append(out, b)
+				}
+			}
+			return out
+		}
+		old.Benchmarks = keep(old.Benchmarks)
+		fresh.Benchmarks = keep(fresh.Benchmarks)
+		if len(fresh.Benchmarks) == 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: -filter %q matches no cases in %s\n", *filter, *newPath)
+			os.Exit(2)
+		}
 	}
 
 	fmt.Printf("baseline %s (%s, %s)\n", *oldPath, old.Date, old.GoVersion)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"testing"
 	"time"
@@ -60,9 +61,25 @@ func runBench(report *benchReport, name string, fn func(b *testing.B)) {
 // writeBenchJSON runs the curated micro-benchmark suite — the same fixtures
 // (internal/experiments benchcases) the root go-test benchmarks use, so the
 // archived numbers and the local `go test -bench` numbers always measure
-// identical workloads — and writes the results as JSON to path.
-func writeBenchJSON(path string) error {
+// identical workloads — and writes the results as JSON to path. A non-empty
+// filter regexp restricts the suite to matching case names (and skips
+// building the other fixtures): scripts/bench.sh -quick uses it to measure
+// only the gate-relevant distributed/loader cases.
+func writeBenchJSON(path, filter string) error {
+	match := func(string) bool { return true }
+	if filter != "" {
+		re, err := regexp.Compile(filter)
+		if err != nil {
+			return fmt.Errorf("bad -benchfilter: %w", err)
+		}
+		match = re.MatchString
+	}
 	// Fail fast on an unwritable destination before minutes of measuring.
+	// If the probe had to CREATE the file, remember that: error paths below
+	// must not leave a stray empty BENCH_*.json behind for benchdiff's
+	// baseline discovery to trip over.
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
 	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
 	if err != nil {
 		return err
@@ -77,7 +94,7 @@ func writeBenchJSON(path string) error {
 	}
 
 	// Fig. 5: blocked forward GEMM (batch-reduce kernel).
-	{
+	if match("Fig5BlockedFWD") {
 		x, w, y := experiments.Fig5BlockedCase()
 		runBench(report, "Fig5BlockedFWD", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -88,7 +105,7 @@ func writeBenchJSON(path string) error {
 	}
 
 	// Fig. 7: one full training iteration, race-free embedding update.
-	{
+	if match("Fig7RaceFreeStep") {
 		tr, mb := experiments.Fig7StepCase(embedding.RaceFree)
 		runBench(report, "Fig7RaceFreeStep", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -105,6 +122,9 @@ func writeBenchJSON(path string) error {
 		{"Fig16FP32Step", core.FP32},
 		{"Fig16BF16SplitStep", core.BF16Split},
 	} {
+		if !match(c.name) {
+			continue
+		}
 		tr, mb := experiments.Fig16StepCase(c.prec)
 		runBench(report, c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -114,7 +134,7 @@ func writeBenchJSON(path string) error {
 	}
 
 	// §III-A: fused embedding backward+update sweep.
-	{
+	if match("EmbeddingFusedUpdate") {
 		tab, batch, dOut := experiments.FusedEmbeddingCase()
 		runBench(report, "EmbeddingFusedUpdate", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -150,7 +170,16 @@ func writeBenchJSON(path string) error {
 		{"Fig12Weak64ROverlap", experiments.Fig12DistOverlapCase},
 		{"Fig9Strong64RHier", experiments.Fig9DistHierCase},
 		{"Fig12Weak64RHier", experiments.Fig12DistHierCase},
+		// Bucketed gradient allreduce (Fig. 2): the overlapped runs with the
+		// layer-stepped backward issuing per-bucket allreduces — their
+		// virtual ms/iter vs the Overlap cases is the bucketing win, and the
+		// gate keeps the per-bucket dispatch path allocation-free and fast.
+		{"Fig9Strong64RBucketed", experiments.Fig9DistBucketedCase},
+		{"Fig12Weak64RBucketed", experiments.Fig12DistBucketedCase},
 	} {
+		if !match(c.name) {
+			continue
+		}
 		dc, done := c.mk()
 		runBench(report, c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -163,7 +192,7 @@ func writeBenchJSON(path string) error {
 
 	// Sharded streaming loader: host wall time to produce one per-rank
 	// batch (N/R sample slice + owned-table columns), steady state.
-	{
+	if match("LoaderShardedNext") {
 		ld, done := experiments.LoaderNextCase()
 		runBench(report, "LoaderShardedNext", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -171,6 +200,15 @@ func writeBenchJSON(path string) error {
 			}
 		})
 		done()
+	}
+
+	if len(report.Benchmarks) == 0 {
+		// Never write an empty report: committed as a baseline it would make
+		// the CI gate trivially green (nothing left to compare or lose).
+		if created {
+			os.Remove(path)
+		}
+		return fmt.Errorf("-benchfilter %q matched no benchmark cases", filter)
 	}
 
 	out, err := json.MarshalIndent(report, "", "  ")

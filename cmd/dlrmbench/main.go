@@ -5,100 +5,177 @@
 //
 // Usage:
 //
-//	dlrmbench -exp table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|loader|overlap|all
+//	dlrmbench -exp list                    # print every experiment with a description
+//	dlrmbench -exp fig9                    # one experiment (see -exp list for names)
 //	dlrmbench -exp fig16 -iters 800        # more training iterations
 //	dlrmbench -exp fig7 -quick             # skip the slow Reference runs
 //	dlrmbench -benchjson BENCH_2026-07-27.json   # machine-readable kernel benchmarks
+//	dlrmbench -benchjson out.json -benchfilter '^Fig9'  # subset of the bench suite
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"slices"
 	"strings"
 
 	"repro/internal/experiments"
 )
 
+// expOpts carries the command-line tuning every experiment may consult.
+type expOpts struct {
+	scale experiments.ScalingOpts
+	iters int
+	quick bool
+}
+
+// experiment is one registered entry of the -exp table. The -exp flag's
+// help text, the `-exp list` output, and the unknown-name error are all
+// generated from this table, so registering an experiment here is the only
+// step to expose it.
+type experiment struct {
+	name string
+	desc string
+	run  func(o expOpts) fmt.Stringer
+}
+
+// experimentTable lists every experiment in presentation order.
+func experimentTable() []experiment {
+	return []experiment{
+		{"table1", "Table I: DLRM model specifications", func(o expOpts) fmt.Stringer {
+			return experiments.Table1()
+		}},
+		{"table2", "Table II: model characteristics for distributed runs (Eqs. 1-2)", func(o expOpts) fmt.Stringer {
+			return experiments.Table2()
+		}},
+		{"fig5", "single-socket MLP kernel GFLOPS: blocked GEMM vs FB/MKL styles", func(o expOpts) fmt.Stringer {
+			opts := experiments.DefaultFig5Opts()
+			if o.quick {
+				opts = experiments.Fig5Opts{N: 64, Sizes: []int{128, 256}, Repeats: 2}
+			}
+			return experiments.RunFig5(opts)
+		}},
+		{"fig6", "overlapping MLP GEMMs with the SGD reduce-scatter/all-gather (Fig. 2/6)", func(o expOpts) fmt.Stringer {
+			return experiments.RunFig6(experiments.DefaultFig6Opts())
+		}},
+		{"fig7", "single-socket iteration time per embedding-update strategy", func(o expOpts) fmt.Stringer {
+			return runFig78(o).Fig7
+		}},
+		{"fig8", "single-socket time split across key ops", func(o expOpts) fmt.Stringer {
+			return runFig78(o).Fig8
+		}},
+		{"fig9", "strong scaling: speed-up/efficiency, all four comm variants", func(o expOpts) fmt.Stringer {
+			return experiments.RunFig9(o.scale)
+		}},
+		{"fig10", "strong-scaling compute/communication break-up, MPI vs CCL", func(o expOpts) fmt.Stringer {
+			return experiments.RunFig10(o.scale)
+		}},
+		{"fig11", "strong-scaling communication-time break-up (framework vs wait)", func(o expOpts) fmt.Stringer {
+			return experiments.RunFig11(o.scale)
+		}},
+		{"fig12", "weak scaling: speed-up/efficiency, all four comm variants", func(o expOpts) fmt.Stringer {
+			return experiments.RunFig12(o.scale)
+		}},
+		{"fig13", "weak-scaling compute/communication break-up (incl. loader artifact)", func(o expOpts) fmt.Stringer {
+			return experiments.RunFig13(o.scale)
+		}},
+		{"fig14", "weak-scaling communication-time break-up", func(o expOpts) fmt.Stringer {
+			return experiments.RunFig14(o.scale)
+		}},
+		{"fig15", "8-socket shared-memory scaling on the UPI twisted hypercube", func(o expOpts) fmt.Stringer {
+			return experiments.RunFig15(o.scale)
+		}},
+		{"fig16", "mixed-precision training accuracy (ROC AUC), BF16/FP24 variants", func(o expOpts) fmt.Stringer {
+			opts := experiments.DefaultFig16Opts()
+			if o.quick {
+				opts.Iters, opts.EvalN = 100, 2048
+			}
+			if o.iters > 0 {
+				opts.Iters = o.iters
+			}
+			opts.Include8LSB = true
+			return experiments.RunFig16(opts)
+		}},
+		{"loader", "data pipeline: global-read loader artifact vs sharded streaming loader", func(o expOpts) fmt.Stringer {
+			return experiments.RunLoaderPipeline(o.scale)
+		}},
+		{"overlap", "overlap ablation: sync vs overlapped pipeline vs +hierarchical allreduce", func(o expOpts) fmt.Stringer {
+			return experiments.RunOverlap(o.scale)
+		}},
+		{"buckets", "bucketed gradient allreduce (Fig. 2): flat vs per-layer buckets × sync vs overlapped", func(o expOpts) fmt.Stringer {
+			return experiments.RunBucketFig(o.scale)
+		}},
+		{"ablation-allreduce", "allreduce algorithm sweep vs gradient volume", func(o expOpts) fmt.Stringer {
+			return experiments.AblationAllreduce()
+		}},
+		{"ablation-commcores", "communication-core count S sweep (Large, CCL Alltoall)", func(o expOpts) fmt.Stringer {
+			return experiments.AblationCommCores(16, o.scale.Iters)
+		}},
+		{"ablation-capacity", "storage per weight: model + optimizer state", func(o expOpts) fmt.Stringer {
+			return experiments.AblationCapacity()
+		}},
+		{"ablation-fused", "fused embedding backward+update vs two-step", func(o expOpts) fmt.Stringer {
+			return experiments.AblationFusedEmbedding(3)
+		}},
+	}
+}
+
+// runFig78 shares the Fig. 7/8 sweep between both entries.
+func runFig78(o expOpts) *experiments.Fig78Result {
+	opts := experiments.DefaultFig7Opts()
+	if o.quick {
+		opts = experiments.Fig7Opts{Iters: 1, MB: 64, RowScale: 1.0 / 64}
+	}
+	if o.iters > 0 {
+		opts.Iters = o.iters
+	}
+	return experiments.RunFig78(opts)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig5..fig16, all)")
+	table := experimentTable()
+	names := make([]string, len(table))
+	for i, e := range table {
+		names[i] = e.name
+	}
+	exp := flag.String("exp", "all",
+		"experiment to run: all, list, or one of "+strings.Join(names, " "))
 	iters := flag.Int("iters", 0, "override iteration count where applicable")
 	quick := flag.Bool("quick", false, "reduce sizes for a fast smoke run")
 	benchJSON := flag.String("benchjson", "", "run the kernel micro-benchmarks and write results as JSON to this file, then exit")
+	benchFilter := flag.String("benchfilter", "", "with -benchjson: only run benchmark cases matching this regexp")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON); err != nil {
+		if err := writeBenchJSON(*benchJSON, *benchFilter); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	run := func(name string, fn func() fmt.Stringer) {
-		if *exp != "all" && *exp != name {
-			return
+	if *exp == "list" {
+		for _, e := range table {
+			fmt.Printf("%-20s %s\n", e.name, e.desc)
 		}
-		fmt.Println(fn().String())
+		return
 	}
 
-	scale := experiments.DefaultScalingOpts()
+	o := expOpts{scale: experiments.DefaultScalingOpts(), iters: *iters, quick: *quick}
 	if *iters > 0 {
-		scale.Iters = *iters
+		o.scale.Iters = *iters
 	}
 
-	run("table1", func() fmt.Stringer { return experiments.Table1() })
-	run("table2", func() fmt.Stringer { return experiments.Table2() })
-	run("fig5", func() fmt.Stringer {
-		o := experiments.DefaultFig5Opts()
-		if *quick {
-			o = experiments.Fig5Opts{N: 64, Sizes: []int{128, 256}, Repeats: 2}
+	known := false
+	for _, e := range table {
+		if *exp == "all" || *exp == e.name {
+			known = true
+			fmt.Println(e.run(o).String())
 		}
-		return experiments.RunFig5(o)
-	})
-	run("fig6", func() fmt.Stringer { return experiments.RunFig6(experiments.DefaultFig6Opts()) })
-	fig78 := func() *experiments.Fig78Result {
-		o := experiments.DefaultFig7Opts()
-		if *quick {
-			o = experiments.Fig7Opts{Iters: 1, MB: 64, RowScale: 1.0 / 64}
-		}
-		if *iters > 0 {
-			o.Iters = *iters
-		}
-		return experiments.RunFig78(o)
 	}
-	run("fig7", func() fmt.Stringer { return fig78().Fig7 })
-	run("fig8", func() fmt.Stringer { return fig78().Fig8 })
-	run("fig9", func() fmt.Stringer { return experiments.RunFig9(scale) })
-	run("fig10", func() fmt.Stringer { return experiments.RunFig10(scale) })
-	run("fig11", func() fmt.Stringer { return experiments.RunFig11(scale) })
-	run("fig12", func() fmt.Stringer { return experiments.RunFig12(scale) })
-	run("fig13", func() fmt.Stringer { return experiments.RunFig13(scale) })
-	run("fig14", func() fmt.Stringer { return experiments.RunFig14(scale) })
-	run("fig15", func() fmt.Stringer { return experiments.RunFig15(scale) })
-	run("loader", func() fmt.Stringer { return experiments.RunLoaderPipeline(scale) })
-	run("overlap", func() fmt.Stringer { return experiments.RunOverlap(scale) })
-	run("fig16", func() fmt.Stringer {
-		o := experiments.DefaultFig16Opts()
-		if *quick {
-			o.Iters, o.EvalN = 100, 2048
-		}
-		if *iters > 0 {
-			o.Iters = *iters
-		}
-		o.Include8LSB = true
-		return experiments.RunFig16(o)
-	})
-	run("ablation-allreduce", func() fmt.Stringer { return experiments.AblationAllreduce() })
-	run("ablation-commcores", func() fmt.Stringer { return experiments.AblationCommCores(16, scale.Iters) })
-	run("ablation-capacity", func() fmt.Stringer { return experiments.AblationCapacity() })
-	run("ablation-fused", func() fmt.Stringer { return experiments.AblationFusedEmbedding(3) })
-
-	known := "table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 loader overlap " +
-		"ablation-allreduce ablation-commcores ablation-capacity ablation-fused all"
-	if !slices.Contains(strings.Fields(known), *exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: %s\n", *exp, known)
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: %s all list\n",
+			*exp, strings.Join(names, " "))
 		os.Exit(2)
 	}
 }

@@ -145,12 +145,10 @@ func (c *Comm) AllreduceTimeAlgo(algo AllreduceAlgo, bytes float64) float64 {
 		// carrying half the message split into chunks. In steady state every
 		// tree edge moves one chunk up (reduce) and one down (broadcast) per
 		// step — full-duplex links charge the directions separately — and the
-		// pipeline drains after depth-of-both-passes + chunks − 1 steps.
+		// pipeline drains after depth-of-both-passes + chunks − 1 steps. The
+		// chunk count adapts to the message size (see BinaryTreeChunks).
 		depth := bits.Len(uint(r - 1))
-		chunks := 4 * depth
-		if chunks < 8 {
-			chunks = 8
-		}
+		chunks := BinaryTreeChunks(bytes, r)
 		per := bytes / 2 / float64(chunks)
 		c.flows = c.flows[:0]
 		for i := 1; i < r; i++ {
@@ -170,6 +168,35 @@ func (c *Comm) AllreduceTimeAlgo(algo AllreduceAlgo, bytes float64) float64 {
 	default:
 		return c.AllreduceTime(bytes)
 	}
+}
+
+// binaryTreeChunkRef is the reference chunk volume of the pipelined binary
+// tree's dynamic chunking: the per-chunk payload at which one phase's
+// serialization time is comparable to its wire latency on the modeled
+// fabrics, so chunks much smaller waste steps on latency and chunks much
+// larger stall the pipeline fill.
+const binaryTreeChunkRef = 256 << 10
+
+// BinaryTreeChunks returns the pipeline chunk count for an allreduce of
+// bytes per rank over r ranks. Like NCCL's dynamic chunking the count grows
+// with the message instead of being fixed: balancing the pipeline-fill term
+// (∝ 1/chunks) against the per-step latency term (∝ chunks) puts the
+// optimum near √(half-message / reference chunk), clamped to one chunk for
+// latency-bound messages and to 4·depth once the pipeline is saturated —
+// beyond that, extra steps only add latency.
+func BinaryTreeChunks(bytes float64, r int) int {
+	depth := bits.Len(uint(r - 1))
+	if depth < 1 {
+		depth = 1
+	}
+	c := int(math.Ceil(math.Sqrt(bytes / 2 / binaryTreeChunkRef)))
+	if c < 1 {
+		c = 1
+	}
+	if lim := 4 * depth; c > lim {
+		c = lim
+	}
+	return c
 }
 
 // BestAllreduceAlgo returns the fastest modeled algorithm and its time for

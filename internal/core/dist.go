@@ -136,6 +136,23 @@ type DistConfig struct {
 	// (data movement is identical). The zero value is the ring
 	// reduce-scatter+all-gather the paper's tuned runs use.
 	Allreduce comm.AllreduceAlgo
+	// BucketBytes enables the per-layer bucketed gradient allreduce of
+	// Fig. 2: the backward pass is layer-stepped, each MLP's flat gradient
+	// buffer is carved into per-layer buckets coalesced up to this many
+	// bytes (paper-scale volumes), and every bucket's allreduce is issued
+	// the moment its last layer's backward completes — labeled "ar-top" /
+	// "ar-bot" — with the waits deferred per-bucket to that bucket's slice
+	// of the SGD. 0 keeps the flat per-MLP buffers and the single "allreduce"
+	// label: bit-identical timing to the un-bucketed schedule.
+	BucketBytes int
+	// BucketChannels is the CCL channel set bucketed allreduces round-robin
+	// over under Overlap, keeping several buckets in flight on distinct
+	// FIFOs. Nil selects channels 0-2: the forward-alltoall channel (idle
+	// during the backward) plus the flat schedule's two allreduce channels;
+	// the backward alltoall keeps channel 3 to itself. Ignored without
+	// Overlap (label-hash placement, like the sync schedule's collectives)
+	// and on MPI, which has a single in-order channel.
+	BucketChannels []int
 
 	// Functional execution: when RunCfg is non-nil, every rank instantiates
 	// a scaled model shard and really trains on Dataset (used by the
@@ -378,6 +395,14 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		chFwd, chTop, chBot, chBwd = 0, 1, 2, 3
 	}
 
+	// Bucketed gradient allreduce (Fig. 2): carve the per-layer volumes into
+	// buckets and derive the per-layer backward charges once per run; the
+	// flat path (BucketBytes = 0) never consults any of it.
+	bucketed := dc.BucketBytes > 0
+	if bucketed {
+		dc.prepareBuckets(ws, fn, cores, shardN, 2*topFwd, 2*botFwd)
+	}
+
 	// In the overlapped pipeline the loader is the real double-buffered
 	// prefetch goroutine: batch 0's fetch starts at t=0 and is exposed once
 	// (cold start); every later batch is fetched on the background stream
@@ -446,49 +471,60 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 			}
 		}
 
-		// (6) Top MLP backward, then enqueue its gradient allreduce so it
-		// overlaps the remaining backward work (§IV-A).
-		r.Compute(2 * topFwd)
-		var dEmb [][]float32
-		if fn != nil {
-			dEmb = fn.model.BackwardDense(fn.pool, dz)
-			flattenGrads(fn.model.Top, ws.topGrad)
-		}
-		r.Prep("allreduce", sock.StreamTime(2*arBytesTop, cores))
-		hTop := cm.AllreduceAlgoCost("allreduce", chTop, grad(fn, ws, true), false, arBytesTop, dc.Allreduce)
-
-		var hBot cluster.Handle
-		if dc.Overlap {
-			// (7) The interaction backward is what produces the embedding
-			// gradients, so the backward redistribution can launch right
-			// after it — before the bottom-MLP backward and before its
-			// allreduce is enqueued — and the remaining backward compute
-			// hides it. Waits are deferred to the latest consumer: the
-			// redistribution at the embedding update (step 8), the
-			// allreduces at the SGD (step 9).
-			r.Compute(interFwd)
-			dc.backwardRedistributeIssue(cm, r, fn, ws, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes, chBwd, false)
-			r.Compute(2 * botFwd)
-			if fn != nil {
-				flattenGrads(fn.model.Bot, ws.botGrad)
-			}
-			r.Prep("allreduce", sock.StreamTime(2*arBytesBot, cores))
-			hBot = cm.AllreduceAlgoCost("allreduce", chBot, grad(fn, ws, false), false, arBytesBot, dc.Allreduce)
-			dc.backwardRedistributeFinish(r, fn, ws, shardN)
+		var hTop, hBot cluster.Handle
+		if bucketed {
+			// (6-8) Layer-stepped backward (Fig. 2): each gradient bucket's
+			// allreduce is issued the moment its last layer's backward
+			// completes, the backward redistribution launches right after
+			// the interaction backward under Overlap (waited where issued
+			// otherwise), and every bucket's wait is deferred to its slice
+			// of the SGD below.
+			dc.backwardBucketed(cm, r, fn, ws, cores, maxLoc, shardN,
+				interFwd, a2aBlockBytes, scatterBlockBytes, chBwd)
 		} else {
-			// (7) Interaction backward + bottom MLP backward, enqueue its
-			// allreduce.
-			r.Compute(interFwd + 2*botFwd)
+			// (6) Top MLP backward, then enqueue its gradient allreduce so it
+			// overlaps the remaining backward work (§IV-A).
+			r.Compute(2 * topFwd)
+			var dEmb [][]float32
 			if fn != nil {
-				flattenGrads(fn.model.Bot, ws.botGrad)
+				dEmb = fn.model.BackwardDense(fn.pool, dz)
+				flattenGrads(fn.model.Top, ws.topGrad)
 			}
-			r.Prep("allreduce", sock.StreamTime(2*arBytesBot, cores))
-			hBot = cm.AllreduceAlgoCost("allreduce", chBot, grad(fn, ws, false), false, arBytesBot, dc.Allreduce)
+			r.Prep("allreduce", sock.StreamTime(2*arBytesTop, cores))
+			hTop = cm.AllreduceAlgoCost("allreduce", chTop, grad(fn, ws, true), false, arBytesTop, dc.Allreduce)
 
-			// (8) Redistribute embedding gradients back to their owners
-			// (data → model parallel) into ws.dOutFull, waited where issued
-			// (the instrumented synchronous schedule).
-			dc.backwardRedistribute(cm, r, fn, ws, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes)
+			if dc.Overlap {
+				// (7) The interaction backward is what produces the embedding
+				// gradients, so the backward redistribution can launch right
+				// after it — before the bottom-MLP backward and before its
+				// allreduce is enqueued — and the remaining backward compute
+				// hides it. Waits are deferred to the latest consumer: the
+				// redistribution at the embedding update (step 8), the
+				// allreduces at the SGD (step 9).
+				r.Compute(interFwd)
+				dc.backwardRedistributeIssue(cm, r, fn, ws, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes, chBwd, false)
+				r.Compute(2 * botFwd)
+				if fn != nil {
+					flattenGrads(fn.model.Bot, ws.botGrad)
+				}
+				r.Prep("allreduce", sock.StreamTime(2*arBytesBot, cores))
+				hBot = cm.AllreduceAlgoCost("allreduce", chBot, grad(fn, ws, false), false, arBytesBot, dc.Allreduce)
+				dc.backwardRedistributeFinish(r, fn, ws, shardN)
+			} else {
+				// (7) Interaction backward + bottom MLP backward, enqueue its
+				// allreduce.
+				r.Compute(interFwd + 2*botFwd)
+				if fn != nil {
+					flattenGrads(fn.model.Bot, ws.botGrad)
+				}
+				r.Prep("allreduce", sock.StreamTime(2*arBytesBot, cores))
+				hBot = cm.AllreduceAlgoCost("allreduce", chBot, grad(fn, ws, false), false, arBytesBot, dc.Allreduce)
+
+				// (8) Redistribute embedding gradients back to their owners
+				// (data → model parallel) into ws.dOutFull, waited where issued
+				// (the instrumented synchronous schedule).
+				dc.backwardRedistribute(cm, r, fn, ws, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes)
+			}
 		}
 		r.Compute(embUpd)
 		if fn != nil {
@@ -501,14 +537,26 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 			}
 		}
 
-		// (9) Wait for the gradient allreduces and run the MLP SGD.
-		r.Wait(hTop)
-		r.Wait(hBot)
-		r.Compute(sgdTime)
-		if fn != nil {
-			unflattenGradsAndStep(fn.model.Top, ws.topGrad, dc.LR)
-			unflattenGradsAndStep(fn.model.Bot, ws.botGrad, dc.LR)
+		// (9) Wait for the gradient allreduces and run the MLP SGD — bucket
+		// by bucket under the bucketed schedule, so each bucket's slice of
+		// the optimizer sweep runs while later buckets still drain.
+		if bucketed {
+			dc.sgdBucketed(r, fn, ws, cores)
+		} else {
+			r.Wait(hTop)
+			r.Wait(hBot)
+			r.Compute(sgdTime)
+			if fn != nil {
+				unflattenGradsAndStep(fn.model.Top, ws.topGrad, dc.LR)
+				unflattenGradsAndStep(fn.model.Bot, ws.botGrad, dc.LR)
+			}
 		}
+	}
+	if bucketed {
+		// Drop the rank/comm references the issue states captured: the
+		// workspace outlives this run, and must not keep its cluster state
+		// (Rank, Comm payload records, flow scratch) reachable.
+		ws.topBS, ws.botBS = bucketState{}, bucketState{}
 	}
 }
 

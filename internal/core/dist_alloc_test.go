@@ -21,8 +21,9 @@ import (
 
 // distAllocsPerIter returns the marginal allocations per timing-mode
 // iteration for the given variant and pipeline schedule, after warming
-// pools and workspaces.
-func distAllocsPerIter(t *testing.T, v Variant, overlap bool, algo comm.AllreduceAlgo) float64 {
+// pools and workspaces. bucketBytes > 0 selects the bucketed gradient
+// allreduce.
+func distAllocsPerIter(t *testing.T, v Variant, overlap bool, algo comm.AllreduceAlgo, bucketBytes int) float64 {
 	t.Helper()
 	if raceEnabled {
 		t.Skip("allocation counts are perturbed by the race detector")
@@ -37,6 +38,7 @@ func distAllocsPerIter(t *testing.T, v Variant, overlap bool, algo comm.Allreduc
 		dc.Workspaces = wss
 		dc.Overlap = overlap
 		dc.Allreduce = algo
+		dc.BucketBytes = bucketBytes
 		return func() { RunDistributed(dc) }
 	}
 	const short, long = 2, 12
@@ -55,7 +57,7 @@ func TestDistributedStepZeroAllocs(t *testing.T) {
 		for _, backend := range []cluster.Backend{cluster.MPIBackend, cluster.CCLBackend} {
 			for _, overlap := range []bool{false, true} {
 				v := Variant{Strategy: strat, Backend: backend}
-				if got := distAllocsPerIter(t, v, overlap, comm.RingRSAG); got != 0 {
+				if got := distAllocsPerIter(t, v, overlap, comm.RingRSAG, 0); got != 0 {
 					t.Errorf("%s overlap=%v: %v allocs per steady-state distributed iteration, want 0",
 						v.Name(), overlap, got)
 				}
@@ -72,10 +74,37 @@ func TestDistributedStepZeroAllocsAllreduceAlgos(t *testing.T) {
 	v := Variant{Strategy: Alltoall, Backend: cluster.CCLBackend}
 	for _, algo := range []comm.AllreduceAlgo{comm.Hierarchical, comm.BinaryTree} {
 		for _, overlap := range []bool{false, true} {
-			if got := distAllocsPerIter(t, v, overlap, algo); got != 0 {
+			if got := distAllocsPerIter(t, v, overlap, algo, 0); got != 0 {
 				t.Errorf("%s %v overlap=%v: %v allocs per steady-state iteration, want 0",
 					v.Name(), algo, overlap, got)
 			}
+		}
+	}
+}
+
+// TestDistributedStepZeroAllocsBucketed extends the invariant to the
+// bucketed gradient-allreduce schedule: the per-bucket issue loop, the
+// layer-stepped charges, and the per-bucket SGD waits must add no
+// steady-state allocations either — the bucket plans and issue state live
+// in the rank's DistWorkspace — for every strategy on both backends under
+// both schedules, and for the selectable cost models.
+func TestDistributedStepZeroAllocsBucketed(t *testing.T) {
+	const bucketBytes = 1 << 20
+	for _, strat := range []CommStrategy{ScatterList, FusedScatter, Alltoall} {
+		for _, backend := range []cluster.Backend{cluster.MPIBackend, cluster.CCLBackend} {
+			for _, overlap := range []bool{false, true} {
+				v := Variant{Strategy: strat, Backend: backend}
+				if got := distAllocsPerIter(t, v, overlap, comm.RingRSAG, bucketBytes); got != 0 {
+					t.Errorf("%s overlap=%v bucketed: %v allocs per steady-state iteration, want 0",
+						v.Name(), overlap, got)
+				}
+			}
+		}
+	}
+	v := Variant{Strategy: Alltoall, Backend: cluster.CCLBackend}
+	for _, algo := range []comm.AllreduceAlgo{comm.Hierarchical, comm.BinaryTree} {
+		if got := distAllocsPerIter(t, v, true, algo, bucketBytes); got != 0 {
+			t.Errorf("%s %v bucketed: %v allocs per steady-state iteration, want 0", v.Name(), algo, got)
 		}
 	}
 }

@@ -604,3 +604,202 @@ func TestDistributedLossParity(t *testing.T) {
 		}
 	}
 }
+
+// TestBucketedReducesIterationTime pins the tentpole's headline: at Large
+// 64R strong scaling the bucketed+overlapped schedule must strictly beat
+// the flat overlapped pipeline (which beats sync), because every bucket's
+// allreduce starts as soon as its layers' backward completes and drains
+// across the round-robined channels behind the remaining backward compute —
+// instead of the whole flat buffer waiting for the full backward and one
+// FIFO.
+func TestBucketedReducesIterationTime(t *testing.T) {
+	v := Variant{Alltoall, cluster.CCLBackend}
+	mk := func(ranks, gn int, overlap bool, bucketBytes int) *DistResult {
+		dc := distTestConfig(Large, ranks, gn, 2, v, false)
+		dc.Overlap = overlap
+		dc.BucketBytes = bucketBytes
+		return RunDistributed(dc)
+	}
+	const bucket = 64 << 20
+	for _, ranks := range []int{32, 64} {
+		for _, weak := range []bool{false, true} {
+			gn := Large.GlobalMB
+			label := "strong"
+			if weak {
+				gn = Large.LocalMB * ranks
+				label = "weak"
+			}
+			flat := mk(ranks, gn, true, 0)
+			bkt := mk(ranks, gn, true, bucket)
+			if bkt.IterSeconds >= flat.IterSeconds {
+				t.Errorf("%s %dR: bucketed %.1fms must beat flat overlapped %.1fms",
+					label, ranks, bkt.IterSeconds*1e3, flat.IterSeconds*1e3)
+			}
+		}
+	}
+}
+
+// TestBucketedHidesBothAllreduces checks the mechanism behind the win: at
+// Large 64R both MLP gradient allreduces are ≥90% hidden behind compute
+// under the bucketed+overlapped schedule, while their summed busy time
+// matches the flat schedule's single allreduce label (the segmentation
+// moves no extra bytes — RingRSAG's per-bucket costs are linear in volume).
+func TestBucketedHidesBothAllreduces(t *testing.T) {
+	v := Variant{Alltoall, cluster.CCLBackend}
+	mk := func(bucketBytes int) *DistResult {
+		dc := distTestConfig(Large, 64, Large.GlobalMB, 2, v, false)
+		dc.Overlap = true
+		dc.BucketBytes = bucketBytes
+		return RunDistributed(dc)
+	}
+	flat, bkt := mk(0), mk(64<<20)
+	var top, bot Exposure
+	for _, e := range bkt.Exposures() {
+		switch e.Label {
+		case "ar-top":
+			top = e
+		case "ar-bot":
+			bot = e
+		}
+	}
+	if top.Busy <= 0 || bot.Busy <= 0 {
+		t.Fatalf("bucketed run must record ar-top/ar-bot busy time: %+v %+v", top, bot)
+	}
+	if s := top.HiddenShare(); s < 0.9 {
+		t.Errorf("ar-top hidden share %.2f, want >= 0.90", s)
+	}
+	if s := bot.HiddenShare(); s < 0.9 {
+		t.Errorf("ar-bot hidden share %.2f, want >= 0.90", s)
+	}
+	// Segmentation moves the same bytes but each bucket pays its own ring
+	// latency phases, so summed busy sits slightly ABOVE the flat allreduce
+	// — never below, and within a few percent (the latency term).
+	sum := top.Busy + bot.Busy
+	if ref := flat.BusyPerIter["allreduce"]; sum < ref || sum > ref*1.1 {
+		t.Errorf("bucketed busy %.3fms outside [flat, flat+10%%] of %.3fms: segmentation changed the volume model",
+			sum*1e3, ref*1e3)
+	}
+	if bkt.BusyPerIter["allreduce"] != 0 {
+		t.Error("bucketed runs must not emit the flat 'allreduce' label")
+	}
+}
+
+// TestBucketedLossParity is the functional acceptance of the bucketed
+// pipeline: layer-stepped backward, per-bucket allreduces over flat-buffer
+// segments, and per-bucket SGD slices must not move a single bit — the mean
+// shard loss must match the single-socket trainer at 1e-6 for every
+// communication strategy on both backends, under both schedules, through
+// both real loader modes, and for the selectable allreduce algorithms. The
+// small BucketBytes forces multi-layer coalescing on the tiny config, so
+// buckets genuinely span layer groups.
+func TestBucketedLossParity(t *testing.T) {
+	cfg := tinyConfig()
+	const globalN, iters = 64, 3
+	const bucketBytes = 4096
+	_, ref := trainSingle(cfg, globalN, iters, 17, 0.5)
+
+	pools := cluster.NewPools()
+	defer pools.Close()
+	wss := NewDistWorkspaces()
+	check := func(v Variant, ranks int, overlap bool, algo comm.AllreduceAlgo, loader LoaderMode) {
+		t.Helper()
+		dc := distTestConfig(cfg, ranks, globalN, iters, v, true)
+		dc.Overlap = overlap
+		dc.Allreduce = algo
+		dc.Loader = loader
+		dc.BucketBytes = bucketBytes
+		dc.Pools = pools
+		dc.Workspaces = wss
+		res := RunDistributed(dc)
+		for it := 0; it < iters; it++ {
+			var mean float64
+			for rk := 0; rk < ranks; rk++ {
+				mean += res.Losses[rk][it]
+			}
+			mean /= float64(ranks)
+			if d := math.Abs(mean - ref[it]); d > 1e-6 {
+				t.Errorf("%s R=%d overlap=%v %v %v iter %d: loss %v vs single-socket %v (|Δ|=%g > 1e-6)",
+					v.Name(), ranks, overlap, algo, loader, it, mean, ref[it], d)
+			}
+		}
+	}
+	for _, v := range Variants {
+		for _, ranks := range []int{2, 4} {
+			for _, overlap := range []bool{false, true} {
+				for _, loader := range []LoaderMode{LoaderSharded, LoaderGlobalMB} {
+					check(v, ranks, overlap, comm.RingRSAG, loader)
+				}
+			}
+		}
+	}
+	ccl := Variant{Alltoall, cluster.CCLBackend}
+	check(ccl, 4, true, comm.Hierarchical, LoaderNone)
+	check(ccl, 4, true, comm.BinaryTree, LoaderNone)
+}
+
+// TestBucketedReplicasStayInSync extends the replica-sync invariant to the
+// bucketed pipeline: per-bucket reductions and per-bucket optimizer slices
+// must leave every rank's MLP replica bit-identical.
+func TestBucketedReplicasStayInSync(t *testing.T) {
+	cfg := tinyConfig()
+	dc := distTestConfig(cfg, 4, 64, 3, Variant{Alltoall, cluster.CCLBackend}, true)
+	dc.Overlap = true
+	dc.BucketBytes = 4096
+	res := RunDistributed(dc)
+	for rk := 1; rk < 4; rk++ {
+		checkMLPClose(t, "bucketed replica sync", res.Models[rk], res.Models[0], 1e-7)
+	}
+}
+
+// TestExposuresProperty property-tests the Exposures() accounting across
+// the whole schedule × algorithm × strategy space: for every label, busy
+// splits exactly into exposed + hidden whenever busy ≥ exposed (hidden is
+// clamped at zero when per-channel queueing pushes exposure past busy), and
+// HiddenShare always lands in [0, 1].
+func TestExposuresProperty(t *testing.T) {
+	pools := cluster.NewPools()
+	defer pools.Close()
+	wss := NewDistWorkspaces()
+	for _, strat := range []CommStrategy{ScatterList, FusedScatter, Alltoall} {
+		for _, backend := range []cluster.Backend{cluster.MPIBackend, cluster.CCLBackend} {
+			for _, overlap := range []bool{false, true} {
+				for _, algo := range comm.AllreduceAlgos {
+					for _, bucketBytes := range []int{0, 1 << 20} {
+						dc := distTestConfig(Small, 8, Small.GlobalMB, 2, Variant{strat, backend}, false)
+						dc.Overlap = overlap
+						dc.Allreduce = algo
+						dc.BucketBytes = bucketBytes
+						dc.Loader = LoaderSharded
+						dc.Pools = pools
+						dc.Workspaces = wss
+						res := RunDistributed(dc)
+						if len(res.Exposures()) == 0 {
+							t.Fatalf("%v/%v overlap=%v %v: no exposures recorded", strat, backend, overlap, algo)
+						}
+						for _, e := range res.Exposures() {
+							if e.Busy < 0 || e.Exposed < 0 || e.Hidden < 0 {
+								t.Fatalf("%v/%v overlap=%v %v bucket=%d %s: negative component %+v",
+									strat, backend, overlap, algo, bucketBytes, e.Label, e)
+							}
+							want := e.Busy - e.Exposed
+							if want < 0 {
+								want = 0
+							}
+							if math.Abs(e.Hidden-want) > 1e-12 {
+								t.Fatalf("%v/%v overlap=%v %v bucket=%d %s: hidden %.12f want %.12f (busy %.12f exposed %.12f)",
+									strat, backend, overlap, algo, bucketBytes, e.Label, e.Hidden, want, e.Busy, e.Exposed)
+							}
+							if e.Busy > e.Exposed && math.Abs(e.Busy-e.Exposed-e.Hidden) > 1e-12 {
+								t.Fatalf("%v/%v %s: busy %.12f != exposed %.12f + hidden %.12f",
+									strat, backend, e.Label, e.Busy, e.Exposed, e.Hidden)
+							}
+							if s := e.HiddenShare(); s < 0 || s > 1 {
+								t.Fatalf("%v/%v %s: hidden share %v outside [0,1]", strat, backend, e.Label, s)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/comm"
 	"repro/internal/data"
 )
 
@@ -55,6 +56,19 @@ type DistWorkspace struct {
 	gaRecv             []float32   // fused gather recv at root
 
 	botGrad, topGrad []float32 // flat MLP gradients for the allreduces
+
+	// Bucketed-allreduce state (DistConfig.BucketBytes > 0), rebuilt by
+	// prepareBuckets at the start of every run (layer-count-sized work) and
+	// reused across iterations: the per-MLP bucket plans over the
+	// paper-scale layer volumes, the modeled per-layer backward times, the
+	// per-layer offsets into the flat gradient buffers (functional mode),
+	// and the issue-order bucket handles waited at the SGD.
+	topBuckets, botBuckets comm.BucketPlan
+	topBwdT, botBwdT       []float64
+	topOff, botOff         []int
+	layerBytes             []float64 // plan-construction scratch
+	bktHandles             []cluster.Handle
+	topBS, botBS           bucketState // per-iteration issue state (see bucketState)
 
 	// loaderBufs is the staging storage behind the rank's data loader
 	// (functional mode): the double-buffered RankBatch ring and, under the

@@ -87,20 +87,34 @@ func DistLoaderCase(cfg core.Config, ranks, globalN int, v core.Variant, mode co
 // the overlap/hierarchical bench cases the regression gate tracks.
 func DistPipelineCase(cfg core.Config, ranks, globalN int, v core.Variant,
 	mode core.LoaderMode, overlap bool, algo comm.AllreduceAlgo) (core.DistConfig, func()) {
+	return distFixture(cfg, ranks, globalN, v, mode, overlap, algo, 0)
+}
+
+// DistBucketedCase is DistPipelineCase under the bucketed gradient
+// allreduce: overlapped schedule, ring cost model, per-layer buckets
+// coalesced to bucketBytes — the recipe behind the bucketed bench cases.
+func DistBucketedCase(cfg core.Config, ranks, globalN int, v core.Variant, bucketBytes int) (core.DistConfig, func()) {
+	return distFixture(cfg, ranks, globalN, v, core.LoaderNone, true, comm.RingRSAG, bucketBytes)
+}
+
+// distFixture builds the warmed-up fixture every Dist*Case variant shares.
+func distFixture(cfg core.Config, ranks, globalN int, v core.Variant,
+	mode core.LoaderMode, overlap bool, algo comm.AllreduceAlgo, bucketBytes int) (core.DistConfig, func()) {
 	pools := cluster.NewPools()
 	dc := core.DistConfig{
-		Cfg:        cfg,
-		Ranks:      ranks,
-		GlobalN:    globalN - globalN%ranks,
-		Iters:      1,
-		Variant:    v,
-		Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
-		Socket:     perfmodel.CLX8280,
-		Loader:     mode,
-		Overlap:    overlap,
-		Allreduce:  algo,
-		Pools:      pools,
-		Workspaces: core.NewDistWorkspaces(),
+		Cfg:         cfg,
+		Ranks:       ranks,
+		GlobalN:     globalN - globalN%ranks,
+		Iters:       1,
+		Variant:     v,
+		Topo:        fabric.NewPrunedFatTree(ranks, 12.5e9),
+		Socket:      perfmodel.CLX8280,
+		Loader:      mode,
+		Overlap:     overlap,
+		Allreduce:   algo,
+		BucketBytes: bucketBytes,
+		Pools:       pools,
+		Workspaces:  core.NewDistWorkspaces(),
 	}
 	core.RunDistributed(dc) // warmup: size workspaces, fill slot pools
 	return dc, pools.Close
@@ -164,6 +178,21 @@ func Fig9DistHierCase() (core.DistConfig, func()) {
 // hierarchical two-level allreduce selected.
 func Fig12DistHierCase() (core.DistConfig, func()) {
 	return DistPipelineCase(core.Large, 64, core.Large.LocalMB*64, ccl64, core.LoaderNone, true, comm.Hierarchical)
+}
+
+// Fig9DistBucketedCase is the strong-scaling headline run under the
+// bucketed+overlapped gradient allreduce (Fig. 2): per-layer buckets
+// issued from inside the layer-stepped backward, waited per-bucket at the
+// SGD — its virtual ms/iter vs Fig9DistOverlapCase is the bucketing delta
+// the PERF doc quotes.
+func Fig9DistBucketedCase() (core.DistConfig, func()) {
+	return DistBucketedCase(core.Large, 64, core.Large.GlobalMB, ccl64, DefaultBucketBytes)
+}
+
+// Fig12DistBucketedCase is the weak-scaling counterpart of
+// Fig9DistBucketedCase.
+func Fig12DistBucketedCase() (core.DistConfig, func()) {
+	return DistBucketedCase(core.Large, 64, core.Large.LocalMB*64, ccl64, DefaultBucketBytes)
 }
 
 // LoaderNextCase returns a warmed-up sharded streaming loader over a

@@ -331,3 +331,58 @@ func TestAblationFusedEmbeddingFaster(t *testing.T) {
 		t.Fatalf("fused (%.2fms) should not lose to two-step (%.2fms)", fused, twoStep)
 	}
 }
+
+// TestBucketFigShape smoke-tests the bucketed-allreduce ablation: four
+// schedules per (case, rank) row group, bucket counts only on bucketed
+// rows, per-MLP allreduce labels only on bucketed rows, and — the figure's
+// point — the bucketed overlapped schedule beating flat sync at Large 64R.
+func TestBucketFigShape(t *testing.T) {
+	tab := RunBucketFig(ScalingOpts{Iters: 2})
+	if len(tab.Rows)%4 != 0 || len(tab.Rows) == 0 {
+		t.Fatalf("expected 4 schedule rows per case, got %d rows", len(tab.Rows))
+	}
+	var flatSync, bucketedOvl float64
+	for _, row := range tab.Rows {
+		schedule, buckets := row[3], row[4]
+		switch schedule {
+		case "flat sync", "flat overlapped":
+			if buckets != "-" {
+				t.Fatalf("flat row carries bucket count %q", buckets)
+			}
+			if row[8] != "-" || row[9] != "-" {
+				t.Fatalf("flat row carries ar-top/ar-bot cells: %v", row)
+			}
+		case "bucketed sync", "bucketed overlapped":
+			if buckets == "-" {
+				t.Fatalf("bucketed row missing bucket count: %v", row)
+			}
+			if row[7] != "-" {
+				t.Fatalf("bucketed row carries the flat allreduce cell: %v", row)
+			}
+			if row[8] == "-" || row[9] == "-" {
+				t.Fatalf("bucketed row missing ar-top/ar-bot cells: %v", row)
+			}
+		default:
+			t.Fatalf("unknown schedule %q", schedule)
+		}
+		if row[0] == "strong (Fig9)" && row[2] == "64R" {
+			v, err := strconv.ParseFloat(row[5], 64)
+			if err != nil {
+				t.Fatalf("bad ms cell %q: %v", row[5], err)
+			}
+			switch schedule {
+			case "flat sync":
+				flatSync = v
+			case "bucketed overlapped":
+				bucketedOvl = v
+			}
+		}
+	}
+	if flatSync == 0 || bucketedOvl == 0 {
+		t.Fatal("missing Large strong 64R rows")
+	}
+	if bucketedOvl >= flatSync*0.85 {
+		t.Fatalf("bucketed overlapped (%.0f ms) should beat flat sync (%.0f ms) by >15%% at Large 64R",
+			bucketedOvl, flatSync)
+	}
+}

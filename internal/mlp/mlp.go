@@ -355,12 +355,33 @@ func (m *MLP) ForwardDense(p *par.Pool, x *tensor.Dense) *tensor.Acts {
 // the network input is returned (DLRM needs it for the bottom MLP→embedding
 // interaction path).
 func (m *MLP) Backward(p *par.Pool, dy *tensor.Acts, wantDX bool) *tensor.Acts {
+	return m.BackwardVisit(p, dy, wantDX, nil)
+}
+
+// BackwardVisit is the layer-stepped Backward: it runs the stack's backward
+// passes from the output gradient and invokes onLayer(i) immediately after
+// layer i's DW/DBias are materialized (layers are visited last to first, the
+// backward execution order). Distributed trainers use the callback to issue
+// each gradient bucket's allreduce the moment its layers are complete
+// (Fig. 2's bucketed overlap); a nil onLayer makes this exactly Backward.
+func (m *MLP) BackwardVisit(p *par.Pool, dy *tensor.Acts, wantDX bool, onLayer func(i int)) *tensor.Acts {
 	cur := dy
 	for i := len(m.Layers) - 1; i >= 0; i-- {
 		need := wantDX || i > 0
-		cur = m.Layers[i].Backward(p, cur, need)
+		cur = m.BackwardLayer(p, i, cur, need)
+		if onLayer != nil {
+			onLayer(i)
+		}
 	}
 	return cur
+}
+
+// BackwardLayer runs layer i's backward pass alone: dy is the gradient
+// w.r.t. that layer's activated output, and the returned dX (nil when
+// wantDX is false) feeds layer i−1. Callers driving the stack manually must
+// step layers from last to first, matching BackwardVisit.
+func (m *MLP) BackwardLayer(p *par.Pool, i int, dy *tensor.Acts, wantDX bool) *tensor.Acts {
+	return m.Layers[i].Backward(p, dy, wantDX)
 }
 
 // Step applies SGD to every layer.
@@ -386,6 +407,31 @@ func (m *MLP) VisitGrads(fn func(name string, g []float32)) {
 	for i, l := range m.Layers {
 		fn(fmt.Sprintf("layer%d.W", i), l.DW.Data)
 		fn(fmt.Sprintf("layer%d.b", i), l.DBias)
+	}
+}
+
+// LayerGradLen returns the flat gradient length of layer i (weights then
+// bias) — layer i's share of the VisitGrads order. Bucketed allreduce plans
+// carve the flat gradient buffer by these lengths.
+func (m *MLP) LayerGradLen(i int) int {
+	l := m.Layers[i]
+	return len(l.DW.Data) + len(l.DBias)
+}
+
+// VisitLayerGrads calls fn for layer i's gradient tensors only (weights
+// then bias), in the same order VisitGrads emits them.
+func (m *MLP) VisitLayerGrads(i int, fn func(name string, g []float32)) {
+	l := m.Layers[i]
+	fn(fmt.Sprintf("layer%d.W", i), l.DW.Data)
+	fn(fmt.Sprintf("layer%d.b", i), l.DBias)
+}
+
+// StepLayers applies SGD to the layers in [lo, hi] only — the per-bucket
+// slice of the optimizer pass that follows a bucketed gradient allreduce.
+// StepLayers(0, len(Layers)-1, lr) is exactly Step(lr).
+func (m *MLP) StepLayers(lo, hi int, lr float32) {
+	for i := lo; i <= hi; i++ {
+		m.Layers[i].Step(lr)
 	}
 }
 

@@ -3,18 +3,39 @@
 #
 # Runs the curated kernel micro-benchmarks (the ones behind the paper's
 # figures) via `dlrmbench -benchjson` and writes BENCH_<date>.json in the
-# repo root (or $1 if given), then prints the wall/alloc delta against the
-# newest previously committed BENCH_*.json (cmd/benchdiff) so perf PR
+# repo root (or the given path), then prints the wall/alloc delta against
+# the newest previously committed BENCH_*.json (cmd/benchdiff) so perf PR
 # descriptions can quote it directly. The delta is informational here — the
 # CI bench-gate job is what enforces it; a regression does not fail this
 # script.
 #
+# -quick runs only the gate-relevant distributed/loader cases (the ones
+# that move when the distributed path changes), writes to a temp file, and
+# diffs that subset against the committed baseline — a fast regression
+# check while iterating, not a baseline to commit.
+#
 # Usage:
-#   scripts/bench.sh                # writes ./BENCH_YYYY-MM-DD.json
-#   scripts/bench.sh out/perf.json  # custom path
+#   scripts/bench.sh                # writes ./BENCH_YYYY-MM-DD.json (full suite)
+#   scripts/bench.sh out/perf.json  # custom path, full suite
+#   scripts/bench.sh -quick         # gate-relevant subset, temp file, delta only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# The gate-relevant subset: the simulated-cluster iteration cases (every
+# Fig9/Fig12 variant incl. sharded/overlap/hier/bucketed) plus the
+# streaming-loader production case.
+quick_filter='^(Fig9|Fig12|Loader)'
+
+if [[ "${1:-}" == "-quick" ]]; then
+  out="$(mktemp -t bench-quick-XXXX.json)"
+  trap 'rm -f "$out"' EXIT
+  go run ./cmd/dlrmbench -benchjson "$out" -benchfilter "$quick_filter"
+  echo
+  echo "Quick delta vs newest committed BENCH_*.json (gate-relevant cases only):"
+  go run ./cmd/benchdiff -new "$out" -filter "$quick_filter" || true
+  exit 0
+fi
 
 out="${1:-BENCH_$(date +%F).json}"
 
