@@ -16,6 +16,7 @@
 //
 //	benchdiff -new bench-pr.json                 # baseline = newest BENCH_*.json in the repo
 //	benchdiff -old BENCH_2026-07-27-pr2.json -new bench-pr.json -threshold 25
+//	benchdiff -new bench-pr.json -renamed OldCase=NewCase,OldCase2=NewCase2
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchEntry mirrors the dlrmbench -benchjson record.
@@ -58,10 +60,18 @@ type result struct {
 // (0.25 = 25%). Wall times are only comparable when both reports come from
 // the same machine shape, so a GOARCH or GOMAXPROCS mismatch skips the
 // wall gate (allocation counts are deterministic and stay enforced).
-func compare(old, fresh *benchReport, wallTol, virtTol float64) []result {
+// renamed maps baseline case names to the fresh-report names that supersede
+// them (-renamed old=new): a mapped baseline case missing from the fresh
+// report is a deliberate rename, not lost coverage, as long as its
+// replacement actually appears on the fresh side.
+func compare(old, fresh *benchReport, wallTol, virtTol float64, renamed map[string]string) []result {
 	baseline := map[string]benchEntry{}
 	for _, b := range old.Benchmarks {
 		baseline[b.Name] = b
+	}
+	freshNames := map[string]bool{}
+	for _, b := range fresh.Benchmarks {
+		freshNames[b.Name] = true
 	}
 	sameHost := old.GOARCH == fresh.GOARCH && old.GOMAXPROCS == fresh.GOMAXPROCS
 	var out []result
@@ -112,10 +122,21 @@ func compare(old, fresh *benchReport, wallTol, virtTol float64) []result {
 	// lost coverage — fail them so a rename/removal ships with an updated
 	// committed baseline.
 	for _, prev := range old.Benchmarks {
-		if _, lost := baseline[prev.Name]; lost {
-			out = append(out, result{prev.Name, "fail",
-				"present in baseline but missing from fresh report (commit an updated BENCH_*.json if removed intentionally)"})
+		if _, lost := baseline[prev.Name]; !lost {
+			continue
 		}
+		if to, ok := renamed[prev.Name]; ok {
+			if freshNames[to] {
+				out = append(out, result{prev.Name, "skip",
+					fmt.Sprintf("superseded by %s (renamed)", to)})
+				continue
+			}
+			out = append(out, result{prev.Name, "fail",
+				fmt.Sprintf("renamed to %s, but that case is missing from the fresh report too", to)})
+			continue
+		}
+		out = append(out, result{prev.Name, "fail",
+			"present in baseline but missing from fresh report (commit an updated BENCH_*.json if removed intentionally)"})
 	}
 	return out
 }
@@ -192,11 +213,23 @@ func main() {
 	threshold := flag.Float64("threshold", 25, "max wall-time regression in percent")
 	virtTol := flag.Float64("virtual-tol", 5, "virtual ms/iter drift in percent beyond which a case is skipped")
 	filter := flag.String("filter", "", "only compare cases matching this regexp on BOTH sides (for partial reports, e.g. scripts/bench.sh -quick)")
+	renamedFlag := flag.String("renamed", "", "comma-separated old=new case renames: a mapped baseline case missing from the fresh report is skipped as superseded (not failed) when its new name is present")
 	flag.Parse()
 
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		os.Exit(2)
+	}
+	renamed := map[string]string{}
+	if *renamedFlag != "" {
+		for _, pair := range strings.Split(*renamedFlag, ",") {
+			from, to, ok := strings.Cut(pair, "=")
+			if !ok || from == "" || to == "" {
+				fmt.Fprintf(os.Stderr, "benchdiff: bad -renamed entry %q (want old=new)\n", pair)
+				os.Exit(2)
+			}
+			renamed[from] = to
+		}
 	}
 	if *oldPath == "" {
 		p, err := latestBaseline(*dir, *newPath)
@@ -245,7 +278,7 @@ func main() {
 
 	fmt.Printf("baseline %s (%s, %s)\n", *oldPath, old.Date, old.GoVersion)
 	fmt.Printf("fresh    %s (%s, %s)\n\n", *newPath, fresh.Date, fresh.GoVersion)
-	results := compare(old, fresh, *threshold/100, *virtTol/100)
+	results := compare(old, fresh, *threshold/100, *virtTol/100, renamed)
 	failed := 0
 	for _, r := range results {
 		mark := map[string]string{"ok": "  ok ", "fail": " FAIL", "skip": " skip", "new": "  new"}[r.verdict]

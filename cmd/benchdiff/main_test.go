@@ -29,7 +29,7 @@ func TestSyntheticSlowdownFails(t *testing.T) {
 		benchEntry{Name: "Fig7RaceFreeStep", NsPerOp: 2000}, // 2x slowdown
 		benchEntry{Name: "Fig9Strong64R", NsPerOp: 10000, Metrics: map[string]float64{virtualMetric: 447.3}},
 	)
-	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	v := verdicts(compare(old, fresh, 0.25, 0.05, nil))
 	if v["Fig7RaceFreeStep"] != "fail" {
 		t.Errorf("kernel 2x slowdown: verdict %q want fail", v["Fig7RaceFreeStep"])
 	}
@@ -46,7 +46,7 @@ func TestVirtualDriftSkipsWallGate(t *testing.T) {
 		Metrics: map[string]float64{virtualMetric: 615.5}})
 	fresh := mkReport(benchEntry{Name: "Fig12Weak64R", NsPerOp: 20000,
 		Metrics: map[string]float64{virtualMetric: 900.0}})
-	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	v := verdicts(compare(old, fresh, 0.25, 0.05, nil))
 	if v["Fig12Weak64R"] != "skip" {
 		t.Errorf("virtual drift: verdict %q want skip", v["Fig12Weak64R"])
 	}
@@ -55,7 +55,7 @@ func TestVirtualDriftSkipsWallGate(t *testing.T) {
 func TestWithinThresholdPasses(t *testing.T) {
 	old := mkReport(benchEntry{Name: "Fig16FP32Step", NsPerOp: 1000})
 	fresh := mkReport(benchEntry{Name: "Fig16FP32Step", NsPerOp: 1200}) // +20% < 25%
-	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	v := verdicts(compare(old, fresh, 0.25, 0.05, nil))
 	if v["Fig16FP32Step"] != "ok" {
 		t.Errorf("+20%% within threshold: verdict %q want ok", v["Fig16FP32Step"])
 	}
@@ -64,7 +64,7 @@ func TestWithinThresholdPasses(t *testing.T) {
 func TestNewBenchmarkIsNotGated(t *testing.T) {
 	old := mkReport(benchEntry{Name: "A", NsPerOp: 1})
 	fresh := mkReport(benchEntry{Name: "A", NsPerOp: 1}, benchEntry{Name: "B", NsPerOp: 999999})
-	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	v := verdicts(compare(old, fresh, 0.25, 0.05, nil))
 	if v["B"] != "new" {
 		t.Errorf("unknown benchmark: verdict %q want new", v["B"])
 	}
@@ -73,7 +73,7 @@ func TestNewBenchmarkIsNotGated(t *testing.T) {
 func TestAllocRegressionFails(t *testing.T) {
 	old := mkReport(benchEntry{Name: "Fig7RaceFreeStep", NsPerOp: 1000, AllocsPerOp: 0})
 	fresh := mkReport(benchEntry{Name: "Fig7RaceFreeStep", NsPerOp: 1000, AllocsPerOp: 7})
-	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	v := verdicts(compare(old, fresh, 0.25, 0.05, nil))
 	if v["Fig7RaceFreeStep"] != "fail" {
 		t.Errorf("alloc 0→7: verdict %q want fail", v["Fig7RaceFreeStep"])
 	}
@@ -115,7 +115,7 @@ func TestAllocRegressionFailsEvenUnderDrift(t *testing.T) {
 		Metrics: map[string]float64{virtualMetric: 615.5}})
 	fresh := mkReport(benchEntry{Name: "Fig12Weak64R", NsPerOp: 5000, AllocsPerOp: 9,
 		Metrics: map[string]float64{virtualMetric: 900.0}})
-	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	v := verdicts(compare(old, fresh, 0.25, 0.05, nil))
 	if v["Fig12Weak64R"] != "fail" {
 		t.Errorf("alloc regression under virtual drift: verdict %q want fail", v["Fig12Weak64R"])
 	}
@@ -128,12 +128,12 @@ func TestHostShapeMismatchSkipsWallGate(t *testing.T) {
 	old.GOMAXPROCS, old.GOARCH = 1, "amd64"
 	fresh := mkReport(benchEntry{Name: "Fig7RaceFreeStep", NsPerOp: 5000})
 	fresh.GOMAXPROCS, fresh.GOARCH = 4, "amd64"
-	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	v := verdicts(compare(old, fresh, 0.25, 0.05, nil))
 	if v["Fig7RaceFreeStep"] != "skip" {
 		t.Errorf("cross-host wall diff: verdict %q want skip", v["Fig7RaceFreeStep"])
 	}
 	fresh.Benchmarks[0].AllocsPerOp = 3
-	v = verdicts(compare(old, fresh, 0.25, 0.05))
+	v = verdicts(compare(old, fresh, 0.25, 0.05, nil))
 	if v["Fig7RaceFreeStep"] != "fail" {
 		t.Errorf("cross-host alloc regression: verdict %q want fail", v["Fig7RaceFreeStep"])
 	}
@@ -144,8 +144,37 @@ func TestHostShapeMismatchSkipsWallGate(t *testing.T) {
 func TestMissingBenchmarkFails(t *testing.T) {
 	old := mkReport(benchEntry{Name: "A", NsPerOp: 1}, benchEntry{Name: "B", NsPerOp: 1})
 	fresh := mkReport(benchEntry{Name: "A", NsPerOp: 1})
-	v := verdicts(compare(old, fresh, 0.25, 0.05))
+	v := verdicts(compare(old, fresh, 0.25, 0.05, nil))
 	if v["B"] != "fail" {
 		t.Errorf("benchmark gone from fresh report: verdict %q want fail", v["B"])
+	}
+}
+
+// TestRenamedCaseIsSupersededNotLost: a baseline case with a -renamed
+// mapping whose new name appears in the fresh report is a deliberate
+// rename — skip, not lost coverage. The mapping must not shadow a genuine
+// loss: if the new name is missing too, the gate still fails.
+func TestRenamedCaseIsSupersededNotLost(t *testing.T) {
+	old := mkReport(
+		benchEntry{Name: "Fig9Strong64RBucketed", NsPerOp: 1},
+		benchEntry{Name: "Other", NsPerOp: 1},
+	)
+	fresh := mkReport(
+		benchEntry{Name: "Fig9Strong64R", NsPerOp: 1},
+		benchEntry{Name: "Other", NsPerOp: 1},
+	)
+	ren := map[string]string{"Fig9Strong64RBucketed": "Fig9Strong64R"}
+	v := verdicts(compare(old, fresh, 0.25, 0.05, ren))
+	if v["Fig9Strong64RBucketed"] != "skip" {
+		t.Errorf("renamed case with present target: verdict %q want skip", v["Fig9Strong64RBucketed"])
+	}
+	if v["Fig9Strong64R"] != "new" {
+		t.Errorf("rename target without its own baseline: verdict %q want new", v["Fig9Strong64R"])
+	}
+
+	gone := mkReport(benchEntry{Name: "Other", NsPerOp: 1})
+	v = verdicts(compare(old, gone, 0.25, 0.05, ren))
+	if v["Fig9Strong64RBucketed"] != "fail" {
+		t.Errorf("renamed case with missing target: verdict %q want fail", v["Fig9Strong64RBucketed"])
 	}
 }

@@ -105,6 +105,16 @@ func experimentTable() []experiment {
 		{"buckets", "bucketed gradient allreduce (Fig. 2): flat vs per-layer buckets × sync vs overlapped", func(o expOpts) fmt.Stringer {
 			return experiments.RunBucketFig(o.scale)
 		}},
+		{"autotune", "self-tuning communication schedule: autotuned vs default at every Fig. 9/12 scale", func(o expOpts) fmt.Stringer {
+			opts := experiments.DefaultAutotuneFigOpts()
+			if o.quick {
+				opts.Iters, opts.MaxCandidates = 2, 16
+			}
+			if o.iters > 0 {
+				opts.Iters = o.iters
+			}
+			return experiments.RunAutotune(opts)
+		}},
 		{"ablation-allreduce", "allreduce algorithm sweep vs gradient volume", func(o expOpts) fmt.Stringer {
 			return experiments.AblationAllreduce()
 		}},

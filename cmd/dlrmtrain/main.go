@@ -37,6 +37,7 @@ func main() {
 	dist := flag.Bool("dist", false, "run on the simulated multi-socket cluster")
 	ranks := flag.Int("ranks", 8, "simulated rank count (with -dist)")
 	loaderName := flag.String("loader", "sharded", "data pipeline (with -dist): none, global, sharded")
+	tune := flag.Bool("autotune", false, "with -dist: autotune the communication schedule before running")
 	flag.Parse()
 
 	cfg, ok := map[string]core.Config{
@@ -63,7 +64,7 @@ func main() {
 		if !ok {
 			log.Fatalf("unknown loader %q", *loaderName)
 		}
-		runDistributed(cfg, *ranks, *iters, mode)
+		runDistributed(cfg, *ranks, *iters, mode, *tune)
 		return
 	}
 
@@ -120,14 +121,14 @@ func main() {
 		elapsed.Seconds()*1e3/float64(*iters), tr.EvalAUC(eval))
 }
 
-func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode) {
+func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode, tune bool) {
 	if ranks > cfg.MaxRanks() {
 		log.Fatalf("%s supports at most %d ranks (one table per rank minimum)", cfg.Name, cfg.MaxRanks())
 	}
 	gn := cfg.GlobalMB - cfg.GlobalMB%ranks
 	fmt.Printf("simulating %s on %d sockets (OPA cluster), GN=%d, CCL-Alltoall, %s loader\n",
 		cfg.Name, ranks, gn, mode)
-	res := core.RunDistributed(core.DistConfig{
+	dc := core.DistConfig{
 		Cfg:     cfg,
 		Ranks:   ranks,
 		GlobalN: gn,
@@ -136,14 +137,25 @@ func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode) {
 		Topo:    fabric.NewPrunedFatTree(ranks, 12.5e9),
 		Socket:  perfmodel.CLX8280,
 		Loader:  mode,
-	})
+		// Schedule knobs at their zero values: bucketed+overlapped default.
+	}
+	if tune {
+		var rep *core.AutotuneReport
+		dc, rep = core.AutotuneDistConfig(dc, core.AutotuneOpts{})
+		fmt.Printf("autotuned schedule: %s (%+.1f%% vs default, %d probes over %d candidates)\n",
+			rep.Schedule, (rep.TunedSeconds/rep.BaselineSeconds-1)*100, rep.Probes, rep.Candidates)
+	}
+	res := core.RunDistributed(dc)
 	fmt.Printf("virtual time per iteration: %.2f ms\n", res.IterSeconds*1e3)
 	fmt.Printf("  compute: %.2f ms\n", res.ComputePerIter*1e3)
-	if mode != core.LoaderNone {
-		fmt.Printf("  loader: %.2f ms\n", res.PrepPerIter["loader"]*1e3)
+	if l := res.PrepPerIter["loader"]; l > 0 { // serial charge (sync schedule only)
+		fmt.Printf("  loader: %.2f ms\n", l*1e3)
 	}
-	for _, k := range []string{"alltoall", "allreduce"} {
-		fmt.Printf("  %s: busy %.2f ms, exposed %.2f ms\n",
-			k, res.BusyPerIter[k]*1e3, res.WaitPerIter[k]*1e3)
+	// Per-label exposed-vs-busy split: "ar-top"/"ar-bot" under the bucketed
+	// default, "allreduce" under the flat schedules, "loader" when the
+	// prefetch stream carries the read.
+	for _, e := range res.Exposures() {
+		fmt.Printf("  %s: busy %.2f ms, exposed %.2f ms (%.0f%% hidden)\n",
+			e.Label, e.Busy*1e3, e.Exposed*1e3, e.HiddenShare()*100)
 	}
 }

@@ -1,0 +1,37 @@
+// Package autotune provides a small deterministic configuration searcher:
+// successive halving over an enumerated candidate space, with cheap probes
+// weeding out bad candidates before the full probe budget is spent on the
+// contenders. It knows nothing about what a candidate is — callers supply
+// an Objective mapping (candidate index, probe budget) to a cost.
+package autotune
+
+// Candidate sampling draws from a counter-based splitmix64 stream, the same
+// idiom as the data loaders' per-sample streams (internal/data/rng.go):
+// draw i is derived purely from (seed, i), so the sampled pool is a pure
+// function of Options.Seed and re-running a search replays it exactly — no
+// sequential generator state threads through the searcher.
+
+// splitmix64 is the stream generator: tiny state, cheap seeding, passes
+// BigCrush.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// sampleTag keeps the searcher's draws disjoint from other stream families
+// derived from the same seed.
+const sampleTag = 0x53414D50 // "SAMP"
+
+// sampleDraw returns draw i of the candidate-sampling stream for seed. Each
+// coordinate passes through one splitmix round before mixing so adjacent
+// draws land in unrelated states.
+func sampleDraw(seed uint64, draw int) uint64 {
+	s := seed ^ sampleTag
+	splitmix64(&s)
+	s ^= uint64(draw) * 0x5851F42D4C957F2D
+	splitmix64(&s)
+	return splitmix64(&s)
+}

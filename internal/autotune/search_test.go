@@ -1,0 +1,114 @@
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestSearchFindsMinimum: with a full pool and an objective independent of
+// the probe budget, the search must return the global minimum.
+func TestSearchFindsMinimum(t *testing.T) {
+	obj := func(c, _ int) float64 { return math.Abs(float64(c) - 37) }
+	res := Search(100, obj, Options{})
+	if res.Best != 37 {
+		t.Errorf("Best = %d, want 37", res.Best)
+	}
+	if res.BestCost != 0 {
+		t.Errorf("BestCost = %g, want 0", res.BestCost)
+	}
+	if res.Pool != 100 {
+		t.Errorf("Pool = %d, want 100 (no cap)", res.Pool)
+	}
+}
+
+// TestSearchHalvingBudget pins the round structure: with 8 candidates,
+// ProbeIters 1 and FinalIters 4, the rounds probe 8@1, 4@2, 2@4 — cheap
+// probes on everyone, the full budget only on the two contenders.
+func TestSearchHalvingBudget(t *testing.T) {
+	var evals []string
+	obj := func(c, iters int) float64 {
+		evals = append(evals, fmt.Sprintf("%d@%d", c, iters))
+		return float64(c)
+	}
+	res := Search(8, obj, Options{ProbeIters: 1, FinalIters: 4})
+	if res.Best != 0 || res.Probes != 14 {
+		t.Errorf("Best=%d Probes=%d, want 0 and 14 (8+4+2)", res.Best, res.Probes)
+	}
+	want := []string{
+		"0@1", "1@1", "2@1", "3@1", "4@1", "5@1", "6@1", "7@1",
+		"0@2", "1@2", "2@2", "3@2",
+		"0@4", "1@4",
+	}
+	if !reflect.DeepEqual(evals, want) {
+		t.Errorf("evaluation sequence %v, want %v", evals, want)
+	}
+}
+
+// TestSearchBudgetSensitiveObjective: a candidate that looks good on short
+// probes but bad at the full budget must lose to one that holds up —
+// the deciding round runs at FinalIters.
+func TestSearchBudgetSensitiveObjective(t *testing.T) {
+	// Candidates 0/2/3: cost 1 at any budget. Candidate 1: looks like 0.5
+	// on 1-iter probes, degrades linearly with the budget.
+	obj := func(c, iters int) float64 {
+		if c == 1 {
+			return 0.5 * float64(iters)
+		}
+		return 1
+	}
+	res := Search(4, obj, Options{ProbeIters: 1, FinalIters: 4})
+	if res.Best != 0 {
+		t.Errorf("Best = %d, want 0 (candidate 1 only wins on short probes)", res.Best)
+	}
+}
+
+// TestSearchSampledPoolDeterminism: with a cap, the sampled pool — and the
+// whole evaluation sequence — is a pure function of the seed.
+func TestSearchSampledPoolDeterminism(t *testing.T) {
+	run := func(seed uint64) (Result, []string) {
+		var evals []string
+		obj := func(c, iters int) float64 {
+			evals = append(evals, fmt.Sprintf("%d@%d", c, iters))
+			return float64((c*2654435761 + 12345) % 1000)
+		}
+		res := Search(1000, obj, Options{MaxCandidates: 16, Seed: seed})
+		return res, evals
+	}
+	r1, e1 := run(7)
+	r2, e2 := run(7)
+	if r1 != r2 || !reflect.DeepEqual(e1, e2) {
+		t.Errorf("same seed diverged: %+v vs %+v", r1, r2)
+	}
+	r3, e3 := run(8)
+	if reflect.DeepEqual(e1, e3) {
+		t.Errorf("seeds 7 and 8 sampled the identical pool: %+v vs %+v", r1, r3)
+	}
+	if r1.Pool != 16 || r3.Pool != 16 {
+		t.Errorf("capped pools sized %d/%d, want 16", r1.Pool, r3.Pool)
+	}
+}
+
+// TestSearchIncludeBypassesCap: a forced include enters the pool even when
+// sampling would have missed it, and wins if it is the best candidate.
+func TestSearchIncludeBypassesCap(t *testing.T) {
+	obj := func(c, _ int) float64 { return float64(1000 - c) }
+	res := Search(1000, obj, Options{MaxCandidates: 8, Include: []int{999}, Seed: 3})
+	if res.Best != 999 {
+		t.Errorf("Best = %d, want the forced include 999", res.Best)
+	}
+	// An include already sampled must not be double-counted.
+	full := Search(4, obj, Options{MaxCandidates: 8, Include: []int{2}})
+	if full.Pool != 4 {
+		t.Errorf("Pool = %d, want 4 (include already present)", full.Pool)
+	}
+}
+
+// TestSearchEmptySpace: n = 0 returns Best = -1 without probing.
+func TestSearchEmptySpace(t *testing.T) {
+	res := Search(0, func(int, int) float64 { panic("no candidates to probe") }, Options{})
+	if res.Best != -1 || res.Probes != 0 {
+		t.Errorf("empty space: %+v", res)
+	}
+}

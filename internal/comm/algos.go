@@ -39,6 +39,13 @@ const (
 	// step. Depth-many phases instead of R−1: latency-friendly at scale,
 	// but the interior ranks' 2-child fan-in caps bandwidth below the ring.
 	BinaryTree
+	// AllreduceAuto is not an algorithm but a selection policy: each
+	// allreduce (each bucket, under the bucketed schedule) runs whatever
+	// concrete algorithm BestAllreduceAlgo picks for its volume — small
+	// latency-bound tail buckets get halving/tree, large ones keep
+	// ring/hierarchical. Deliberately NOT in AllreduceAlgos: it is resolved
+	// to a concrete algorithm, never swept as one.
+	AllreduceAuto
 )
 
 // String returns the algorithm name.
@@ -54,8 +61,30 @@ func (a AllreduceAlgo) String() string {
 		return "hierarchical 2-level"
 	case BinaryTree:
 		return "binary tree"
+	case AllreduceAuto:
+		return "auto"
 	default:
 		return "unknown"
+	}
+}
+
+// ShortString returns a compact algorithm tag for dense figure cells.
+func (a AllreduceAlgo) ShortString() string {
+	switch a {
+	case RingRSAG:
+		return "ring"
+	case RecursiveHalving:
+		return "halving"
+	case FlatTree:
+		return "flat"
+	case Hierarchical:
+		return "hier"
+	case BinaryTree:
+		return "tree"
+	case AllreduceAuto:
+		return "auto"
+	default:
+		return "?"
 	}
 }
 
@@ -165,6 +194,9 @@ func (c *Comm) AllreduceTimeAlgo(algo AllreduceAlgo, bytes float64) float64 {
 		}
 		steps := 2*depth + chunks - 1
 		return float64(steps) * c.fab.PhaseTime(c.Topo, c.flows)
+	case AllreduceAuto:
+		_, t := c.BestAllreduceAlgo(bytes)
+		return t
 	default:
 		return c.AllreduceTime(bytes)
 	}

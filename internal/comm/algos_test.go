@@ -9,7 +9,11 @@ import (
 )
 
 func commAt(ranks int) (*Comm, func()) {
-	topo := fabric.NewPrunedFatTree(ranks, 12.5e9)
+	return commOn(ranks, fabric.NewPrunedFatTree(ranks, 12.5e9))
+}
+
+// commOn is commAt over an explicit topology, for tests that sweep fabrics.
+func commOn(ranks int, topo fabric.Topology) (*Comm, func()) {
 	done := make(chan *Comm, 1)
 	release := make(chan struct{})
 	go cluster.Run(cluster.Config{Ranks: ranks, Topo: topo, Socket: perfmodel.CLX8280, CallOverhead: 1e-9},

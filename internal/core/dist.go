@@ -123,27 +123,33 @@ type DistConfig struct {
 	// also selects which real loader feeds the ranks (LoaderNone trains
 	// through the sharded pipeline without charging for it).
 	Loader LoaderMode
-	// Overlap enables the overlap-aware pipeline (§IV-A, §VI-D): the
-	// backward embedding redistribution is issued as soon as the interaction
-	// backward produces its gradients and waited only at the embedding
-	// update, the loader's per-iteration charge runs on the background
-	// prefetch stream hidden behind the previous iteration's compute, and
-	// concurrent collectives are pinned to distinct CCL channels. False
-	// reproduces the paper's instrumented synchronous schedule (backward
-	// redistribution waited where issued, loader charged serially).
-	Overlap bool
+	// Sync selects the paper's instrumented synchronous schedule: backward
+	// redistribution waited where issued, loader charged serially, label-hash
+	// channel placement. The zero value runs the overlap-aware pipeline
+	// (§IV-A, §VI-D) — the best known schedule, and the default since the
+	// bucketed+overlapped flip: the backward embedding redistribution is
+	// issued as soon as the interaction backward produces its gradients and
+	// waited only at the embedding update, the loader's per-iteration charge
+	// runs on the background prefetch stream hidden behind the previous
+	// iteration's compute, and concurrent collectives are pinned to distinct
+	// CCL channels.
+	Sync bool
 	// Allreduce selects the MLP-gradient allreduce algorithm's cost model
 	// (data movement is identical). The zero value is the ring
-	// reduce-scatter+all-gather the paper's tuned runs use.
+	// reduce-scatter+all-gather the paper's tuned runs use; AllreduceAuto
+	// picks the cost-model minimum per allreduce (per bucket, under the
+	// bucketed schedule).
 	Allreduce comm.AllreduceAlgo
-	// BucketBytes enables the per-layer bucketed gradient allreduce of
-	// Fig. 2: the backward pass is layer-stepped, each MLP's flat gradient
-	// buffer is carved into per-layer buckets coalesced up to this many
-	// bytes (paper-scale volumes), and every bucket's allreduce is issued
-	// the moment its last layer's backward completes — labeled "ar-top" /
+	// BucketBytes sizes the per-layer bucketed gradient allreduce of Fig. 2:
+	// the backward pass is layer-stepped, each MLP's flat gradient buffer is
+	// carved into per-layer buckets coalesced up to this many bytes
+	// (paper-scale volumes), and every bucket's allreduce is issued the
+	// moment its last layer's backward completes — labeled "ar-top" /
 	// "ar-bot" — with the waits deferred per-bucket to that bucket's slice
-	// of the SGD. 0 keeps the flat per-MLP buffers and the single "allreduce"
-	// label: bit-identical timing to the un-bucketed schedule.
+	// of the SGD. The zero value selects the tuned DefaultBucketBytes
+	// (bucketed is the default schedule); FlatBuckets keeps the flat per-MLP
+	// buffers and the single "allreduce" label — the paper-reproduction
+	// schedule the original figures measure.
 	BucketBytes int
 	// BucketChannels is the CCL channel set bucketed allreduces round-robin
 	// over under Overlap, keeping several buckets in flight on distinct
@@ -171,6 +177,36 @@ type DistConfig struct {
 	// owning a shared Pools is responsible for closing it.
 	Pools      *cluster.Pools
 	Workspaces *DistWorkspaces
+}
+
+// DefaultBucketBytes is the tuned gradient-allreduce bucket size the
+// bucketed schedule coalesces layers up to when DistConfig.BucketBytes is
+// zero — 64 MiB, the autotuner's pick at the headline Fig. 9/12 scales
+// (Large's 4096-wide top layers land one per bucket, MLPerf's whole MLPs
+// fold into one).
+const DefaultBucketBytes = 64 << 20
+
+// FlatBuckets disables gradient-allreduce bucketing: one flat allreduce per
+// MLP under the single "allreduce" label, the paper-reproduction schedule
+// the original figures measure. (BucketBytes = 0 means the tuned default,
+// not flat, since the bucketed+overlapped flip.)
+const FlatBuckets = -1
+
+// Overlapped reports whether the run uses the overlap-aware schedule (the
+// default; Sync selects the instrumented synchronous one).
+func (dc *DistConfig) Overlapped() bool { return !dc.Sync }
+
+// EffectiveBucketBytes resolves the BucketBytes knob: the tuned default for
+// the zero value, 0 (flat) for FlatBuckets, the explicit size otherwise.
+func (dc *DistConfig) EffectiveBucketBytes() int {
+	switch {
+	case dc.BucketBytes == 0:
+		return DefaultBucketBytes
+	case dc.BucketBytes < 0:
+		return 0
+	default:
+		return dc.BucketBytes
+	}
 }
 
 // DistResult aggregates a run: virtual-time metrics (always) and the
@@ -391,16 +427,16 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 	// in-flight collective to its own channel so the per-channel FIFO model
 	// charges true contention; the sync schedule keeps label-hash placement.
 	chFwd, chTop, chBot, chBwd := -1, -1, -1, -1
-	if dc.Overlap {
+	if dc.Overlapped() {
 		chFwd, chTop, chBot, chBwd = 0, 1, 2, 3
 	}
 
 	// Bucketed gradient allreduce (Fig. 2): carve the per-layer volumes into
 	// buckets and derive the per-layer backward charges once per run; the
-	// flat path (BucketBytes = 0) never consults any of it.
-	bucketed := dc.BucketBytes > 0
+	// flat path (BucketBytes = FlatBuckets) never consults any of it.
+	bucketed := dc.EffectiveBucketBytes() > 0
 	if bucketed {
-		dc.prepareBuckets(ws, fn, cores, shardN, 2*topFwd, 2*botFwd)
+		dc.prepareBuckets(cm, ws, fn, cores, shardN, 2*topFwd, 2*botFwd)
 	}
 
 	// In the overlapped pipeline the loader is the real double-buffered
@@ -409,7 +445,7 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 	// while the previous iteration computes, surfacing only when compute is
 	// too short to cover it.
 	var loaderH cluster.Handle
-	if dc.Overlap && loaderCost > 0 {
+	if dc.Overlapped() && loaderCost > 0 {
 		loaderH = r.Async("loader", loaderCost)
 	}
 
@@ -417,7 +453,7 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		// (0) data loader: wait for the prefetched batch (overlapped) or
 		// charge the read serially (the paper's framework path).
 		if loaderCost > 0 {
-			if dc.Overlap {
+			if dc.Overlapped() {
 				r.Wait(loaderH)
 			} else {
 				r.Prep("loader", loaderCost)
@@ -427,7 +463,7 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		if fn != nil {
 			rb = fn.loader.Next()
 		}
-		if dc.Overlap && loaderCost > 0 && it+1 < dc.Iters {
+		if dc.Overlapped() && loaderCost > 0 && it+1 < dc.Iters {
 			// Start prefetching the next batch behind this iteration (none
 			// after the last one, so busy time stays one charge per iter).
 			loaderH = r.Async("loader", loaderCost)
@@ -493,7 +529,7 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 			r.Prep("allreduce", sock.StreamTime(2*arBytesTop, cores))
 			hTop = cm.AllreduceAlgoCost("allreduce", chTop, grad(fn, ws, true), false, arBytesTop, dc.Allreduce)
 
-			if dc.Overlap {
+			if dc.Overlapped() {
 				// (7) The interaction backward is what produces the embedding
 				// gradients, so the backward redistribution can launch right
 				// after it — before the bottom-MLP backward and before its

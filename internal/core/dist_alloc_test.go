@@ -22,7 +22,7 @@ import (
 // distAllocsPerIter returns the marginal allocations per timing-mode
 // iteration for the given variant and pipeline schedule, after warming
 // pools and workspaces. bucketBytes > 0 selects the bucketed gradient
-// allreduce.
+// allreduce; FlatBuckets the flat one.
 func distAllocsPerIter(t *testing.T, v Variant, overlap bool, algo comm.AllreduceAlgo, bucketBytes int) float64 {
 	t.Helper()
 	if raceEnabled {
@@ -36,7 +36,7 @@ func distAllocsPerIter(t *testing.T, v Variant, overlap bool, algo comm.Allreduc
 		dc := distTestConfig(Small, ranks, Small.GlobalMB, iters, v, false)
 		dc.Pools = pools
 		dc.Workspaces = wss
-		dc.Overlap = overlap
+		dc.Sync = !overlap
 		dc.Allreduce = algo
 		dc.BucketBytes = bucketBytes
 		return func() { RunDistributed(dc) }
@@ -57,7 +57,7 @@ func TestDistributedStepZeroAllocs(t *testing.T) {
 		for _, backend := range []cluster.Backend{cluster.MPIBackend, cluster.CCLBackend} {
 			for _, overlap := range []bool{false, true} {
 				v := Variant{Strategy: strat, Backend: backend}
-				if got := distAllocsPerIter(t, v, overlap, comm.RingRSAG, 0); got != 0 {
+				if got := distAllocsPerIter(t, v, overlap, comm.RingRSAG, FlatBuckets); got != 0 {
 					t.Errorf("%s overlap=%v: %v allocs per steady-state distributed iteration, want 0",
 						v.Name(), overlap, got)
 				}
@@ -72,9 +72,9 @@ func TestDistributedStepZeroAllocs(t *testing.T) {
 // state too (their flow lists live in the per-Comm scratch).
 func TestDistributedStepZeroAllocsAllreduceAlgos(t *testing.T) {
 	v := Variant{Strategy: Alltoall, Backend: cluster.CCLBackend}
-	for _, algo := range []comm.AllreduceAlgo{comm.Hierarchical, comm.BinaryTree} {
+	for _, algo := range []comm.AllreduceAlgo{comm.Hierarchical, comm.BinaryTree, comm.AllreduceAuto} {
 		for _, overlap := range []bool{false, true} {
-			if got := distAllocsPerIter(t, v, overlap, algo, 0); got != 0 {
+			if got := distAllocsPerIter(t, v, overlap, algo, FlatBuckets); got != 0 {
 				t.Errorf("%s %v overlap=%v: %v allocs per steady-state iteration, want 0",
 					v.Name(), algo, overlap, got)
 			}
@@ -102,7 +102,7 @@ func TestDistributedStepZeroAllocsBucketed(t *testing.T) {
 		}
 	}
 	v := Variant{Strategy: Alltoall, Backend: cluster.CCLBackend}
-	for _, algo := range []comm.AllreduceAlgo{comm.Hierarchical, comm.BinaryTree} {
+	for _, algo := range []comm.AllreduceAlgo{comm.Hierarchical, comm.BinaryTree, comm.AllreduceAuto} {
 		if got := distAllocsPerIter(t, v, true, algo, bucketBytes); got != 0 {
 			t.Errorf("%s %v bucketed: %v allocs per steady-state iteration, want 0", v.Name(), algo, got)
 		}

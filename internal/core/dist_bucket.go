@@ -9,7 +9,8 @@ import (
 	"repro/internal/perfmodel"
 )
 
-// The bucketed gradient-allreduce schedule (DistConfig.BucketBytes > 0) is
+// The bucketed gradient-allreduce schedule (the default; FlatBuckets
+// disables it) is
 // Fig. 2's overlap story at layer granularity: the MLP backward is
 // layer-stepped, each MLP's flat gradient buffer is carved into contiguous
 // per-layer buckets coalesced up to BucketBytes, and a bucket's allreduce is
@@ -22,9 +23,9 @@ import (
 // The segmentation changes no math: per-bucket allreduces sum rank buffers
 // elementwise exactly like the flat allreduce, the per-layer charges are
 // normalized so they total the flat schedule's whole-pass times, and the
-// per-bucket SGD slices sum to the flat sgdTime. Flat (BucketBytes = 0)
-// runs never enter this file and stay bit-identical to the un-bucketed
-// pipeline.
+// per-bucket SGD slices sum to the flat sgdTime. Flat (BucketBytes =
+// FlatBuckets) runs never enter this file and stay bit-identical to the
+// un-bucketed pipeline.
 
 // MLPLayerGradBytes returns the modeled gradient volume of layer i of an
 // MLP described by its sizes: 4·(f_i·f_o + f_o), the per-layer term of
@@ -72,17 +73,18 @@ func gradOffsets(dst []int, m *mlp.MLP) []int {
 }
 
 // prepareBuckets rebuilds the workspace's bucket plans for this run: the
-// paper-scale per-layer volumes are coalesced into buckets, channels are
-// round-robined over the configured set under Overlap (rotation continuing
-// from the top plan into the bottom one so adjacent buckets sit on distinct
-// FIFOs), the per-layer backward charges are derived from the flat totals,
-// and — in functional mode — the per-layer offsets into the flat gradient
-// buffers are recorded.
-func (dc DistConfig) prepareBuckets(ws *DistWorkspace, fn *funcState,
+// paper-scale per-layer volumes are coalesced into buckets, each bucket's
+// allreduce algorithm is resolved (per-bucket cost-model selection under
+// AllreduceAuto), channels are round-robined over the configured set when
+// overlapped (rotation continuing from the top plan into the bottom one so
+// adjacent buckets sit on distinct FIFOs), the per-layer backward charges
+// are derived from the flat totals, and — in functional mode — the
+// per-layer offsets into the flat gradient buffers are recorded.
+func (dc DistConfig) prepareBuckets(cm *comm.Comm, ws *DistWorkspace, fn *funcState,
 	cores, shardN int, topBwdTotal, botBwdTotal float64) {
 	sock := dc.Socket
 	topSizes, botSizes := dc.Cfg.TopSizes(), dc.Cfg.BotSizes()
-	bb := float64(dc.BucketBytes)
+	bb := float64(dc.EffectiveBucketBytes())
 
 	ws.layerBytes = ws.layerBytes[:0]
 	for i := 0; i+1 < len(topSizes); i++ {
@@ -95,7 +97,10 @@ func (dc DistConfig) prepareBuckets(ws *DistWorkspace, fn *funcState,
 	}
 	ws.botBuckets = comm.PlanBuckets(ws.layerBytes, bb)
 
-	if dc.Overlap {
+	ws.topBuckets.SelectAlgos(cm, dc.Allreduce)
+	ws.botBuckets.SelectAlgos(cm, dc.Allreduce)
+
+	if dc.Overlapped() {
 		chans := dc.BucketChannels
 		if chans == nil {
 			chans = defaultBucketChannels
@@ -141,7 +146,6 @@ type bucketState struct {
 	r     *cluster.Rank
 	ws    *DistWorkspace
 	sock  perfmodel.Socket
-	algo  comm.AllreduceAlgo
 	cores int
 
 	label string
@@ -175,7 +179,7 @@ func (bs *bucketState) layerDone(i int, m *mlp.MLP) {
 		seg = bs.flat[bs.off[b.Lo]:bs.off[b.Hi+1]]
 	}
 	bs.r.Prep(bs.label, bs.sock.StreamTime(2*b.Bytes, bs.cores))
-	h := bs.cm.AllreduceAlgoCost(bs.label, b.Channel, seg, false, b.Bytes, bs.algo)
+	h := bs.cm.AllreduceAlgoCost(bs.label, b.Channel, seg, false, b.Bytes, b.Algo)
 	bs.ws.bktHandles = append(bs.ws.bktHandles, h)
 	bs.next++
 }
@@ -190,9 +194,9 @@ func (bs *bucketState) layerDone(i int, m *mlp.MLP) {
 func (dc DistConfig) backwardBucketed(cm *comm.Comm, r *cluster.Rank, fn *funcState, ws *DistWorkspace,
 	cores, maxLoc, shardN int, interBwd float64, a2aBlockBytes, scatterBlockBytes float64, chBwd int) {
 	ws.bktHandles = ws.bktHandles[:0]
-	ws.topBS = bucketState{cm: cm, r: r, ws: ws, sock: dc.Socket, algo: dc.Allreduce, cores: cores,
+	ws.topBS = bucketState{cm: cm, r: r, ws: ws, sock: dc.Socket, cores: cores,
 		label: "ar-top", plan: ws.topBuckets, times: ws.topBwdT}
-	ws.botBS = bucketState{cm: cm, r: r, ws: ws, sock: dc.Socket, algo: dc.Allreduce, cores: cores,
+	ws.botBS = bucketState{cm: cm, r: r, ws: ws, sock: dc.Socket, cores: cores,
 		label: "ar-bot", plan: ws.botBuckets, times: ws.botBwdT}
 
 	// The interaction backward sits between the two MLPs; under Overlap the
@@ -210,7 +214,7 @@ func (dc DistConfig) backwardBucketed(cm *comm.Comm, r *cluster.Rank, fn *funcSt
 			func(i int) { ws.topBS.layerDone(i, top) },
 			func(d [][]float32) {
 				r.Compute(interBwd)
-				if dc.Overlap {
+				if dc.Overlapped() {
 					dc.backwardRedistributeIssue(cm, r, fn, ws, maxLoc, shardN, d,
 						a2aBlockBytes, scatterBlockBytes, chBwd, false)
 				}
@@ -221,7 +225,7 @@ func (dc DistConfig) backwardBucketed(cm *comm.Comm, r *cluster.Rank, fn *funcSt
 			ws.topBS.layerDone(i, nil)
 		}
 		r.Compute(interBwd)
-		if dc.Overlap {
+		if dc.Overlapped() {
 			dc.backwardRedistributeIssue(cm, r, fn, ws, maxLoc, shardN, nil,
 				a2aBlockBytes, scatterBlockBytes, chBwd, false)
 		}
@@ -230,7 +234,7 @@ func (dc DistConfig) backwardBucketed(cm *comm.Comm, r *cluster.Rank, fn *funcSt
 		}
 	}
 
-	if dc.Overlap {
+	if dc.Overlapped() {
 		dc.backwardRedistributeFinish(r, fn, ws, shardN)
 	} else {
 		dc.backwardRedistribute(cm, r, fn, ws, maxLoc, shardN, dEmb, a2aBlockBytes, scatterBlockBytes)

@@ -10,14 +10,9 @@ import (
 	"repro/internal/perfmodel"
 )
 
-// DefaultBucketBytes is the gradient-allreduce bucket size the bucketed
-// experiments and bench fixtures use: 64 MiB coalesces the Large config's
-// 4096-wide top layers roughly one per bucket while folding its small final
-// layers (and whole small-config MLPs) into their neighbours, keeping every
-// collective comfortably bandwidth-bound.
-const DefaultBucketBytes = 64 << 20
-
-// runDistBucket is runDistOpt with the bucketed-allreduce knob.
+// runDistBucket is runDistOpt with the bucketed-allreduce knob. Pass
+// core.FlatBuckets for the flat per-MLP buffers; 0 is the library default
+// (core.DefaultBucketBytes).
 func (sw *distSweep) runDistBucket(cfg core.Config, ranks, globalN int, v core.Variant,
 	loader core.LoaderMode, iters int, overlap bool, bucketBytes int) *core.DistResult {
 	globalN -= globalN % ranks
@@ -30,7 +25,7 @@ func (sw *distSweep) runDistBucket(cfg core.Config, ranks, globalN int, v core.V
 		Topo:        fabric.NewPrunedFatTree(ranks, 12.5e9),
 		Socket:      perfmodel.CLX8280,
 		Loader:      loader,
-		Overlap:     overlap,
+		Sync:        !overlap,
 		BucketBytes: bucketBytes,
 		Pools:       sw.pools,
 		Workspaces:  sw.wss,
@@ -76,10 +71,10 @@ func RunBucketFig(o ScalingOpts) *Table {
 		overlap     bool
 		bucketBytes int
 	}{
-		{"flat sync", false, 0},
-		{"bucketed sync", false, DefaultBucketBytes},
-		{"flat overlapped", true, 0},
-		{"bucketed overlapped", true, DefaultBucketBytes},
+		{"flat sync", false, core.FlatBuckets},
+		{"bucketed sync", false, core.DefaultBucketBytes},
+		{"flat overlapped", true, core.FlatBuckets},
+		{"bucketed overlapped", true, core.DefaultBucketBytes},
 	}
 	cases := []struct {
 		scaling string
@@ -96,7 +91,7 @@ func RunBucketFig(o ScalingOpts) *Table {
 			func(cfg core.Config, r int) int { return cfg.LocalMB * r }, core.LoaderSharded},
 	}
 	for _, c := range cases {
-		topB, botB := bucketCount(c.cfg, DefaultBucketBytes)
+		topB, botB := bucketCount(c.cfg, core.DefaultBucketBytes)
 		for _, r := range c.ranks {
 			var flatSync float64
 			for _, m := range modes {
@@ -120,7 +115,7 @@ func RunBucketFig(o ScalingOpts) *Table {
 	t.AddNote("paper Fig. 2 / §IV-A: each MLP layer's gradient allreduce starts as soon as that layer's " +
 		"backward completes, so the reductions hide behind the remaining backward GEMMs")
 	t.AddNote("buckets coalesce layers up to %d MiB of gradients (paper-scale volumes); "+
-		"under Overlap consecutive buckets round-robin over CCL channels 0-2", DefaultBucketBytes>>20)
+		"under the overlapped schedule consecutive buckets round-robin over CCL channels 0-2", core.DefaultBucketBytes>>20)
 	t.AddNote("%s", "flat rows carry the single \"allreduce\" label; bucketed rows split it into ar-top/ar-bot — "+
 		"per-bucket waits land on that bucket's slice of the SGD")
 	return t

@@ -386,3 +386,34 @@ func TestBucketFigShape(t *testing.T) {
 			bucketedOvl, flatSync)
 	}
 }
+
+// TestAutotuneFigShape smoke-tests the self-tuning schedule figure: one row
+// per Fig. 9/12 scale, tuned never worse than the shipped default on every
+// row (the tuner's head-to-head contract holds even under a sampled pool),
+// and — the figure's point — strictly better on at least one scale.
+func TestAutotuneFigShape(t *testing.T) {
+	tab := RunAutotune(AutotuneFigOpts{Iters: 2, MaxCandidates: 24, Seed: 5})
+	if len(tab.Rows) != 8 {
+		t.Fatalf("expected 8 scale rows, got %d", len(tab.Rows))
+	}
+	better := 0
+	for _, row := range tab.Rows {
+		def, err1 := strconv.ParseFloat(row[3], 64)
+		tuned, err2 := strconv.ParseFloat(row[4], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad ms cells in row %v", row)
+		}
+		if tuned > def*1.0001 {
+			t.Errorf("tuned (%.1f ms) worse than default (%.1f ms): %v", tuned, def, row)
+		}
+		if tuned < def*0.999 {
+			better++
+		}
+		if row[6] == "" {
+			t.Errorf("missing schedule cell: %v", row)
+		}
+	}
+	if better == 0 {
+		t.Error("tuner strictly improved no scale; expected at least one (hierarchical beats ring at 64R)")
+	}
+}

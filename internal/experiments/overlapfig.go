@@ -12,23 +12,26 @@ import (
 
 // runDistOpt is runDist with the overlap-pipeline knobs: the overlapped
 // schedule (async backward redistribution, deferred waits, prefetch-hidden
-// loader, per-collective CCL channels) and the allreduce algorithm.
+// loader, per-collective CCL channels) and the allreduce algorithm. The
+// ablation isolates the schedule, so both arms run the flat per-MLP
+// gradient buffers (core.FlatBuckets) rather than the bucketed default.
 func (sw *distSweep) runDistOpt(cfg core.Config, ranks, globalN int, v core.Variant,
 	loader core.LoaderMode, iters int, overlap bool, algo comm.AllreduceAlgo) *core.DistResult {
 	globalN -= globalN % ranks
 	return core.RunDistributed(core.DistConfig{
-		Cfg:        cfg,
-		Ranks:      ranks,
-		GlobalN:    globalN,
-		Iters:      iters,
-		Variant:    v,
-		Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
-		Socket:     perfmodel.CLX8280,
-		Loader:     loader,
-		Overlap:    overlap,
-		Allreduce:  algo,
-		Pools:      sw.pools,
-		Workspaces: sw.wss,
+		Cfg:         cfg,
+		Ranks:       ranks,
+		GlobalN:     globalN,
+		Iters:       iters,
+		Variant:     v,
+		Topo:        fabric.NewPrunedFatTree(ranks, 12.5e9),
+		Socket:      perfmodel.CLX8280,
+		Loader:      loader,
+		Sync:        !overlap,
+		Allreduce:   algo,
+		BucketBytes: core.FlatBuckets,
+		Pools:       sw.pools,
+		Workspaces:  sw.wss,
 	})
 }
 

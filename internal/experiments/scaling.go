@@ -50,20 +50,25 @@ func newDistSweep() *distSweep {
 func (sw *distSweep) close() { sw.pools.Close() }
 
 // runDist executes one timing-only distributed run on the OPA cluster.
+// The paper figures instrument the synchronous flat-allreduce pipeline
+// (§VI-D measures every collective on the critical path), so the schedule
+// is pinned there rather than inheriting the bucketed+overlapped default.
 func (sw *distSweep) runDist(cfg core.Config, ranks, globalN int, v core.Variant, blocking bool, loader core.LoaderMode, iters int) *core.DistResult {
 	globalN -= globalN % ranks // the paper's 26-rank runs shard 16K unevenly; we trim
 	return core.RunDistributed(core.DistConfig{
-		Cfg:        cfg,
-		Ranks:      ranks,
-		GlobalN:    globalN,
-		Iters:      iters,
-		Variant:    v,
-		Blocking:   blocking,
-		Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
-		Socket:     perfmodel.CLX8280,
-		Loader:     loader,
-		Pools:      sw.pools,
-		Workspaces: sw.wss,
+		Cfg:         cfg,
+		Ranks:       ranks,
+		GlobalN:     globalN,
+		Iters:       iters,
+		Variant:     v,
+		Blocking:    blocking,
+		Topo:        fabric.NewPrunedFatTree(ranks, 12.5e9),
+		Socket:      perfmodel.CLX8280,
+		Loader:      loader,
+		Sync:        true,
+		BucketBytes: core.FlatBuckets,
+		Pools:       sw.pools,
+		Workspaces:  sw.wss,
 	})
 }
 
@@ -253,16 +258,18 @@ func RunFig15(o ScalingOpts) *Table {
 	for _, c := range cases {
 		for _, r := range c.ranks {
 			res := core.RunDistributed(core.DistConfig{
-				Cfg:        c.cfg,
-				Ranks:      r,
-				GlobalN:    c.cfg.GlobalMB - c.cfg.GlobalMB%r,
-				Iters:      o.Iters,
-				Variant:    core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
-				Blocking:   true, // expose components for the stacked bars
-				Topo:       topo,
-				Socket:     perfmodel.SKX8180,
-				Pools:      sw.pools,
-				Workspaces: sw.wss,
+				Cfg:         c.cfg,
+				Ranks:       r,
+				GlobalN:     c.cfg.GlobalMB - c.cfg.GlobalMB%r,
+				Iters:       o.Iters,
+				Variant:     core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
+				Blocking:    true, // expose components for the stacked bars
+				Topo:        topo,
+				Socket:      perfmodel.SKX8180,
+				Sync:        true, // instrumented flat-sync schedule, as in the paper
+				BucketBytes: core.FlatBuckets,
+				Pools:       sw.pools,
+				Workspaces:  sw.wss,
 			})
 			compute := res.ComputePerIter
 			for _, p := range res.PrepPerIter {

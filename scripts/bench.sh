@@ -23,9 +23,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # The gate-relevant subset: the simulated-cluster iteration cases (every
-# Fig9/Fig12 variant incl. sharded/overlap/hier/bucketed) plus the
+# Fig9/Fig12 variant incl. flat-sync/sharded/overlap/hier/tuned) plus the
 # streaming-loader production case.
 quick_filter='^(Fig9|Fig12|Loader)'
+
+# Case renames across committed baselines (PR 6: the Bucketed cases became
+# the headline defaults) — keeps the informational diff from reporting
+# superseded names as lost coverage when the baseline predates the rename.
+renamed='Fig9Strong64RBucketed=Fig9Strong64R,Fig12Weak64RBucketed=Fig12Weak64R'
 
 if [[ "${1:-}" == "-quick" ]]; then
   out="$(mktemp -t bench-quick-XXXX.json)"
@@ -33,7 +38,7 @@ if [[ "${1:-}" == "-quick" ]]; then
   go run ./cmd/dlrmbench -benchjson "$out" -benchfilter "$quick_filter"
   echo
   echo "Quick delta vs newest committed BENCH_*.json (gate-relevant cases only):"
-  go run ./cmd/benchdiff -new "$out" -filter "$quick_filter" || true
+  go run ./cmd/benchdiff -new "$out" -filter "$quick_filter" -renamed "$renamed" || true
   exit 0
 fi
 
@@ -47,7 +52,7 @@ go run ./cmd/dlrmbench -benchjson "$out"
 # recording run.
 echo
 echo "Delta vs newest committed BENCH_*.json (informational; CI gate enforces):"
-go run ./cmd/benchdiff -new "$out" || true
+go run ./cmd/benchdiff -new "$out" -renamed "$renamed" || true
 
 # Also append the raw `go test -bench` view for the full benchmark index;
 # useful for eyeballing but the JSON is the canonical record.
