@@ -254,6 +254,19 @@ func BenchmarkFig12Weak64RTuned(b *testing.B) {
 	benchDistFixture(b, experiments.Fig12DistTunedCase)
 }
 
+// The contention-charged variants: the headline bucketed+overlapped runs
+// with the contention-aware fabric model on, so concurrent bucket
+// allreduces pay for the shared 2:1 trunk. Tracked next to the default
+// cases: their virtual-ms/iter gap is the honest-sharing cost of the
+// overlapped schedule, and a silent change to the sharing discipline moves
+// these rows while leaving the contention-off cases bit-identical.
+func BenchmarkFig9Strong64RContention(b *testing.B) {
+	benchDistFixture(b, experiments.Fig9DistContentionCase)
+}
+func BenchmarkFig12Weak64RContention(b *testing.B) {
+	benchDistFixture(b, experiments.Fig12DistContentionCase)
+}
+
 // BenchmarkLoaderShardedNext measures steady-state per-rank batch
 // production by the sharded streaming loader (fixture shared with
 // dlrmbench -benchjson); -benchmem documents the zero-allocation property.

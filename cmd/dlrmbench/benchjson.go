@@ -184,6 +184,12 @@ func writeBenchJSON(path, filter string) error {
 		// headline cases now; benchdiff -renamed maps the archived names.
 		{"Fig9Strong64RTuned", experiments.Fig9DistTunedCase},
 		{"Fig12Weak64RTuned", experiments.Fig12DistTunedCase},
+		// Contention-charged variants: the headline schedule priced under
+		// the contention-aware fabric model (concurrent bucket allreduces
+		// share the 2:1 trunk) — the gap vs the headline cases is the
+		// honest-sharing cost; the contention-off cases stay bit-identical.
+		{"Fig9Strong64RContention", experiments.Fig9DistContentionCase},
+		{"Fig12Weak64RContention", experiments.Fig12DistContentionCase},
 	} {
 		if !match(c.name) {
 			continue

@@ -115,6 +115,16 @@ func experimentTable() []experiment {
 			}
 			return experiments.RunAutotune(opts)
 		}},
+		{"contention", "contention-aware fabric: schedules under shared-link charging, trunk/straggler sweeps, §VI-D1 from link mechanics", func(o expOpts) fmt.Stringer {
+			opts := experiments.DefaultContentionFigOpts()
+			if o.quick {
+				opts.Iters, opts.MaxCandidates = 1, 16
+			}
+			if o.iters > 0 {
+				opts.Iters = o.iters
+			}
+			return experiments.RunContentionFig(opts)
+		}},
 		{"ablation-allreduce", "allreduce algorithm sweep vs gradient volume", func(o expOpts) fmt.Stringer {
 			return experiments.AblationAllreduce()
 		}},

@@ -69,6 +69,14 @@ type Config struct {
 	// CallOverhead is the per-collective framework cost in seconds (enqueue,
 	// flat-buffer bookkeeping); the "Framework" component of Figs. 11/14.
 	CallOverhead float64
+	// Contention selects the contention-aware charging mode: collectives
+	// that register their per-link loads (comm's leaders do) are charged
+	// extra time for the residual bytes of concurrently in-flight
+	// collectives on shared links, via Engine.ChargeContended. Off by
+	// default — every collective is then priced in isolation, exactly as
+	// before the knob existed, so committed virtual baselines stay
+	// bit-identical.
+	Contention bool
 
 	// Pools supplies each rank's persistent compute worker pool (the
 	// NUMA-style one-pool-per-socket layout). When nil, Run creates a
@@ -152,6 +160,21 @@ type Engine struct {
 	active []*slot // in-flight collectives (at most a handful; linear scan)
 	free   *slot   // recycled slot free list — steady state allocates none
 	pools  *Pools
+
+	// The contention epoch (Cfg.Contention): time windows and link loads of
+	// charged collectives still in flight, shared across all channels and
+	// ranks. Mutated only from ChargeContended, which runs in leader
+	// context — under e.mu — so no further locking is needed. Records are
+	// recycled through a free list; steady state allocates none.
+	inflight   []*flight
+	flightFree *flight
+}
+
+// flight is one charged collective's window on the contention epoch.
+type flight struct {
+	start, finish float64 // scaled (post-commSlowdown) virtual time
+	loads         fabric.LoadSet
+	next          *flight // free-list link
 }
 
 type slot struct {
@@ -198,8 +221,16 @@ func (r *Rank) Pool() *par.Pool {
 // value (the zero Handle is an already-complete no-op), so issuing and
 // waiting on collectives never allocates.
 type Handle struct {
-	Label  string
-	finish float64
+	Label string
+	// Channel is the physical communication channel the operation was
+	// placed on: the resolved CCL channel (an explicit CollectiveOn hint
+	// taken mod CCLChannels, or the label-hash pick), always 0 for MPI —
+	// which has a single channel and drops hints entirely — and -1 for
+	// Async work, which runs on the rank-local background stream rather
+	// than a communication channel. Placement tests and the contention
+	// figures read it to verify where an operation actually ran.
+	Channel int
+	finish  float64
 }
 
 // Run executes body on Ranks goroutines and returns the per-rank statistics
@@ -305,7 +336,7 @@ func (r *Rank) Async(label string, seconds float64) Handle {
 	finish := start + seconds
 	r.asyncFree = finish
 	r.Stats.CommBusy[label] += seconds
-	return Handle{Label: label, finish: finish}
+	return Handle{Label: label, Channel: -1, finish: finish}
 }
 
 // Collective issues one collective operation. payload carries this rank's
@@ -328,7 +359,10 @@ func (r *Rank) Collective(label string, payload, arg any, lead LeaderFunc) Handl
 // issue several concurrent collectives can place them on distinct FIFOs and
 // have the per-channel queueing model charge true contention instead of
 // whatever the label hash happens to collide. channel < 0 keeps the default
-// label-hash placement; the MPI backend always has exactly one channel.
+// label-hash placement. The MPI backend has exactly one in-order channel,
+// so any hint — like the label hash — is dropped and the operation queues
+// FIFO behind everything already issued; either way the channel the
+// operation actually landed on is recorded on the returned Handle.
 func (r *Rank) CollectiveOn(label string, channel int, payload, arg any, lead LeaderFunc) Handle {
 	cfg := r.Eng.Cfg
 	r.now += cfg.CallOverhead
@@ -351,7 +385,7 @@ func (r *Rank) CollectiveOn(label string, channel int, payload, arg any, lead Le
 	finish, dur := r.Eng.exchange(seq, r.ID, payload, ready, arg, lead)
 	r.commFree[ch] = finish
 	r.Stats.CommBusy[label] += dur
-	h := Handle{Label: label, finish: finish}
+	h := Handle{Label: label, Channel: ch, finish: finish}
 	if cfg.Blocking {
 		r.Wait(h)
 	}
@@ -453,6 +487,100 @@ func (e *Engine) exchange(seq int64, rank int, payload any, ready float64, arg a
 		e.release(s)
 	}
 	return finish, dur
+}
+
+// ChargeContended prices a collective against the contention epoch and
+// registers it there. start is the operation's virtual start (the
+// rendezvous start the leader received), iso its isolated duration from
+// the unchanged cost model (pre-commSlowdown, i.e. exactly what the leader
+// would have returned), and loads its aggregate per-link byte footprint
+// (every phase summed, copy overhead included — what Scratch.Accumulate
+// collected). topo supplies the link bandwidths. The return value replaces
+// iso as the leader's result; the caller's commSlowdown multiply then
+// reproduces the registered finish time.
+//
+// Sharing discipline — causal residual-drain (work-conserving shared
+// queue): each already-charged collective still in flight at start is
+// assumed to drain its link bytes at a uniform rate across its own window,
+// and the newcomer's bottleneck link additionally carries every such
+// operation's residual bytes — the fraction of its load falling inside
+// [start, its finish). The newcomer's duration becomes
+//
+//	iso + max over its links l of  Σ_f residual_f(l) / bandwidth(l)
+//
+// Earlier operations keep their already-charged finishes: their Waits may
+// already have resolved, so retroactive stretching would break causality —
+// instead the op that arrives second pays for the sharing. The discipline
+// is deterministic (leaders run in global issue order: every rank blocks
+// in each rendezvous, so collective k's leader always runs before
+// k+1's) and bounded both ways: the result is ≥ iso (the residual term is
+// non-negative) and each overlapping flight contributes at most its own
+// isolated duration (its per-link bytes/bandwidth never exceed its phase
+// times), so concurrent operations never finish later than they would
+// serialized. Operations whose windows do not overlap — including
+// everything on MPI's single in-order channel — are charged exactly iso.
+//
+// ChargeContended must only be called from leader context: leaders run
+// under e.mu inside the rendezvous, which is what makes the epoch safe to
+// mutate without further locking.
+func (e *Engine) ChargeContended(topo fabric.Topology, loads *fabric.LoadSet, start, iso float64) float64 {
+	slow := e.Cfg.commSlowdown()
+	isoS := iso * slow
+	// Drop flights that ended before this operation starts. (A later
+	// charge on another channel can still start earlier in virtual time;
+	// a flight pruned here that would have overlapped it slightly
+	// under-counts that rare inversion, in exchange for a bounded epoch.)
+	kept := e.inflight[:0]
+	for _, f := range e.inflight {
+		if f.finish <= start {
+			f.loads.Reset()
+			f.next = e.flightFree
+			e.flightFree = f
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for i := len(kept); i < len(e.inflight); i++ {
+		e.inflight[i] = nil
+	}
+	e.inflight = kept
+
+	var delta float64
+	for _, link := range loads.Links() {
+		var resid float64
+		for _, f := range e.inflight {
+			if l := f.loads.Load(link); l > 0 {
+				// Overlap window within f, as a fraction of f's drain.
+				lo := start
+				if f.start > lo {
+					lo = f.start
+				}
+				resid += l * (f.finish - lo) / (f.finish - f.start)
+			}
+		}
+		// Residual bytes drain at the backend's effective rate: commSlowdown
+		// models a backend that cannot saturate the wire, so in scaled time
+		// every link runs at bandwidth/slow — for the queued residual just
+		// like for the newcomer's own bytes.
+		if d := resid * slow / topo.LinkBandwidth(link); d > delta {
+			delta = d
+		}
+	}
+
+	durS := isoS + delta
+	if durS > 0 && len(loads.Links()) > 0 {
+		f := e.flightFree
+		if f != nil {
+			e.flightFree = f.next
+			f.next = nil
+		} else {
+			f = &flight{}
+		}
+		f.start, f.finish = start, start+durS
+		f.loads.CopyFrom(loads)
+		e.inflight = append(e.inflight, f)
+	}
+	return durS / slow
 }
 
 func hashLabel(s string) int {

@@ -124,7 +124,7 @@ func (c *Comm) AllreduceTimeAlgo(algo AllreduceAlgo, bytes float64) float64 {
 			for i := 0; i < r; i++ {
 				c.flows = append(c.flows, fabric.Flow{Src: i, Dst: (i + dist) % r, Bytes: vol})
 			}
-			total += 2 * c.fab.PhaseTime(c.Topo, c.flows) // RS phase + mirrored AG phase
+			total += c.fab.PhaseTimeN(c.Topo, c.flows, 2) // RS phase + mirrored AG phase
 			vol /= 2
 		}
 		return total
@@ -156,7 +156,7 @@ func (c *Comm) AllreduceTimeAlgo(algo AllreduceAlgo, bytes float64) float64 {
 			base := (i / g) * g
 			c.flows = append(c.flows, fabric.Flow{Src: i, Dst: base + (i-base+1)%g, Bytes: bytes / float64(g)})
 		}
-		total += 2 * float64(g-1) * c.fab.PhaseTime(c.Topo, c.flows)
+		total += c.fab.PhaseTimeN(c.Topo, c.flows, 2*float64(g-1))
 		if n > 1 {
 			// Inter-node phase: G concurrent rings (one per local shard
 			// index), each allreducing bytes/G over the n nodes — every rank
@@ -165,7 +165,7 @@ func (c *Comm) AllreduceTimeAlgo(algo AllreduceAlgo, bytes float64) float64 {
 			for i := 0; i < r; i++ {
 				c.flows = append(c.flows, fabric.Flow{Src: i, Dst: (i + g) % r, Bytes: bytes / float64(r)})
 			}
-			total += 2 * float64(n-1) * c.fab.PhaseTime(c.Topo, c.flows)
+			total += c.fab.PhaseTimeN(c.Topo, c.flows, 2*float64(n-1))
 		}
 		return total
 	case BinaryTree:
@@ -193,10 +193,14 @@ func (c *Comm) AllreduceTimeAlgo(algo AllreduceAlgo, bytes float64) float64 {
 				fabric.Flow{Src: pb, Dst: child, Bytes: per})
 		}
 		steps := 2*depth + chunks - 1
-		return float64(steps) * c.fab.PhaseTime(c.Topo, c.flows)
+		return c.fab.PhaseTimeN(c.Topo, c.flows, float64(steps))
 	case AllreduceAuto:
-		_, t := c.BestAllreduceAlgo(bytes)
-		return t
+		// Resolve the policy to its concrete winner, then charge that one
+		// algorithm: BestAllreduceAlgo evaluates every candidate with load
+		// accumulation suspended, so only the winner's flows land in any
+		// attached contention footprint.
+		best, _ := c.BestAllreduceAlgo(bytes)
+		return c.AllreduceTimeAlgo(best, bytes)
 	default:
 		return c.AllreduceTime(bytes)
 	}
@@ -232,8 +236,11 @@ func BinaryTreeChunks(bytes float64, r int) int {
 }
 
 // BestAllreduceAlgo returns the fastest modeled algorithm and its time for
-// the given volume — what a tuned communication library would pick.
+// the given volume — what a tuned communication library would pick. The
+// candidate sweep runs with load accumulation suspended: probing must not
+// count the losers' flows against an attached contention footprint.
 func (c *Comm) BestAllreduceAlgo(bytes float64) (AllreduceAlgo, float64) {
+	saved := c.fab.Accumulate(nil)
 	best := RingRSAG
 	bestT := math.Inf(1)
 	for _, a := range AllreduceAlgos {
@@ -241,5 +248,6 @@ func (c *Comm) BestAllreduceAlgo(bytes float64) (AllreduceAlgo, float64) {
 			best, bestT = a, t
 		}
 	}
+	c.fab.Accumulate(saved)
 	return best, bestT
 }

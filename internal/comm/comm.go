@@ -43,6 +43,34 @@ type Comm struct {
 	// while this rank is inside its own Collective call.
 	flows []fabric.Flow
 	fab   fabric.Scratch
+	// opLoads is the per-collective aggregate link footprint the charge
+	// helpers collect (via fab's Accumulate hook) under contention-aware
+	// pricing; reused across collectives like the rest of the scratch.
+	opLoads fabric.LoadSet
+}
+
+// chargeBegin arms the contention charge for one collective: under
+// Cfg.Contention the fabric scratch starts accumulating every subsequent
+// phase's per-link loads into opLoads. Leaders bracket their cost-model
+// evaluation with chargeBegin/chargeEnd; with the knob off both are
+// no-ops and the isolated time passes through untouched, bit-identically.
+func (c *Comm) chargeBegin() {
+	if c.R.Eng.Cfg.Contention {
+		c.opLoads.Reset()
+		c.fab.Accumulate(&c.opLoads)
+	}
+}
+
+// chargeEnd closes the bracket: iso is the isolated duration the cost
+// model just produced (whose phases accumulated into opLoads), start the
+// rendezvous start the leader received. It returns the contended duration
+// from the engine's epoch — or iso unchanged when contention is off.
+func (c *Comm) chargeEnd(start, iso float64) float64 {
+	if !c.R.Eng.Cfg.Contention {
+		return iso
+	}
+	c.fab.Accumulate(nil)
+	return c.R.Eng.ChargeContended(c.Topo, &c.opLoads, start, iso)
 }
 
 // xchg is one rank's contribution to a collective: the data it sends, the
@@ -106,15 +134,23 @@ func (c *Comm) AllreduceTime(bytes float64) float64 {
 		return 0
 	}
 	per := bytes / float64(r)
-	return 2 * float64(r-1) * c.fab.PhaseTime(c.Topo, c.ringFlows(per))
+	return c.fab.PhaseTimeN(c.Topo, c.ringFlows(per), 2*float64(r-1))
 }
 
 // ReduceScatterTime and AllgatherTime are each half of the allreduce, used
-// by the per-layer overlap schedule of Fig. 2.
-func (c *Comm) ReduceScatterTime(bytes float64) float64 { return c.AllreduceTime(bytes) / 2 }
+// by the per-layer overlap schedule of Fig. 2. They place their own R−1
+// phases (rather than halving AllreduceTime) so an attached contention
+// footprint counts exactly the phases charged; the value is bit-identical.
+func (c *Comm) ReduceScatterTime(bytes float64) float64 {
+	r := c.size
+	if r == 1 {
+		return 0
+	}
+	return c.fab.PhaseTimeN(c.Topo, c.ringFlows(bytes/float64(r)), float64(r-1))
+}
 
 // AllgatherTime returns the modeled all-gather duration (see ReduceScatterTime).
-func (c *Comm) AllgatherTime(bytes float64) float64 { return c.AllreduceTime(bytes) / 2 }
+func (c *Comm) AllgatherTime(bytes float64) float64 { return c.ReduceScatterTime(bytes) }
 
 // AlltoallTime returns the modeled duration of a pairwise-exchange alltoall
 // where every rank sends blockBytes to every other rank: R−1 phases, phase k
@@ -200,7 +236,7 @@ func (c *Comm) Scatter(label string, root int, send []float32, blockLen int) ([]
 	return recv, h
 }
 
-func allgatherLead(arg any, payloads []any, _ float64) float64 {
+func allgatherLead(arg any, payloads []any, start float64) float64 {
 	a := arg.(*xchg)
 	if a.blockLen > 0 {
 		bl := a.blockLen
@@ -217,7 +253,8 @@ func allgatherLead(arg any, payloads []any, _ float64) float64 {
 			}
 		}
 	}
-	return a.c.AllgatherTime(float64(4 * len(payloads) * a.blockLen))
+	a.c.chargeBegin()
+	return a.c.chargeEnd(start, a.c.AllgatherTime(float64(4*len(payloads)*a.blockLen)))
 }
 
 // AllgatherInto concatenates every rank's send block into recv (length
@@ -236,7 +273,7 @@ func (c *Comm) Allgather(label string, send []float32) ([]float32, cluster.Handl
 	return recv, h
 }
 
-func broadcastLead(arg any, payloads []any, _ float64) float64 {
+func broadcastLead(arg any, payloads []any, start float64) float64 {
 	a := arg.(*xchg)
 	root := payloads[a.root].(*xchg)
 	for i := range payloads {
@@ -246,6 +283,7 @@ func broadcastLead(arg any, payloads []any, _ float64) float64 {
 	}
 	// Tree broadcast ≈ log2(R) phases of root-link transfers.
 	c := a.c
+	c.chargeBegin()
 	bytes := float64(4 * len(root.send))
 	var dur float64
 	for n := 1; n < c.size; n *= 2 {
@@ -253,7 +291,7 @@ func broadcastLead(arg any, payloads []any, _ float64) float64 {
 		c.flows = append(c.flows, fabric.Flow{Src: 0, Dst: c.size - 1, Bytes: bytes})
 		dur += c.fab.PhaseTime(c.Topo, c.flows)
 	}
-	return dur
+	return c.chargeEnd(start, dur)
 }
 
 // Broadcast copies root's buffer to every rank (in place on buf), valid on

@@ -44,19 +44,21 @@ func allreduceMove(a *xchg, payloads []any) {
 	}
 }
 
-func allreduceLead(arg any, payloads []any, _ float64) float64 {
+func allreduceLead(arg any, payloads []any, start float64) float64 {
 	a := arg.(*xchg)
 	allreduceMove(a, payloads)
-	return a.c.AllreduceTime(a.bytes)
+	a.c.chargeBegin()
+	return a.c.chargeEnd(start, a.c.AllreduceTime(a.bytes))
 }
 
 // allreduceAlgoLead moves data exactly like allreduceLead but charges the
 // algorithm selected in the leader's xchg record — the static-leader hook
 // that makes every modeled allreduce algorithm a drop-in for the trainer.
-func allreduceAlgoLead(arg any, payloads []any, _ float64) float64 {
+func allreduceAlgoLead(arg any, payloads []any, start float64) float64 {
 	a := arg.(*xchg)
 	allreduceMove(a, payloads)
-	return a.c.AllreduceTimeAlgo(a.algo, a.bytes)
+	a.c.chargeBegin()
+	return a.c.chargeEnd(start, a.c.AllreduceTimeAlgo(a.algo, a.bytes))
 }
 
 // AllreduceCost is Allreduce with an explicit modeled volume in bytes. The
@@ -74,7 +76,7 @@ func (c *Comm) AllreduceAlgoCost(label string, ch int, buf []float32, avg bool, 
 	return c.issueOn(label, ch, allreduceAlgoLead, xchg{c: c, send: buf, avg: avg, bytes: bytes, algo: algo})
 }
 
-func alltoallLead(arg any, payloads []any, _ float64) float64 {
+func alltoallLead(arg any, payloads []any, start float64) float64 {
 	a := arg.(*xchg)
 	if a.blockLen > 0 {
 		bl := a.blockLen
@@ -86,7 +88,8 @@ func alltoallLead(arg any, payloads []any, _ float64) float64 {
 			}
 		}
 	}
-	return a.c.AlltoallTime(a.bytes)
+	a.c.chargeBegin()
+	return a.c.chargeEnd(start, a.c.AlltoallTime(a.bytes))
 }
 
 // AlltoallCost is the alltoall with an explicit modeled per-block volume and
@@ -107,7 +110,7 @@ func (c *Comm) AlltoallCostOn(label string, ch int, send, recv []float32, blockL
 	return c.issueOn(label, ch, alltoallLead, xchg{c: c, send: send, recv: recv, blockLen: blockLen, bytes: blockBytes})
 }
 
-func scatterLead(arg any, payloads []any, _ float64) float64 {
+func scatterLead(arg any, payloads []any, start float64) float64 {
 	a := arg.(*xchg)
 	root := payloads[a.root].(*xchg)
 	if root.send != nil {
@@ -116,7 +119,8 @@ func scatterLead(arg any, payloads []any, _ float64) float64 {
 			copy(payloads[j].(*xchg).recv, root.send[j*bl:(j+1)*bl])
 		}
 	}
-	return a.c.ScatterTime(a.root, a.bytes)
+	a.c.chargeBegin()
+	return a.c.chargeEnd(start, a.c.ScatterTime(a.root, a.bytes))
 }
 
 // ScatterCost is the scatter with an explicit modeled per-block volume and a
@@ -134,7 +138,7 @@ func (c *Comm) ScatterCostOn(label string, ch, root int, send, recv []float32, b
 	return c.issueOn(label, ch, scatterLead, xchg{c: c, send: send, recv: recv, blockLen: blockLen, root: root, bytes: blockBytes})
 }
 
-func gatherLead(arg any, payloads []any, _ float64) float64 {
+func gatherLead(arg any, payloads []any, start float64) float64 {
 	a := arg.(*xchg)
 	root := payloads[a.root].(*xchg)
 	if root.recv != nil {
@@ -143,7 +147,8 @@ func gatherLead(arg any, payloads []any, _ float64) float64 {
 			copy(root.recv[j*bl:(j+1)*bl], payloads[j].(*xchg).send)
 		}
 	}
-	return a.c.GatherTime(a.root, a.bytes)
+	a.c.chargeBegin()
+	return a.c.chargeEnd(start, a.c.GatherTime(a.root, a.bytes))
 }
 
 // GatherCost collects every rank's send block at root, concatenated in rank

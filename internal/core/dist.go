@@ -159,6 +159,18 @@ type DistConfig struct {
 	// Overlap (label-hash placement, like the sync schedule's collectives)
 	// and on MPI, which has a single in-order channel.
 	BucketChannels []int
+	// Contention selects the contention-aware fabric charging mode
+	// (cluster.Config.Contention): concurrently in-flight collectives —
+	// e.g. the up-to-3 bucket allreduces round-robining over CCL channels
+	// 0-2 — split bottleneck-link bandwidth instead of each being priced
+	// against an idle fabric. Off by default, so the committed virtual
+	// baselines stay bit-identical; the contention experiments turn it on.
+	Contention bool
+	// Interference overrides the MPI compute-interference factor (≥ 1; 0 =
+	// the backend default, 1.3). The §VI-D1 figure sets it to 1 to isolate
+	// the flat-factor artifact from the link-level mechanics. Ignored for
+	// CCL.
+	Interference float64
 
 	// Functional execution: when RunCfg is non-nil, every rank instantiates
 	// a scaled model shard and really trains on Dataset (used by the
@@ -313,13 +325,15 @@ func RunDistributed(dc DistConfig) *DistResult {
 		wss = NewDistWorkspaces()
 	}
 	ccfg := cluster.Config{
-		Ranks:     dc.Ranks,
-		Topo:      dc.Topo,
-		Socket:    dc.Socket,
-		Backend:   dc.Variant.Backend,
-		Blocking:  dc.Blocking,
-		CommCores: dc.CommCores,
-		Pools:     dc.Pools, // nil ⇒ cluster.Run owns a transient set
+		Ranks:        dc.Ranks,
+		Topo:         dc.Topo,
+		Socket:       dc.Socket,
+		Backend:      dc.Variant.Backend,
+		Blocking:     dc.Blocking,
+		CommCores:    dc.CommCores,
+		Contention:   dc.Contention,
+		Interference: dc.Interference,
+		Pools:        dc.Pools, // nil ⇒ cluster.Run owns a transient set
 	}
 	stats := cluster.Run(ccfg, func(r *cluster.Rank) {
 		dc.rankBody(r, wss.get(r.ID), res)

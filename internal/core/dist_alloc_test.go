@@ -22,8 +22,10 @@ import (
 // distAllocsPerIter returns the marginal allocations per timing-mode
 // iteration for the given variant and pipeline schedule, after warming
 // pools and workspaces. bucketBytes > 0 selects the bucketed gradient
-// allreduce; FlatBuckets the flat one.
-func distAllocsPerIter(t *testing.T, v Variant, overlap bool, algo comm.AllreduceAlgo, bucketBytes int) float64 {
+// allreduce; FlatBuckets the flat one. contention enables the
+// contention-aware fabric charging, whose epoch bookkeeping (flight
+// records, load sets) must recycle rather than allocate in steady state.
+func distAllocsPerIter(t *testing.T, v Variant, overlap bool, algo comm.AllreduceAlgo, bucketBytes int, contention bool) float64 {
 	t.Helper()
 	if raceEnabled {
 		t.Skip("allocation counts are perturbed by the race detector")
@@ -57,7 +59,7 @@ func TestDistributedStepZeroAllocs(t *testing.T) {
 		for _, backend := range []cluster.Backend{cluster.MPIBackend, cluster.CCLBackend} {
 			for _, overlap := range []bool{false, true} {
 				v := Variant{Strategy: strat, Backend: backend}
-				if got := distAllocsPerIter(t, v, overlap, comm.RingRSAG, FlatBuckets); got != 0 {
+				if got := distAllocsPerIter(t, v, overlap, comm.RingRSAG, FlatBuckets, false); got != 0 {
 					t.Errorf("%s overlap=%v: %v allocs per steady-state distributed iteration, want 0",
 						v.Name(), overlap, got)
 				}
@@ -74,7 +76,7 @@ func TestDistributedStepZeroAllocsAllreduceAlgos(t *testing.T) {
 	v := Variant{Strategy: Alltoall, Backend: cluster.CCLBackend}
 	for _, algo := range []comm.AllreduceAlgo{comm.Hierarchical, comm.BinaryTree, comm.AllreduceAuto} {
 		for _, overlap := range []bool{false, true} {
-			if got := distAllocsPerIter(t, v, overlap, algo, FlatBuckets); got != 0 {
+			if got := distAllocsPerIter(t, v, overlap, algo, FlatBuckets, false); got != 0 {
 				t.Errorf("%s %v overlap=%v: %v allocs per steady-state iteration, want 0",
 					v.Name(), algo, overlap, got)
 			}
@@ -94,7 +96,7 @@ func TestDistributedStepZeroAllocsBucketed(t *testing.T) {
 		for _, backend := range []cluster.Backend{cluster.MPIBackend, cluster.CCLBackend} {
 			for _, overlap := range []bool{false, true} {
 				v := Variant{Strategy: strat, Backend: backend}
-				if got := distAllocsPerIter(t, v, overlap, comm.RingRSAG, bucketBytes); got != 0 {
+				if got := distAllocsPerIter(t, v, overlap, comm.RingRSAG, bucketBytes, false); got != 0 {
 					t.Errorf("%s overlap=%v bucketed: %v allocs per steady-state iteration, want 0",
 						v.Name(), overlap, got)
 				}
@@ -103,9 +105,33 @@ func TestDistributedStepZeroAllocsBucketed(t *testing.T) {
 	}
 	v := Variant{Strategy: Alltoall, Backend: cluster.CCLBackend}
 	for _, algo := range []comm.AllreduceAlgo{comm.Hierarchical, comm.BinaryTree, comm.AllreduceAuto} {
-		if got := distAllocsPerIter(t, v, true, algo, bucketBytes); got != 0 {
+		if got := distAllocsPerIter(t, v, true, algo, bucketBytes, false); got != 0 {
 			t.Errorf("%s %v bucketed: %v allocs per steady-state iteration, want 0", v.Name(), algo, got)
 		}
+	}
+}
+
+// TestDistributedStepZeroAllocsContention extends the invariant to the
+// contention-aware charging path: with the knob on, the per-collective
+// load accumulation and the engine's flight epoch run through recycled
+// scratch (LoadSet slices, the flight free list), so steady-state timing
+// iterations must still allocate nothing — for the overlapped schedules
+// that actually contend, flat and bucketed, across the cost models.
+func TestDistributedStepZeroAllocsContention(t *testing.T) {
+	v := Variant{Strategy: Alltoall, Backend: cluster.CCLBackend}
+	for _, bucketBytes := range []int{FlatBuckets, 1 << 20} {
+		for _, algo := range []comm.AllreduceAlgo{comm.RingRSAG, comm.Hierarchical, comm.AllreduceAuto} {
+			if got := distAllocsPerIter(t, v, true, algo, bucketBytes, true); got != 0 {
+				t.Errorf("%s %v bucket=%d contention: %v allocs per steady-state iteration, want 0",
+					v.Name(), algo, bucketBytes, got)
+			}
+		}
+	}
+	// The MPI backend routes everything through one channel — contention
+	// never fires — but the charge bracket still runs; it too must be free.
+	mpi := Variant{Strategy: Alltoall, Backend: cluster.MPIBackend}
+	if got := distAllocsPerIter(t, mpi, true, comm.RingRSAG, 1<<20, true); got != 0 {
+		t.Errorf("%s contention: %v allocs per steady-state iteration, want 0", mpi.Name(), got)
 	}
 }
 

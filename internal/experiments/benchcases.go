@@ -81,7 +81,7 @@ func DistCase(cfg core.Config, ranks, globalN int, v core.Variant) (core.DistCon
 // DistLoaderCase is DistCase with an explicit data-pipeline mode — the
 // recipe behind the loader-artifact vs sharded-loader benchmark pairs.
 func DistLoaderCase(cfg core.Config, ranks, globalN int, v core.Variant, mode core.LoaderMode) (core.DistConfig, func()) {
-	return distFixture(cfg, ranks, globalN, v, mode, true, comm.RingRSAG, 0)
+	return distFixture(cfg, ranks, globalN, v, mode, true, comm.RingRSAG, 0, false)
 }
 
 // DistFlatSyncCase is the pre-flip schedule kept as an explicit, measured
@@ -98,21 +98,31 @@ func DistFlatSyncCase(cfg core.Config, ranks, globalN int, v core.Variant) (core
 // the regression gate tracks.
 func DistPipelineCase(cfg core.Config, ranks, globalN int, v core.Variant,
 	mode core.LoaderMode, overlap bool, algo comm.AllreduceAlgo) (core.DistConfig, func()) {
-	return distFixture(cfg, ranks, globalN, v, mode, overlap, algo, core.FlatBuckets)
+	return distFixture(cfg, ranks, globalN, v, mode, overlap, algo, core.FlatBuckets, false)
 }
 
 // DistBucketedCase is the bucketed gradient allreduce at an explicit bucket
 // size: overlapped schedule, ring cost model, per-layer buckets coalesced to
 // bucketBytes.
 func DistBucketedCase(cfg core.Config, ranks, globalN int, v core.Variant, bucketBytes int) (core.DistConfig, func()) {
-	return distFixture(cfg, ranks, globalN, v, core.LoaderNone, true, comm.RingRSAG, bucketBytes)
+	return distFixture(cfg, ranks, globalN, v, core.LoaderNone, true, comm.RingRSAG, bucketBytes, false)
+}
+
+// DistContentionCase is the library default schedule with the
+// contention-aware fabric charging enabled: concurrent bucket allreduces on
+// CCL channels 0-2 pay for the shared 2:1 trunk instead of each being
+// priced against an empty fabric.
+func DistContentionCase(cfg core.Config, ranks, globalN int, v core.Variant) (core.DistConfig, func()) {
+	return distFixture(cfg, ranks, globalN, v, core.LoaderNone, true, comm.RingRSAG, 0, true)
 }
 
 // distFixture builds the warmed-up fixture every Dist*Case variant shares.
 // bucketBytes follows DistConfig semantics: 0 is the bucketed default,
-// core.FlatBuckets the flat per-MLP buffers.
+// core.FlatBuckets the flat per-MLP buffers. contention enables the
+// contention-aware fabric charging (off everywhere except the explicit
+// contention cases, so the other archived numbers stay bit-identical).
 func distFixture(cfg core.Config, ranks, globalN int, v core.Variant,
-	mode core.LoaderMode, overlap bool, algo comm.AllreduceAlgo, bucketBytes int) (core.DistConfig, func()) {
+	mode core.LoaderMode, overlap bool, algo comm.AllreduceAlgo, bucketBytes int, contention bool) (core.DistConfig, func()) {
 	pools := cluster.NewPools()
 	dc := core.DistConfig{
 		Cfg:         cfg,
@@ -126,6 +136,7 @@ func distFixture(cfg core.Config, ranks, globalN int, v core.Variant,
 		Sync:        !overlap,
 		Allreduce:   algo,
 		BucketBytes: bucketBytes,
+		Contention:  contention,
 		Pools:       pools,
 		Workspaces:  core.NewDistWorkspaces(),
 	}
@@ -223,6 +234,19 @@ func Fig9DistTunedCase() (core.DistConfig, func()) {
 // Fig12DistTunedCase is the weak-scaling counterpart of Fig9DistTunedCase.
 func Fig12DistTunedCase() (core.DistConfig, func()) {
 	return distTunedFixture(core.Large, 64, core.Large.LocalMB*64, ccl64)
+}
+
+// Fig9DistContentionCase is the strong-scaling headline schedule charged
+// under link contention — its virtual ms/iter vs Fig9DistCase is the
+// honest-sharing cost of the overlapped schedule the PERF doc quotes.
+func Fig9DistContentionCase() (core.DistConfig, func()) {
+	return DistContentionCase(core.Large, 64, core.Large.GlobalMB, ccl64)
+}
+
+// Fig12DistContentionCase is the weak-scaling counterpart of
+// Fig9DistContentionCase.
+func Fig12DistContentionCase() (core.DistConfig, func()) {
+	return DistContentionCase(core.Large, 64, core.Large.LocalMB*64, ccl64)
 }
 
 // distTunedFixture autotunes the schedule for the given shape, then builds

@@ -417,3 +417,75 @@ func TestAutotuneFigShape(t *testing.T) {
 		t.Error("tuner strictly improved no scale; expected at least one (hierarchical beats ring at 64R)")
 	}
 }
+
+func TestContentionFigShape(t *testing.T) {
+	tab := RunContentionFig(ContentionFigOpts{Iters: 1, MaxCandidates: 16, Seed: 5})
+	// 8 schedule rows + 8 trunk rows + 3 straggler + 4 autotune + 4 §VI-D1.
+	if len(tab.Rows) != 27 {
+		t.Fatalf("expected 27 rows, got %d", len(tab.Rows))
+	}
+	cell := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("bad ms cell %q in row %v", row[col], row)
+		}
+		return v
+	}
+	rows := func(section string) (out [][]string) {
+		for _, r := range tab.Rows {
+			if r[0] == section {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	// Schedule section: contention never speeds a schedule up, the flat
+	// synchronous schedule is priced identically, and at both scales the
+	// bucketed+overlapped schedule still beats flat-sync under contention.
+	sched := rows("schedule")
+	for i := 0; i < len(sched); i += 2 {
+		off, on := cell(sched[i], 5), cell(sched[i+1], 5)
+		if on < off {
+			t.Errorf("contention sped up %v: off %v on %v", sched[i][3], off, on)
+		}
+		if sched[i][3] == "flat-sync" && on != off {
+			t.Errorf("flat-sync must be contention-free: off %v on %v", off, on)
+		}
+	}
+	for i := 0; i < len(sched); i += 4 {
+		flatOn, bucketOn := cell(sched[i+1], 5), cell(sched[i+3], 5)
+		if bucketOn >= flatOn {
+			t.Errorf("%s: overlap win must survive contention (bucketed %v vs flat-sync %v)",
+				sched[i][1], bucketOn, flatOn)
+		}
+	}
+	// Trunk section: more oversubscription never gets cheaper.
+	trunk := rows("trunk")
+	for i := 2; i < len(trunk); i += 2 {
+		if cell(trunk[i], 5) < cell(trunk[i-2], 5) {
+			t.Errorf("fewer uplinks must not be faster: %v vs %v", trunk[i], trunk[i-2])
+		}
+	}
+	// Straggler section: a derated trunk only slows things down.
+	strag := rows("straggler")
+	for i := 1; i < len(strag); i++ {
+		if cell(strag[i], 5) < cell(strag[0], 5) {
+			t.Errorf("derated trunk must not be faster: %v", strag[i])
+		}
+	}
+	// Autotune section: tuned never worse than default under contention.
+	auto := rows("autotune")
+	for i := 0; i < len(auto); i += 2 {
+		if cell(auto[i+1], 5) > cell(auto[i], 5)*1.0001 {
+			t.Errorf("tuned-under-contention worse than default: %v vs %v", auto[i+1], auto[i])
+		}
+	}
+	// §VI-D1 section: both interference mechanisms inflate their baseline.
+	vid := rows("§VI-D1")
+	if cell(vid[1], 5) <= cell(vid[0], 5) {
+		t.Errorf("flat interference factor must slow the MPI run: %v vs %v", vid[1], vid[0])
+	}
+	if cell(vid[3], 5) <= cell(vid[2], 5) {
+		t.Errorf("link-level contention must slow the overlapped CCL run: %v vs %v", vid[3], vid[2])
+	}
+}

@@ -1,5 +1,10 @@
 package fabric
 
+import (
+	"fmt"
+	"math"
+)
+
 // Degraded wraps a Topology with per-link bandwidth derating — the
 // failure-injection hook: a flapping link, a misseated cable, or a switch
 // port stuck at a lower rate. Routes are unchanged (the fabric does not
@@ -12,15 +17,23 @@ type Degraded struct {
 	Factors map[int]float64
 }
 
-// NewDegraded wraps topo, derating the given links.
+// NewDegraded wraps topo, derating the given links. Factors must lie in
+// (0, 1]: a non-positive factor would silently disable the derating and a
+// factor above 1 would speed the link up — both almost certainly a typo in
+// a failure scenario, so both panic.
 func NewDegraded(topo Topology, factors map[int]float64) *Degraded {
+	for id, f := range factors {
+		if f <= 0 || f > 1 {
+			panic(fmt.Sprintf("fabric: NewDegraded factor %g for link %d outside (0, 1]", f, id))
+		}
+	}
 	return &Degraded{Topology: topo, Factors: factors}
 }
 
 // LinkBandwidth implements Topology.
 func (d *Degraded) LinkBandwidth(id int) float64 {
 	bw := d.Topology.LinkBandwidth(id)
-	if f, ok := d.Factors[id]; ok && f > 0 {
+	if f, ok := d.Factors[id]; ok {
 		return bw * f
 	}
 	return bw
@@ -28,3 +41,47 @@ func (d *Degraded) LinkBandwidth(id int) float64 {
 
 // Name implements Topology.
 func (d *Degraded) Name() string { return d.Topology.Name() + " (degraded)" }
+
+// Bisection forwards PrunedFatTree.Bisection through the wrapper with the
+// derating applied: the embedded Topology's concrete method would report
+// the healthy trunk, so code that type-asserts for Bisection on a degraded
+// tree would silently see undegraded numbers. The reported cut is the
+// worse direction of the (possibly stacked) derated trunk. Wrapping a
+// topology without a bisection notion panics — asking is a bug.
+func (d *Degraded) Bisection() float64 {
+	topo := d.Topology
+	for {
+		dd, ok := topo.(*Degraded)
+		if !ok {
+			break
+		}
+		topo = dd.Topology
+	}
+	p, ok := topo.(*PrunedFatTree)
+	if !ok {
+		panic(fmt.Sprintf("fabric: Degraded.Bisection: wrapped topology %T has no bisection", topo))
+	}
+	trunk := p.TrunkLinks()
+	if trunk == nil {
+		return math.Inf(1) // single leaf, non-blocking
+	}
+	bw := math.Inf(1)
+	for _, id := range trunk {
+		// d.LinkBandwidth composes every Degraded layer's factors.
+		if b := d.LinkBandwidth(id); b < bw {
+			bw = b
+		}
+	}
+	return bw
+}
+
+// Hops returns the hop count between two sockets. Derating changes link
+// speeds, never routes, so this simply counts the unchanged route —
+// keeping TwistedHypercube.Hops-style analyses correct through the
+// wrapper instead of unreachable behind the embedded interface.
+func (d *Degraded) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	return len(d.Route(a, b))
+}

@@ -53,8 +53,86 @@ func PhaseTime(t Topology, flows []Flow) float64 {
 // grown monotonically to the largest ID seen; after warmup a phase
 // evaluation performs no heap allocation. Not safe for concurrent use.
 type Scratch struct {
+	load     []float64
+	touched  []int // link IDs with non-zero load, for O(flows) reset
+	acc      *LoadSet
+	accScale float64 // phase multiplicity for accumulation (0 ⇒ 1)
+}
+
+// LoadSet aggregates per-link byte loads across phases — one collective's
+// total footprint on every link it touches, the record the contention epoch
+// shares bandwidth over. Like Scratch it indexes by dense link ID and
+// reuses its slices, so accumulating and copying allocate nothing after
+// warmup. Not safe for concurrent use.
+type LoadSet struct {
 	load    []float64
-	touched []int // link IDs with non-zero load, for O(flows) reset
+	touched []int
+}
+
+// Reset clears the set for reuse, zeroing only the touched entries.
+func (ls *LoadSet) Reset() {
+	for _, link := range ls.touched {
+		ls.load[link] = 0
+	}
+	ls.touched = ls.touched[:0]
+}
+
+// Add accumulates bytes onto link id.
+func (ls *LoadSet) Add(link int, bytes float64) {
+	for link >= len(ls.load) {
+		ls.load = append(ls.load, 0)
+	}
+	if ls.load[link] == 0 {
+		ls.touched = append(ls.touched, link)
+	}
+	ls.load[link] += bytes
+}
+
+// Links returns the IDs with non-zero load. The slice is owned by the set
+// and valid until the next Reset.
+func (ls *LoadSet) Links() []int { return ls.touched }
+
+// Load returns the accumulated bytes on link id.
+func (ls *LoadSet) Load(link int) float64 {
+	if link >= len(ls.load) {
+		return 0
+	}
+	return ls.load[link]
+}
+
+// CopyFrom resets ls and copies src's loads into it, reusing capacity.
+func (ls *LoadSet) CopyFrom(src *LoadSet) {
+	ls.Reset()
+	for _, link := range src.touched {
+		ls.Add(link, src.load[link])
+	}
+}
+
+// Accumulate directs every subsequent PhaseTime call to also add each
+// flow's per-link bytes (copy overhead included) into ls, until called
+// again; nil detaches. It returns the previously attached set, so scopes
+// that must not pollute the caller's aggregate (e.g. probing candidate
+// algorithms before charging the winner) can save and restore. This is the
+// hook the contention model uses to collect a collective's whole-operation
+// link footprint from the existing multi-phase cost models without
+// duplicating them.
+func (s *Scratch) Accumulate(ls *LoadSet) *LoadSet {
+	prev := s.acc
+	s.acc = ls
+	return prev
+}
+
+// PhaseTimeN charges n identical phases of the given flows: the returned
+// duration is n × PhaseTime, and the flows' per-link loads accumulate
+// n-fold into any attached LoadSet. Cost models that price "k phases of
+// this exchange pattern" by multiplying a single placement must use this
+// entry point, or a collective's aggregate link footprint would count only
+// one of its phases.
+func (s *Scratch) PhaseTimeN(t Topology, flows []Flow, n float64) float64 {
+	s.accScale = n
+	d := s.PhaseTime(t, flows)
+	s.accScale = 0
+	return n * d
 }
 
 // PhaseTime is the allocation-free (after warmup) variant of the package
@@ -75,6 +153,13 @@ func (s *Scratch) PhaseTime(t Topology, flows []Flow) float64 {
 				s.touched = append(s.touched, link)
 			}
 			s.load[link] += f.Bytes * ov
+			if s.acc != nil {
+				scale := s.accScale
+				if scale == 0 {
+					scale = 1
+				}
+				s.acc.Add(link, f.Bytes*ov*scale)
+			}
 		}
 		if l := t.Latency(f.Src, f.Dst); l > maxLat {
 			maxLat = l
@@ -193,15 +278,27 @@ type PrunedFatTree struct {
 
 // NewPrunedFatTree builds the OPA cluster model for the given socket count
 // (≤ 64). hostBW is the adapter bandwidth (100G ≈ 12.5e9 B/s); the trunk is
-// pruned to half the leaf's aggregate host bandwidth.
+// pruned to half the leaf's aggregate host bandwidth (the paper's 2:1, 16
+// uplinks for 32 downlinks per leaf).
 func NewPrunedFatTree(sockets int, hostBW float64) *PrunedFatTree {
+	return NewPrunedFatTreeUplinks(sockets, hostBW, 16)
+}
+
+// NewPrunedFatTreeUplinks is NewPrunedFatTree with an explicit per-leaf
+// uplink count — the oversubscription knob of the contention sweeps: 32
+// uplinks is a non-blocking 1:1 tree, 16 the paper's 2:1 pruning, 8 a 4:1
+// trunk, and so on.
+func NewPrunedFatTreeUplinks(sockets int, hostBW float64, uplinks int) *PrunedFatTree {
 	if sockets < 1 || sockets > 64 {
 		panic(fmt.Sprintf("fabric: fat tree supports 1..64 sockets, got %d", sockets))
+	}
+	if uplinks < 1 {
+		panic(fmt.Sprintf("fabric: fat tree needs at least 1 uplink per leaf, got %d", uplinks))
 	}
 	p := &PrunedFatTree{
 		sockets: sockets,
 		hostBW:  hostBW,
-		trunkBW: 16 * hostBW, // 16 uplinks per leaf (200 GB/s for 100G links)
+		trunkBW: float64(uplinks) * hostBW,
 		perLeaf: 32,
 		latency: 1e-6, // §V-B: 100G connectivity at 1 µs latency
 		copyOvh: 1.25, // data is copied through the NIC stack (§V-C)
@@ -277,4 +374,15 @@ func (p *PrunedFatTree) Bisection() float64 {
 		return math.Inf(1) // single leaf, non-blocking
 	}
 	return p.trunkBW
+}
+
+// TrunkLinks returns the link IDs of the pruned root trunk's two
+// directions, or nil when the configured system fits a single leaf and no
+// route crosses the trunk. The failure-injection and contention sweeps use
+// these to degrade or oversubscribe the shared bottleneck by ID.
+func (p *PrunedFatTree) TrunkLinks() []int {
+	if p.sockets <= p.perLeaf {
+		return nil
+	}
+	return []int{p.trunkLink(0), p.trunkLink(1)}
 }
