@@ -17,6 +17,7 @@ import (
 	"repro/internal/gemm"
 	"repro/internal/par"
 	"repro/internal/perfmodel"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
@@ -265,6 +266,24 @@ func BenchmarkFig9Strong64RContention(b *testing.B) {
 }
 func BenchmarkFig12Weak64RContention(b *testing.B) {
 	benchDistFixture(b, experiments.Fig12DistContentionCase)
+}
+
+// BenchmarkFig9Strong64RServing replays the serving tier at the Fig. 9
+// cluster shape (Large over 64 sockets, SLO policy, 1.5x capacity);
+// virtual-p99 rides along as the virtual-ms/iter metric, so the benchdiff
+// gate flags a serving cost-model drift the same way it flags a training
+// schedule drift (fixture shared with dlrmbench -benchjson).
+func BenchmarkFig9Strong64RServing(b *testing.B) {
+	sc, done := experiments.Fig9ServingCase()
+	defer done()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := serve.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.P99*1e3, "virtual-ms/iter")
+	}
 }
 
 // BenchmarkLoaderShardedNext measures steady-state per-rank batch

@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gemm"
 	"repro/internal/par"
+	"repro/internal/serve"
 )
 
 // benchEntry is one benchmark's machine-readable result.
@@ -199,6 +200,24 @@ func writeBenchJSON(path, filter string) error {
 			for i := 0; i < b.N; i++ {
 				res := core.RunDistributed(dc)
 				b.ReportMetric(res.IterSeconds*1e3, "virtual-ms/iter")
+			}
+		})
+		done()
+	}
+
+	// Online serving at the Fig. 9 cluster shape: host wall time of one
+	// replay (Large over 64 sockets, SLO policy, 1.5x capacity), with the
+	// virtual p99 latency riding along as the virtual-ms/iter metric so
+	// the regression gate flags serving cost-model drift.
+	if match("Fig9Strong64RServing") {
+		sc, done := experiments.Fig9ServingCase()
+		runBench(report, "Fig9Strong64RServing", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := serve.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.P99*1e3, "virtual-ms/iter")
 			}
 		})
 		done()

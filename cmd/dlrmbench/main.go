@@ -125,6 +125,13 @@ func experimentTable() []experiment {
 			}
 			return experiments.RunContentionFig(opts)
 		}},
+		{"serving", "online serving: p50/p99 latency vs throughput, batching policy × offered load", func(o expOpts) fmt.Stringer {
+			opts := experiments.DefaultServingFigOpts()
+			if o.quick {
+				opts = experiments.QuickServingFigOpts()
+			}
+			return experiments.RunServing(opts)
+		}},
 		{"ablation-allreduce", "allreduce algorithm sweep vs gradient volume", func(o expOpts) fmt.Stringer {
 			return experiments.AblationAllreduce()
 		}},

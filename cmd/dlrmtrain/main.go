@@ -103,18 +103,25 @@ func main() {
 	fmt.Printf("training %s (rows x%.3g), MB=%d, %s, %s, lr=%g\n",
 		scaled.Name, *rowScale, batch, strat, prec, *lr)
 	start := time.Now()
-	// The streaming loader prefetches batch i+1 on its own goroutine while
-	// Step trains on batch i, staging into two reused buffers — the
-	// single-socket form of the sharded pipeline.
-	ld := data.NewBatchLoader(ds, batch, 0)
-	defer ld.Close()
-	tr.RunLoader(ld, *iters, func(i int, l float64) {
-		if *evalEvery > 0 && (i+1)%*evalEvery == 0 {
-			fmt.Printf("iter %4d  loss %.4f  auc %.4f\n", i+1, l, tr.EvalAUC(eval))
-		} else if (i+1)%10 == 0 {
-			fmt.Printf("iter %4d  loss %.4f\n", i+1, l)
-		}
+	// The run owns its streaming loader (RunOpts.Dataset): batch i+1 is
+	// prefetched on its own goroutine while Step trains on batch i,
+	// staging into two reused buffers — the single-socket form of the
+	// sharded pipeline.
+	err := tr.Run(core.RunOpts{
+		Dataset: ds,
+		Batch:   batch,
+		Iters:   *iters,
+		Each: func(i int, l float64) {
+			if *evalEvery > 0 && (i+1)%*evalEvery == 0 {
+				fmt.Printf("iter %4d  loss %.4f  auc %.4f\n", i+1, l, tr.EvalAUC(eval))
+			} else if (i+1)%10 == 0 {
+				fmt.Printf("iter %4d  loss %.4f\n", i+1, l)
+			}
+		},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	elapsed := time.Since(start)
 	fmt.Printf("done: %d iters in %v (%.1f ms/iter), final AUC %.4f\n",
 		*iters, elapsed.Round(time.Millisecond),
@@ -145,7 +152,10 @@ func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode, tun
 		fmt.Printf("autotuned schedule: %s (%+.1f%% vs default, %d probes over %d candidates)\n",
 			rep.Schedule, (rep.TunedSeconds/rep.BaselineSeconds-1)*100, rep.Probes, rep.Candidates)
 	}
-	res := core.RunDistributed(dc)
+	res, err := dc.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("virtual time per iteration: %.2f ms\n", res.IterSeconds*1e3)
 	fmt.Printf("  compute: %.2f ms\n", res.ComputePerIter*1e3)
 	if l := res.PrepPerIter["loader"]; l > 0 { // serial charge (sync schedule only)

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -15,7 +16,7 @@ import (
 )
 
 // pools and workspaces are shared by every run in the sweep, so rank worker
-// teams and communication buffers persist across RunDistributed calls.
+// teams and communication buffers persist across DistConfig.Run calls.
 var (
 	pools      = cluster.NewPools()
 	workspaces = core.NewDistWorkspaces()
@@ -32,13 +33,17 @@ func loaderFor(cfg core.Config) core.LoaderMode {
 
 func run(cfg core.Config, topo fabric.Topology, sock perfmodel.Socket, ranks int, v core.Variant) *core.DistResult {
 	gn := cfg.GlobalMB - cfg.GlobalMB%ranks
-	return core.RunDistributed(core.DistConfig{
+	res, err := core.DistConfig{
 		Cfg: cfg, Ranks: ranks, GlobalN: gn, Iters: 3,
 		Variant: v, Topo: topo, Socket: sock,
 		Loader:     loaderFor(cfg),
 		Pools:      pools,
 		Workspaces: workspaces,
-	})
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }
 
 func main() {
@@ -67,13 +72,16 @@ func main() {
 	fmt.Printf("%-6s  %-10s  %-12s  %-12s\n", "ranks", "compute", "allreduce", "alltoall")
 	hyper := fabric.NewTwistedHypercube(22e9)
 	for _, r := range []int{1, 2, 4, 8} {
-		res := core.RunDistributed(core.DistConfig{
+		res, err := core.DistConfig{
 			Cfg: cfg, Ranks: r, GlobalN: cfg.GlobalMB - cfg.GlobalMB%r, Iters: 3,
 			Variant:  core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
 			Blocking: true,
 			Topo:     hyper, Socket: perfmodel.SKX8180,
 			Pools: pools, Workspaces: workspaces,
-		})
+		}.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-6d  %7.1fms  %9.1fms  %9.1fms\n", r,
 			res.ComputePerIter*1e3,
 			res.WaitPerIter["allreduce"]*1e3,

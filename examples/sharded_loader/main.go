@@ -82,11 +82,18 @@ func main() {
 	batchLd := data.NewBatchLoader(ds, cfg.MB, 0)
 	defer batchLd.Close()
 	fmt.Println("\ntraining through the streaming loader (prefetch overlaps Step):")
-	tr.RunLoader(batchLd, 30, func(it int, loss float64) {
-		if (it+1)%10 == 0 {
-			fmt.Printf("  iter %2d  loss %.4f\n", it+1, loss)
-		}
+	err := tr.Run(core.RunOpts{
+		Loader: batchLd,
+		Iters:  30,
+		Each: func(it int, loss float64) {
+			if (it+1)%10 == 0 {
+				fmt.Printf("  iter %2d  loss %.4f\n", it+1, loss)
+			}
+		},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 4. The cluster-level story: weak-scaling MLPerf with the artifact vs
 	// the sharded pipeline (virtual time on the simulated OPA cluster).
@@ -95,13 +102,16 @@ func main() {
 	for _, r := range []int{2, 8, 26} {
 		var ms [2]float64
 		for i, mode := range []core.LoaderMode{core.LoaderGlobalMB, core.LoaderSharded} {
-			res := core.RunDistributed(core.DistConfig{
+			res, err := core.DistConfig{
 				Cfg: core.MLPerf, Ranks: r, GlobalN: core.MLPerf.LocalMB * r, Iters: 2,
 				Variant: core.Variant{Strategy: core.Alltoall, Backend: cluster.CCLBackend},
 				Topo:    fabric.NewPrunedFatTree(r, 12.5e9),
 				Socket:  perfmodel.CLX8280,
 				Loader:  mode,
-			})
+			}.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
 			ms[i] = res.PrepPerIter["loader"] * 1e3
 		}
 		fmt.Printf("  %-6d  %10.2f ms  %10.2f ms\n", r, ms[0], ms[1])

@@ -93,6 +93,13 @@ type Config struct {
 // about 4 dedicated workers (§IV-C: "we need multiple threads to saturate
 // the full communication bandwidth").
 func (c Config) commSlowdown() float64 {
+	return c.CommSlowdown()
+}
+
+// CommSlowdown is the exported view of the backend slowdown factor, for
+// holders that price transfers outside the SPMD collective path (the
+// serving tier charges request-scoped shard fetches with it).
+func (c Config) CommSlowdown() float64 {
 	if c.Backend == MPIBackend {
 		return 1.5
 	}
@@ -170,6 +177,17 @@ type Engine struct {
 	flightFree *flight
 }
 
+// NewEngine builds an engine for cfg with the tuning defaults applied.
+// Run constructs its engine through this; standalone holders — the serving
+// tier prices request-scoped shard fetches through ChargeContended on the
+// same contention epoch — construct one directly, without launching rank
+// goroutines.
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{Cfg: cfg.WithDefaults()}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
 // flight is one charged collective's window on the contention epoch.
 type flight struct {
 	start, finish float64 // scaled (post-commSlowdown) virtual time
@@ -244,8 +262,7 @@ func Run(cfg Config, body func(r *Rank)) []Stats {
 	if cfg.Topo != nil && cfg.Topo.NumSockets() < cfg.Ranks {
 		panic(fmt.Sprintf("cluster: topology has %d sockets for %d ranks", cfg.Topo.NumSockets(), cfg.Ranks))
 	}
-	e := &Engine{Cfg: cfg}
-	e.cond = sync.NewCond(&e.mu)
+	e := NewEngine(cfg)
 	e.pools = cfg.Pools
 	ownedPools := e.pools == nil
 	if ownedPools {

@@ -268,9 +268,16 @@ func (e Exposure) HiddenShare() float64 {
 	return e.Hidden / e.Busy
 }
 
-// Exposures reports the per-label exposed-vs-hidden communication breakdown,
-// sorted by label for stable output. Labels that only ever waited (e.g. a
-// barrier) appear with zero busy time.
+// Exposures reports the per-label exposed-vs-hidden communication breakdown.
+//
+// Order contract: entries are sorted by Label in ascending lexicographic
+// (byte-wise) order, one entry per label that appears in either per-iter
+// map, with no duplicates. Callers may rely on this — drivers index and
+// diff the listing across runs and schedules, and a fixed label list in a
+// driver is exactly the bug this contract replaces (a schedule that emits
+// different labels, e.g. bucketed "ar-top:0..n" vs flat "allreduce", would
+// silently print zeros). Labels that only ever waited (e.g. a barrier)
+// appear with zero busy time. The order is pinned by a test.
 func (r *DistResult) Exposures() []Exposure {
 	labels := make([]string, 0, len(r.BusyPerIter)+len(r.WaitPerIter))
 	for l := range r.BusyPerIter {
@@ -306,13 +313,21 @@ type funcState struct {
 
 // RunDistributed executes the hybrid-parallel DLRM training loop on the
 // simulated cluster and returns timing (and, in functional mode, models).
+//
+// Deprecated: use DistConfig.Run, which surfaces configuration errors
+// instead of panicking. This wrapper survives for the figure drivers and
+// tests that predate validation.
 func RunDistributed(dc DistConfig) *DistResult {
-	if dc.GlobalN%dc.Ranks != 0 {
-		panic(fmt.Sprintf("core: global minibatch %d not divisible by %d ranks", dc.GlobalN, dc.Ranks))
+	res, err := dc.Run()
+	if err != nil {
+		panic(err)
 	}
-	if dc.Ranks > dc.Cfg.MaxRanks() {
-		panic(fmt.Sprintf("core: %d ranks exceeds max %d for %s", dc.Ranks, dc.Cfg.MaxRanks(), dc.Cfg.Name))
-	}
+	return res
+}
+
+// run executes an already-validated configuration (DistConfig.Run is the
+// public entry and the only caller).
+func (dc DistConfig) run() *DistResult {
 	res := &DistResult{
 		WaitPerIter: map[string]float64{},
 		BusyPerIter: map[string]float64{},

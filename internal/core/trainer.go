@@ -264,17 +264,73 @@ func (tr *Trainer) Step(mb *data.MiniBatch) float64 {
 	return lossVal
 }
 
-// RunLoader consumes iters batches from ld and steps the trainer on each —
-// the single-socket training loop over a streaming loader, whose prefetch
-// goroutine generates batch i+1 while Step trains on batch i. each, when
-// non-nil, observes every iteration's loss. The caller keeps ownership of
-// ld (and closes it).
-func (tr *Trainer) RunLoader(ld data.Loader, iters int, each func(it int, loss float64)) {
-	for i := 0; i < iters; i++ {
-		l := tr.Step(ld.Next().Local)
-		if each != nil {
-			each(i, l)
+// RunOpts configures Trainer.Run: the data source is part of the run
+// configuration — the same shape DistConfig gives the distributed runs —
+// instead of a per-entry-point parameter list.
+type RunOpts struct {
+	// Loader streams the batches; the caller keeps ownership (and closes
+	// it). Exactly one of Loader and Dataset must be set.
+	Loader data.Loader
+	// Dataset is a source the run should own: Run wraps it in a
+	// prefetching BatchLoader (closed on return) reading Batch samples per
+	// step — the model config's MB when Batch is 0 — starting at batch
+	// index Start.
+	Dataset data.Dataset
+	Batch   int
+	Start   int
+	// Iters is the number of training steps (>= 1).
+	Iters int
+	// Each, when non-nil, observes every iteration's loss.
+	Each func(it int, loss float64)
+}
+
+// Run consumes o.Iters batches from the configured source and steps the
+// trainer on each — the single-socket training loop, whose prefetch
+// goroutine generates batch i+1 while Step trains on batch i. This is the
+// blessed entry point; RunLoader is the deprecated positional wrapper.
+func (tr *Trainer) Run(o RunOpts) error {
+	if o.Iters < 1 {
+		return fmt.Errorf("core: Iters=%d, want >= 1", o.Iters)
+	}
+	ld := o.Loader
+	switch {
+	case ld != nil && o.Dataset != nil:
+		return fmt.Errorf("core: RunOpts sets both Loader and Dataset; pick one source")
+	case ld == nil && o.Dataset == nil:
+		return fmt.Errorf("core: RunOpts needs a Loader or a Dataset")
+	case ld == nil:
+		batch := o.Batch
+		if batch == 0 {
+			batch = tr.M.Cfg.MB
 		}
+		if batch < 1 {
+			return fmt.Errorf("core: batch size %d, want >= 1", batch)
+		}
+		owned := data.NewBatchLoader(o.Dataset, batch, o.Start)
+		defer owned.Close()
+		ld = owned
+	}
+	for i := 0; i < o.Iters; i++ {
+		l := tr.Step(ld.Next().Local)
+		if o.Each != nil {
+			o.Each(i, l)
+		}
+	}
+	return nil
+}
+
+// RunLoader consumes iters batches from ld and steps the trainer on each.
+// The caller keeps ownership of ld (and closes it).
+//
+// Deprecated: use Run with RunOpts{Loader: ld, Iters: iters, Each: each}.
+// Kept for callers that predate the unified entry; iters < 1 remains the
+// historical no-op instead of an error.
+func (tr *Trainer) RunLoader(ld data.Loader, iters int, each func(it int, loss float64)) {
+	if iters < 1 {
+		return
+	}
+	if err := tr.Run(RunOpts{Loader: ld, Iters: iters, Each: each}); err != nil {
+		panic(err)
 	}
 }
 

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+)
+
+// Validate checks the configuration for incoherent knob combinations and
+// returns a descriptive error instead of letting them surface as silent
+// misbehavior (an inert knob pretending to be measured) or a panic deep in
+// a rank goroutine. Every Run* entry point calls it; drivers that assemble
+// configurations programmatically (sweeps, autotuners) can call it early
+// to reject a candidate before paying for pools and workspaces.
+func (dc *DistConfig) Validate() error {
+	if dc.Ranks < 1 {
+		return fmt.Errorf("core: Ranks=%d, want >= 1", dc.Ranks)
+	}
+	if dc.Iters < 1 {
+		return fmt.Errorf("core: Iters=%d, want >= 1", dc.Iters)
+	}
+	if dc.GlobalN < 1 {
+		return fmt.Errorf("core: GlobalN=%d, want >= 1", dc.GlobalN)
+	}
+	if dc.GlobalN%dc.Ranks != 0 {
+		return fmt.Errorf("core: global minibatch %d not divisible by %d ranks", dc.GlobalN, dc.Ranks)
+	}
+	if err := dc.Cfg.Validate(); err != nil {
+		return err
+	}
+	if dc.Ranks > dc.Cfg.MaxRanks() {
+		return fmt.Errorf("core: %d ranks exceeds max %d for %s (one table shard per rank)",
+			dc.Ranks, dc.Cfg.MaxRanks(), dc.Cfg.Name)
+	}
+	if s := dc.Variant.Strategy; s < ScatterList || s > Alltoall {
+		return fmt.Errorf("core: unknown comm strategy %d", int(s))
+	}
+	if b := dc.Variant.Backend; b != cluster.MPIBackend && b != cluster.CCLBackend {
+		return fmt.Errorf("core: unknown backend %d", int(b))
+	}
+	if m := dc.Loader; m < LoaderNone || m > LoaderSharded {
+		return fmt.Errorf("core: unknown loader mode %d", int(m))
+	}
+	if a := dc.Allreduce; a < comm.RingRSAG || a > comm.AllreduceAuto {
+		return fmt.Errorf("core: unknown allreduce algorithm %d", int(a))
+	}
+	if dc.CommCores < 0 {
+		return fmt.Errorf("core: CommCores=%d, want >= 0", dc.CommCores)
+	}
+	if dc.Socket.Cores > 0 && dc.CommCores >= dc.Socket.Cores {
+		return fmt.Errorf("core: CommCores=%d leaves no compute cores on a %d-core socket",
+			dc.CommCores, dc.Socket.Cores)
+	}
+	if dc.Interference != 0 && dc.Interference < 1 {
+		return fmt.Errorf("core: Interference=%v, want >= 1 (or 0 for the backend default)", dc.Interference)
+	}
+	if dc.Topo != nil && dc.Topo.NumSockets() < dc.Ranks {
+		return fmt.Errorf("core: topology has %d sockets for %d ranks", dc.Topo.NumSockets(), dc.Ranks)
+	}
+	if dc.BucketBytes < FlatBuckets {
+		return fmt.Errorf("core: BucketBytes=%d, want FlatBuckets (%d), 0 (tuned default) or a positive size",
+			dc.BucketBytes, FlatBuckets)
+	}
+	if len(dc.BucketChannels) > 0 {
+		// The channel set only round-robins where buckets actually overlap:
+		// the bucketed schedule under the overlap-aware pipeline. Anywhere
+		// else the knob is inert — reject rather than silently ignore.
+		if dc.BucketBytes == FlatBuckets {
+			return fmt.Errorf("core: BucketChannels set with FlatBuckets — the flat schedule has no buckets to route")
+		}
+		if dc.Sync {
+			return fmt.Errorf("core: BucketChannels set with Sync — the synchronous schedule places collectives by label hash")
+		}
+		channels := cluster.Config{Backend: dc.Variant.Backend}.WithDefaults().CCLChannels
+		for _, ch := range dc.BucketChannels {
+			if ch < 0 || ch >= channels {
+				return fmt.Errorf("core: bucket channel %d out of range [0,%d)", ch, channels)
+			}
+		}
+	}
+	if dc.RunCfg != nil {
+		if err := dc.RunCfg.Validate(); err != nil {
+			return fmt.Errorf("core: functional RunCfg: %w", err)
+		}
+		if dc.Dataset == nil {
+			return fmt.Errorf("core: functional mode (RunCfg set) requires a Dataset")
+		}
+		if dc.RunCfg.Tables != dc.Cfg.Tables {
+			return fmt.Errorf("core: functional RunCfg has %d tables, paper-scale Cfg %d — shards would not line up",
+				dc.RunCfg.Tables, dc.Cfg.Tables)
+		}
+	}
+	return nil
+}
+
+// Run validates the configuration and executes the simulated-cluster
+// training run — the single blessed entry point for distributed training.
+// RunDistributed is the thin deprecated wrapper that panics on a Validate
+// error instead of returning it.
+func (dc DistConfig) Run() (*DistResult, error) {
+	if err := dc.Validate(); err != nil {
+		return nil, err
+	}
+	return dc.run(), nil
+}

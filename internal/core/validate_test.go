@@ -1,0 +1,228 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/fabric"
+	"repro/internal/par"
+)
+
+// validConfig is a baseline that must pass Validate; each rejection case
+// below breaks exactly one thing.
+func validConfig() DistConfig {
+	return distTestConfig(Small, 4, Small.GlobalMB, 2, Variant{Alltoall, cluster.CCLBackend}, false)
+}
+
+func TestValidateAcceptsBaseline(t *testing.T) {
+	dc := validConfig()
+	if err := dc.Validate(); err != nil {
+		t.Fatalf("baseline config rejected: %v", err)
+	}
+	// The overlapped+bucketed default schedule with an explicit channel
+	// set is the other blessed shape.
+	dc.Sync = false
+	dc.BucketBytes = 0
+	dc.BucketChannels = []int{0, 1, 2}
+	if err := dc.Validate(); err != nil {
+		t.Fatalf("overlapped bucketed config rejected: %v", err)
+	}
+}
+
+// TestValidateRejections is the table of incoherent knob combinations the
+// API-redesign satellite turns from silent misbehavior (or deep panics in
+// rank goroutines) into immediate, descriptive errors.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(dc *DistConfig)
+		want string // substring of the error
+	}{
+		{"zero ranks", func(dc *DistConfig) { dc.Ranks = 0 }, "Ranks=0"},
+		{"zero iters", func(dc *DistConfig) { dc.Iters = 0 }, "Iters=0"},
+		{"zero globalN", func(dc *DistConfig) { dc.GlobalN = 0 }, "GlobalN=0"},
+		{"indivisible globalN", func(dc *DistConfig) { dc.GlobalN = 100; dc.Ranks = 3; dc.Topo = nil }, "not divisible"},
+		{"too many ranks", func(dc *DistConfig) {
+			dc.Ranks = Small.Tables + 4
+			dc.GlobalN = (Small.Tables + 4) * 8
+			dc.Topo = fabric.NewPrunedFatTree(dc.Ranks, 12.5e9)
+		}, "exceeds max"},
+		{"broken model config", func(dc *DistConfig) { dc.Cfg.Rows = dc.Cfg.Rows[:2] }, "row counts"},
+		{"unknown strategy", func(dc *DistConfig) { dc.Variant.Strategy = 99 }, "unknown comm strategy"},
+		{"unknown backend", func(dc *DistConfig) { dc.Variant.Backend = 7 }, "unknown backend"},
+		{"unknown loader mode", func(dc *DistConfig) { dc.Loader = 9 }, "unknown loader mode"},
+		{"unknown allreduce", func(dc *DistConfig) { dc.Allreduce = comm.AllreduceAuto + 1 }, "unknown allreduce"},
+		{"negative comm cores", func(dc *DistConfig) { dc.CommCores = -2 }, "CommCores=-2"},
+		{"comm cores eat the socket", func(dc *DistConfig) { dc.CommCores = dc.Socket.Cores }, "no compute cores"},
+		{"interference below 1", func(dc *DistConfig) { dc.Interference = 0.5 }, "Interference"},
+		{"topology too small", func(dc *DistConfig) { dc.Topo = fabric.NewPrunedFatTree(2, 12.5e9) }, "topology has 2 sockets"},
+		{"negative bucket bytes", func(dc *DistConfig) { dc.BucketBytes = -7 }, "BucketBytes=-7"},
+		{"channels with flat buckets", func(dc *DistConfig) {
+			dc.Sync = false
+			dc.BucketBytes = FlatBuckets
+			dc.BucketChannels = []int{0}
+		}, "FlatBuckets"},
+		{"channels with sync schedule", func(dc *DistConfig) {
+			dc.Sync = true
+			dc.BucketBytes = 0
+			dc.BucketChannels = []int{0}
+		}, "Sync"},
+		{"channel out of range", func(dc *DistConfig) {
+			dc.Sync = false
+			dc.BucketBytes = 0
+			dc.BucketChannels = []int{0, 4}
+		}, "out of range"},
+		{"functional without dataset", func(dc *DistConfig) {
+			run := dc.Cfg
+			dc.RunCfg = &run
+			dc.Dataset = nil
+		}, "requires a Dataset"},
+		{"functional table mismatch", func(dc *DistConfig) {
+			run := dc.Cfg.Scaled(1)
+			run.Tables = dc.Cfg.Tables / 2
+			run.Rows = run.Rows[:run.Tables]
+			dc.RunCfg = &run
+			dc.Dataset = data.NewClickLog(1, run.DenseIn, run.Rows, run.Lookups)
+		}, "shards would not line up"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dc := validConfig()
+			tc.mut(&dc)
+			err := dc.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// The validated entry point must surface the same error.
+			if _, runErr := dc.Run(); runErr == nil || runErr.Error() != err.Error() {
+				t.Fatalf("DistConfig.Run error %v, want %v", runErr, err)
+			}
+		})
+	}
+}
+
+// TestRunDistributedPanicsOnInvalid pins the deprecated wrapper's contract:
+// the pre-validation panics became Validate errors, surfaced as a panic at
+// the entry point rather than deep inside a rank goroutine.
+func TestRunDistributedPanicsOnInvalid(t *testing.T) {
+	dc := validConfig()
+	dc.GlobalN++
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunDistributed did not panic on an invalid config")
+		}
+	}()
+	RunDistributed(dc)
+}
+
+// TestDistConfigRunMatchesWrapper checks the blessed entry and the
+// deprecated wrapper execute identically.
+func TestDistConfigRunMatchesWrapper(t *testing.T) {
+	dc := validConfig()
+	res, err := dc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy := RunDistributed(dc); legacy.IterSeconds != res.IterSeconds {
+		t.Fatalf("Run %v s/iter, RunDistributed %v s/iter", res.IterSeconds, legacy.IterSeconds)
+	}
+}
+
+// TestExposuresOrderContract pins the documented Exposures() order: sorted
+// ascending by label, covering both maps, no duplicates.
+func TestExposuresOrderContract(t *testing.T) {
+	res := &DistResult{
+		BusyPerIter: map[string]float64{"fwd-a2a": 1, "allreduce": 2, "ar-top:1": 3},
+		WaitPerIter: map[string]float64{"barrier": 4, "allreduce": 1},
+	}
+	exp := res.Exposures()
+	var labels []string
+	for _, e := range exp {
+		labels = append(labels, e.Label)
+	}
+	if !sort.StringsAreSorted(labels) {
+		t.Fatalf("labels not sorted: %v", labels)
+	}
+	want := []string{"allreduce", "ar-top:1", "barrier", "fwd-a2a"}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+	// And on a real run: two identical runs list identical labels in
+	// identical order (map iteration must not leak through).
+	dc := validConfig()
+	a, b := RunDistributed(dc).Exposures(), RunDistributed(dc).Exposures()
+	if len(a) != len(b) {
+		t.Fatalf("exposure counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatalf("exposure order not deterministic: %q vs %q at %d", a[i].Label, b[i].Label, i)
+		}
+	}
+}
+
+// TestTrainerRunUnifiedEntry covers the RunOpts entry: loader-source and
+// dataset-source runs train identically, and misconfigurations error.
+func TestTrainerRunUnifiedEntry(t *testing.T) {
+	cfg := Small.Scaled(1.0 / 64)
+	cfg.MB = 32
+	ds := data.NewClickLog(7, cfg.DenseIn, cfg.Rows, cfg.Lookups)
+
+	train := func(o RunOpts) (*Model, []float64) {
+		m := NewModel(cfg, 16, 5)
+		tr := NewTrainer(m, par.Default, embedding.RaceFree, 0.5, FP32)
+		var losses []float64
+		prev := o.Each
+		o.Each = func(it int, l float64) {
+			losses = append(losses, l)
+			if prev != nil {
+				prev(it, l)
+			}
+		}
+		if err := tr.Run(o); err != nil {
+			t.Fatal(err)
+		}
+		return m, losses
+	}
+
+	ld := data.NewBatchLoader(ds, cfg.MB, 0)
+	_, viaLoader := train(RunOpts{Loader: ld, Iters: 5})
+	ld.Close()
+	_, viaDataset := train(RunOpts{Dataset: ds, Iters: 5})
+	if len(viaLoader) != 5 || len(viaDataset) != 5 {
+		t.Fatalf("iteration counts: %d loader, %d dataset, want 5", len(viaLoader), len(viaDataset))
+	}
+	for i := range viaLoader {
+		if viaLoader[i] != viaDataset[i] {
+			t.Fatalf("iter %d: loss %v via loader, %v via dataset", i, viaLoader[i], viaDataset[i])
+		}
+	}
+
+	m := NewModel(cfg, 16, 5)
+	tr := NewTrainer(m, par.Default, embedding.RaceFree, 0.5, FP32)
+	for _, tc := range []struct {
+		name string
+		o    RunOpts
+	}{
+		{"no source", RunOpts{Iters: 1}},
+		{"both sources", RunOpts{Loader: ld, Dataset: ds, Iters: 1}},
+		{"zero iters", RunOpts{Dataset: ds}},
+	} {
+		if err := tr.Run(tc.o); err == nil {
+			t.Errorf("%s: Run accepted an invalid RunOpts", tc.name)
+		}
+	}
+}

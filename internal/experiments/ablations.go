@@ -69,7 +69,7 @@ func AblationCommCores(ranks, iters int) *Table {
 	sw := newDistSweep()
 	defer sw.close()
 	for _, s := range []int{1, 2, 4, 8, 12} {
-		res := core.RunDistributed(core.DistConfig{
+		res := mustRun(core.DistConfig{
 			Cfg:        core.Large,
 			Ranks:      ranks,
 			GlobalN:    core.Large.GlobalMB,

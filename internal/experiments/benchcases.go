@@ -140,7 +140,7 @@ func distFixture(cfg core.Config, ranks, globalN int, v core.Variant,
 		Pools:       pools,
 		Workspaces:  core.NewDistWorkspaces(),
 	}
-	core.RunDistributed(dc) // warmup: size workspaces, fill slot pools
+	mustRun(dc) // warmup: size workspaces, fill slot pools
 	return dc, pools.Close
 }
 
@@ -267,7 +267,7 @@ func distTunedFixture(cfg core.Config, ranks, globalN int, v core.Variant) (core
 		Workspaces: core.NewDistWorkspaces(),
 	}
 	dc, _ = core.AutotuneDistConfig(dc, core.AutotuneOpts{})
-	core.RunDistributed(dc) // warmup: size workspaces, fill slot pools
+	mustRun(dc) // warmup: size workspaces, fill slot pools
 	return dc, pools.Close
 }
 

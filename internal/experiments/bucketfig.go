@@ -16,7 +16,7 @@ import (
 func (sw *distSweep) runDistBucket(cfg core.Config, ranks, globalN int, v core.Variant,
 	loader core.LoaderMode, iters int, overlap bool, bucketBytes int) *core.DistResult {
 	globalN -= globalN % ranks
-	return core.RunDistributed(core.DistConfig{
+	return mustRun(core.DistConfig{
 		Cfg:         cfg,
 		Ranks:       ranks,
 		GlobalN:     globalN,

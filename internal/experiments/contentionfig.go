@@ -31,7 +31,7 @@ func (sw *distSweep) runDistContention(cfg core.Config, ranks, globalN int, v co
 	topo fabric.Topology, iters int, overlap bool, bucketBytes int,
 	contention bool, interference float64) *core.DistResult {
 	globalN -= globalN % ranks
-	return core.RunDistributed(core.DistConfig{
+	return mustRun(core.DistConfig{
 		Cfg:          cfg,
 		Ranks:        ranks,
 		GlobalN:      globalN,

@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"strings"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Table is a generic result table: a title, column headers, and rows of
@@ -103,4 +105,16 @@ func timeIt(iters int, fn func()) float64 {
 		fn()
 	}
 	return time.Since(start).Seconds() / float64(iters)
+}
+
+// mustRun executes a figure driver's distributed configuration through the
+// validated entry point (core.DistConfig.Run). The drivers construct their
+// configs statically, so a Validate error here is a programming bug —
+// panic, exactly as the deprecated core.RunDistributed wrapper would.
+func mustRun(dc core.DistConfig) *core.DistResult {
+	res, err := dc.Run()
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -489,3 +489,43 @@ func TestContentionFigShape(t *testing.T) {
 		t.Errorf("link-level contention must slow the overlapped CCL run: %v vs %v", vid[3], vid[2])
 	}
 }
+
+func TestServingFigShape(t *testing.T) {
+	tab := RunServing(DefaultServingFigOpts())
+	// 2 scales × (B32 unbounded + B32 SLO + B128 SLO) × 3 loads.
+	if len(tab.Rows) != 18 {
+		t.Fatalf("%d rows, want 18:\n%s", len(tab.Rows), tab)
+	}
+	if len(tab.Headers) != 11 {
+		t.Fatalf("%d headers, want 11", len(tab.Headers))
+	}
+	num := func(row []string, col int) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "x"), 64)
+		if err != nil {
+			t.Fatalf("cell %d of %v: %v", col, row, err)
+		}
+		return v
+	}
+	const (
+		colShed, colP99, colQPS = 6, 9, 10
+	)
+	// MLPerf at 3.0x overload: the unbounded B32 policy (row 2) blows past
+	// the SLO the bounded policy (row 5) holds, which sheds to stay there.
+	if num(tab.Rows[5], colShed) == 0 {
+		t.Errorf("SLO policy at 3x overload shed nothing: %v", tab.Rows[5])
+	}
+	if num(tab.Rows[5], colP99) >= num(tab.Rows[2], colP99) {
+		t.Errorf("SLO policy p99 %v not below unbounded %v", tab.Rows[5], tab.Rows[2])
+	}
+	// Larger max-batch buys strictly more saturated throughput (B128 row 8
+	// vs B32 row 2 at 3.0x), at both scales (rows 17 vs 11).
+	for _, pair := range [][2]int{{8, 2}, {17, 11}} {
+		if num(tab.Rows[pair[0]], colQPS) <= num(tab.Rows[pair[1]], colQPS) {
+			t.Errorf("B128 throughput %v not above B32 %v", tab.Rows[pair[0]], tab.Rows[pair[1]])
+		}
+	}
+	// Deterministic: a rerun renders bit-identically.
+	if again := RunServing(DefaultServingFigOpts()); again.String() != tab.String() {
+		t.Error("serving figure is not deterministic across reruns")
+	}
+}

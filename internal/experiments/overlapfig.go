@@ -18,7 +18,7 @@ import (
 func (sw *distSweep) runDistOpt(cfg core.Config, ranks, globalN int, v core.Variant,
 	loader core.LoaderMode, iters int, overlap bool, algo comm.AllreduceAlgo) *core.DistResult {
 	globalN -= globalN % ranks
-	return core.RunDistributed(core.DistConfig{
+	return mustRun(core.DistConfig{
 		Cfg:         cfg,
 		Ranks:       ranks,
 		GlobalN:     globalN,

@@ -55,7 +55,7 @@ func (sw *distSweep) close() { sw.pools.Close() }
 // is pinned there rather than inheriting the bucketed+overlapped default.
 func (sw *distSweep) runDist(cfg core.Config, ranks, globalN int, v core.Variant, blocking bool, loader core.LoaderMode, iters int) *core.DistResult {
 	globalN -= globalN % ranks // the paper's 26-rank runs shard 16K unevenly; we trim
-	return core.RunDistributed(core.DistConfig{
+	return mustRun(core.DistConfig{
 		Cfg:         cfg,
 		Ranks:       ranks,
 		GlobalN:     globalN,
@@ -257,7 +257,7 @@ func RunFig15(o ScalingOpts) *Table {
 	}
 	for _, c := range cases {
 		for _, r := range c.ranks {
-			res := core.RunDistributed(core.DistConfig{
+			res := mustRun(core.DistConfig{
 				Cfg:         c.cfg,
 				Ranks:       r,
 				GlobalN:     c.cfg.GlobalMB - c.cfg.GlobalMB%r,

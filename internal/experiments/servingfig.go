@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/perfmodel"
+	"repro/internal/serve"
+)
+
+// ServingFigOpts sizes the serving figure.
+type ServingFigOpts struct {
+	// Requests per run. A multiple of the largest max-batch keeps the
+	// drain tail from skewing short-run throughput.
+	Requests int
+	// Loads are the offered rates, as multiples of each policy's modeled
+	// capacity (Replicas·MaxBatch/ServiceTime(MaxBatch)).
+	Loads []float64
+}
+
+// DefaultServingFigOpts returns the full-depth figure budget.
+func DefaultServingFigOpts() ServingFigOpts {
+	return ServingFigOpts{Requests: 30 * 128, Loads: []float64{0.5, 1.5, 3}}
+}
+
+// QuickServingFigOpts is the CI smoke budget.
+func QuickServingFigOpts() ServingFigOpts {
+	return ServingFigOpts{Requests: 6 * 128, Loads: []float64{0.5, 1.5, 3}}
+}
+
+// servingScale is one model scale of the sweep.
+type servingScale struct {
+	cfg      core.Config
+	replicas int
+}
+
+// servingBase is the scale's serving config before policy and load.
+func (s servingScale) base() serve.Config {
+	return serve.Config{
+		Cfg:      s.cfg,
+		Replicas: s.replicas,
+		Topo:     fabric.NewPrunedFatTree(s.replicas, 12.5e9),
+		Socket:   perfmodel.CLX8280,
+		Backend:  cluster.CCLBackend,
+	}
+}
+
+// RunServing is the online-serving figure: p50/p99 latency vs sustained
+// throughput for a batching-policy × offered-load sweep at two model
+// scales (MLPerf sharded over 8 sockets, Large over 64 — the Fig. 9
+// cluster shapes, forward-only). Three policies bracket the design space:
+// max-batch 32 without an SLO (everything is served, however late),
+// max-batch 32 under a 2×(wait+service) SLO (the dispatcher sheds what
+// cannot make it, so p99 stays bounded at any load), and max-batch 128
+// under its own SLO (the larger batch buys strictly more peak throughput).
+func RunServing(o ServingFigOpts) *Table {
+	t := &Table{
+		Title: "Online serving: latency vs throughput under dynamic batching " +
+			"(OPA cluster, CCL backend, Poisson arrivals)",
+		Headers: []string{"model", "replicas", "policy", "load",
+			"offered q/s", "served", "shed", "mean B", "p50 ms", "p99 ms", "served q/s"},
+	}
+	for _, sc := range []servingScale{{core.MLPerf, 8}, {core.Large, 64}} {
+		ws := serve.NewWorkspaces()
+		for _, maxBatch := range []int{32, 128} {
+			base := sc.base()
+			base.Policy = serve.Policy{MaxBatch: maxBatch, MaxWait: 2e-3}
+			base.Requests = o.Requests
+			base.OfferedQPS = 1 // placeholder for ServiceTime validation
+			svc, err := base.ServiceTime(maxBatch)
+			if err != nil {
+				panic(err)
+			}
+			capacity := float64(sc.replicas) * float64(maxBatch) / svc
+			policies := []serve.Policy{
+				{MaxBatch: maxBatch, MaxWait: 2e-3, SLO: 2 * (2e-3 + svc)},
+			}
+			if maxBatch == 32 {
+				// The unbounded policy rides the smaller batch only; one
+				// pair is enough to show what the SLO buys.
+				policies = append([]serve.Policy{{MaxBatch: maxBatch, MaxWait: 2e-3}}, policies...)
+			}
+			for _, pol := range policies {
+				for _, load := range o.Loads {
+					c := base
+					c.Policy = pol
+					c.OfferedQPS = load * capacity
+					c.Workspaces = ws
+					res, err := serve.Run(c)
+					if err != nil {
+						panic(err)
+					}
+					t.AddRow(sc.cfg.Name, fmt.Sprint(sc.replicas), pol.Name(),
+						fmt.Sprintf("%.1fx", load),
+						fmt.Sprintf("%.0f", res.OfferedQPS),
+						fmt.Sprint(res.Served), fmt.Sprint(res.Shed),
+						fmt.Sprintf("%.1f", res.MeanBatch),
+						fmt.Sprintf("%.2f", res.P50*1e3),
+						fmt.Sprintf("%.2f", res.P99*1e3),
+						fmt.Sprintf("%.0f", res.Throughput))
+				}
+			}
+			t.AddNote("%s x%d, B=%d: modeled service %.2f ms/batch, capacity %.0f q/s",
+				sc.cfg.Name, sc.replicas, maxBatch, svc*1e3, capacity)
+		}
+	}
+	t.AddNote("loads are multiples of each policy's modeled capacity; SLO policies shed " +
+		"what cannot finish in time, so their p99 never exceeds the SLO")
+	return t
+}
+
+// Fig9ServingCase returns the warmed-up serving benchmark fixture: the
+// Fig. 9 cluster shape (Large over 64 sockets, CCL) serving at 1.5x
+// capacity under the SLO policy — the workload behind the
+// Fig9Strong64RServing entries of the root benchmarks and dlrmbench
+// -benchjson. The returned cleanup is a no-op (timing-mode serving holds
+// no pools); it keeps the Dist*Case call shape so the bench harnesses
+// stay uniform.
+func Fig9ServingCase() (serve.Config, func()) {
+	c := servingScale{core.Large, 64}.base()
+	c.Policy = serve.Policy{MaxBatch: 32, MaxWait: 2e-3}
+	c.Requests = 1024
+	c.OfferedQPS = 1
+	svc, err := c.ServiceTime(c.Policy.MaxBatch)
+	if err != nil {
+		panic(err)
+	}
+	c.Policy.SLO = 2 * (c.Policy.MaxWait + svc)
+	c.OfferedQPS = 1.5 * float64(c.Replicas) * float64(c.Policy.MaxBatch) / svc
+	c.Workspaces = serve.NewWorkspaces()
+	if _, err := serve.Run(c); err != nil { // warmup: size the workspace
+		panic(err)
+	}
+	return c, func() {}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/fabric"
+	"repro/internal/par"
+	"repro/internal/perfmodel"
+)
+
+// functionalModel is the host-sized model functional runs execute: the
+// Small config scaled to fit, BN=1 so probabilities are batch-size
+// invariant.
+func functionalModel() core.Config {
+	return core.Small.Scaled(1.0 / 64)
+}
+
+func serveDataset(cfg core.Config) data.Dataset {
+	return data.NewClickLog(9, cfg.DenseIn, cfg.Rows, cfg.Lookups)
+}
+
+// functionalConfig prices the full Small model while executing its scaled
+// sibling across 3 replicas.
+func functionalConfig(b int) Config {
+	run := functionalModel()
+	return Config{
+		Cfg:        core.Small,
+		Replicas:   3,
+		Topo:       fabric.NewPrunedFatTree(3, 12.5e9),
+		Socket:     perfmodel.CLX8280,
+		Backend:    cluster.CCLBackend,
+		Policy:     Policy{MaxBatch: b, MaxWait: 5e-3},
+		OfferedQPS: 1e9, // near-simultaneous arrivals: every batch fills
+		Requests:   32,
+		Seed:       17,
+		RunCfg:     &run,
+		Dataset:    serveDataset(run),
+	}
+}
+
+// TestServeFunctionalParity pins the functional guarantee: whatever batch a
+// request rides in (1, B/2, or B), and whichever backend prices the run,
+// its served probability is bit-identical to the same sample through the
+// full single-socket model.
+func TestServeFunctionalParity(t *testing.T) {
+	run := functionalModel()
+	ds := serveDataset(run)
+	full := core.NewPredictor(core.NewModel(run, 1, 17), par.Default)
+	const R = 32
+	var mb data.MiniBatch
+	ref := make([]float32, R)
+	for k := 0; k < R; k++ {
+		ds.FillRange(0, R, k, k+1, &mb)
+		full.PredictInto(&mb, ref[k:k+1])
+	}
+	const B = 8
+	for _, b := range []int{1, B / 2, B} {
+		var lastPreds []float32
+		for _, backend := range []cluster.Backend{cluster.CCLBackend, cluster.MPIBackend} {
+			c := functionalConfig(b)
+			c.Backend = backend
+			res := mustRun(t, c)
+			if res.Served != c.Requests || res.Shed != 0 {
+				t.Fatalf("b=%d %v: served %d shed %d of %d", b, backend, res.Served, res.Shed, c.Requests)
+			}
+			if want := c.Requests / b; res.Batches != want {
+				t.Fatalf("b=%d %v: %d batches, want %d full ones", b, backend, res.Batches, want)
+			}
+			for k := 0; k < R; k++ {
+				if res.Preds[k] != ref[k] {
+					t.Fatalf("b=%d %v request %d: served %v, full model %v", b, backend, k, res.Preds[k], ref[k])
+				}
+			}
+			if lastPreds != nil {
+				for k := range lastPreds {
+					if res.Preds[k] != lastPreds[k] {
+						t.Fatalf("b=%d: predictions differ across backends at request %d", b, k)
+					}
+				}
+			}
+			lastPreds = res.Preds
+		}
+	}
+}
+
+// TestServeFunctionalShedMarksNaN pins the Preds contract: shed requests
+// stay NaN, served ones do not.
+func TestServeFunctionalShedMarksNaN(t *testing.T) {
+	c := functionalConfig(8)
+	// A hopeless SLO with a huge offered rate: only the head of each
+	// batch window can ever make it, the rest shed.
+	svc, err := c.ServiceTime(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Policy.SLO = 1.5 * svc
+	res := mustRun(t, c)
+	if res.Shed == 0 {
+		t.Fatal("expected shedding under a tight SLO at overload")
+	}
+	if res.Served+res.Shed != c.Requests {
+		t.Fatalf("served %d + shed %d != offered %d", res.Served, res.Shed, c.Requests)
+	}
+	nan, served := 0, 0
+	for _, p := range res.Preds {
+		if math.IsNaN(float64(p)) {
+			nan++
+		} else {
+			served++
+			if p < 0 || p > 1 {
+				t.Fatalf("served probability %v out of range", p)
+			}
+		}
+	}
+	if nan != res.Shed || served != res.Served {
+		t.Fatalf("Preds mark %d NaN / %d served, result says %d / %d", nan, served, res.Shed, res.Served)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package serve
+
+// raceEnabled mirrors race_on_test.go for plain builds.
+const raceEnabled = false

@@ -1,0 +1,32 @@
+package serve
+
+import "math"
+
+// Counter-based Poisson arrivals.
+//
+// The request stream follows the data package's per-sample RNG discipline:
+// every interarrival gap is a pure function of (seed, request index), so
+// arrival time k never depends on having generated 0..k-1 in order, runs
+// are bit-reproducible whatever the workspace carried before, and two runs
+// over different request counts see the same arrival prefix — the property
+// the differencing allocation tests lean on.
+
+// mix64 is one splitmix64 output round over a fixed state.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// interarrival returns the exponential gap (seconds) in front of request i
+// of a Poisson stream with the given rate.
+func interarrival(seed int64, i int, qps float64) float64 {
+	// Two mixing rounds so adjacent request indices land in unrelated
+	// states, mirroring data.streamSeed.
+	u := mix64(mix64(uint64(seed)^0x53657276) + uint64(i))
+	// 53-bit mantissa → uniform in [0, 1); -log1p(-u) is then finite and
+	// non-negative.
+	f := float64(u>>11) / (1 << 53)
+	return -math.Log1p(-f) / qps
+}

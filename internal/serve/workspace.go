@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"repro/internal/comm"
+	"repro/internal/data"
+)
+
+// Workspaces carries the serving tier's reusable buffers across runs: the
+// dispatcher queue, per-replica busy-until clock, the latency sample, the
+// fan-in pricer's flow scratch, and per-replica functional staging
+// (minibatch and output buffers). Replica models are NOT cached — they
+// belong to a run's RunCfg, exactly like core.DistWorkspaces rebuilds
+// models per run — so sharing one Workspaces across a sweep is always
+// sound and makes steady-state serving allocation-free (pinned by the
+// differencing test).
+type Workspaces struct {
+	queue   []pending
+	repFree []float64
+	lat     []float64
+	perSrc  []float64
+	fanin   comm.FanIn
+	reps    []*replicaSpace
+}
+
+// replicaSpace is one replica's functional staging.
+type replicaSpace struct {
+	mb  data.MiniBatch
+	out []float32
+}
+
+// NewWorkspaces returns an empty workspace set; buffers grow on first use.
+func NewWorkspaces() *Workspaces { return &Workspaces{} }
+
+// prepare sizes the workspace for one run's config.
+func (ws *Workspaces) prepare(c Config) {
+	if cap(ws.queue) < c.Policy.MaxBatch {
+		ws.queue = make([]pending, 0, c.Policy.MaxBatch)
+	}
+	if cap(ws.repFree) < c.Replicas {
+		ws.repFree = make([]float64, c.Replicas)
+	}
+	ws.repFree = ws.repFree[:c.Replicas]
+	for i := range ws.repFree {
+		ws.repFree[i] = 0
+	}
+	if cap(ws.perSrc) < c.Replicas {
+		ws.perSrc = make([]float64, c.Replicas)
+	}
+	ws.perSrc = ws.perSrc[:c.Replicas]
+	ws.fanin.Topo = c.Topo
+	if c.RunCfg != nil {
+		for len(ws.reps) < c.Replicas {
+			ws.reps = append(ws.reps, &replicaSpace{})
+		}
+		for _, rep := range ws.reps[:c.Replicas] {
+			if cap(rep.out) < c.Policy.MaxBatch {
+				rep.out = make([]float32, c.Policy.MaxBatch)
+			}
+			rep.out = rep.out[:c.Policy.MaxBatch]
+		}
+	}
+}

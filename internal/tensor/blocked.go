@@ -32,16 +32,35 @@ func NewActs(n, c, bn, bc int) *Acts {
 	}
 }
 
-// EnsureActs returns *buf if it already has the requested blocked shape,
-// otherwise allocates a replacement and stores it back through buf — the
-// shape-keyed workspace reuse every steady-state activation tensor goes
-// through (see docs/PERF.md).
+// EnsureActs returns *buf if it already has the requested blocked shape;
+// on a shape change it reshapes the existing tensor in place when the
+// backing storage has capacity for n*c elements, and only allocates a
+// replacement when it does not — the shape-keyed workspace reuse every
+// steady-state activation tensor goes through (see docs/PERF.md). The
+// capacity reuse is what lets a serving-style caller alternate batch
+// sizes 1..B through the same workspace without reallocating: after one
+// pass at the largest batch, every smaller batch reshapes for free.
+//
+// After a reshape the tensor's contents are unspecified (stale bytes from
+// the previous shape): every consumer must fully overwrite it, which the
+// kernels do (gemm clears each output tile before accumulating, PackFrom
+// writes every block).
 func EnsureActs(buf **Acts, n, c, bn, bc int) *Acts {
 	a := *buf
-	if a == nil || a.N != n || a.C != c || a.BN != bn || a.BC != bc {
-		a = NewActs(n, c, bn, bc)
-		*buf = a
+	if a != nil && a.N == n && a.C == c && a.BN == bn && a.BC == bc {
+		return a
 	}
+	if a != nil && cap(a.Data) >= n*c {
+		if bn <= 0 || bc <= 0 || n%bn != 0 || c%bc != 0 {
+			panic(fmt.Sprintf("tensor: bad activation blocking N=%d C=%d bn=%d bc=%d", n, c, bn, bc))
+		}
+		a.N, a.C, a.BN, a.BC = n, c, bn, bc
+		a.Nb, a.Cb = n/bn, c/bc
+		a.Data = a.Data[:n*c]
+		return a
+	}
+	a = NewActs(n, c, bn, bc)
+	*buf = a
 	return a
 }
 

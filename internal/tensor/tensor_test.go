@@ -199,3 +199,44 @@ func TestBadBlockingPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestEnsureActsCapacityReuse pins the serving-tier contract: once a
+// workspace tensor has been sized for the largest batch, alternating
+// through smaller batch shapes reshapes in place — same backing array, no
+// allocation — and the reshaped tensor is correct after a full overwrite.
+func TestEnsureActsCapacityReuse(t *testing.T) {
+	var buf *Acts
+	big := EnsureActs(&buf, 32, 16, 4, 4)
+	bigData := &big.Data[0]
+	for _, n := range []int{4, 16, 8, 32, 12} {
+		a := EnsureActs(&buf, n, 16, 4, 4)
+		if a != big || &a.Data[0] != bigData {
+			t.Fatalf("EnsureActs(n=%d) reallocated despite sufficient capacity", n)
+		}
+		if a.N != n || a.Nb != n/4 || len(a.Data) != n*16 {
+			t.Fatalf("EnsureActs(n=%d) bad reshape: N=%d Nb=%d len=%d", n, a.N, a.Nb, len(a.Data))
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		EnsureActs(&buf, 8, 16, 4, 4)
+		EnsureActs(&buf, 32, 16, 4, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("EnsureActs alternating shapes: %v allocs, want 0", allocs)
+	}
+	// A reshape past capacity still allocates (and the old data survives
+	// elsewhere untouched).
+	grown := EnsureActs(&buf, 64, 16, 4, 4)
+	if grown == big {
+		t.Fatal("EnsureActs must allocate when capacity is exceeded")
+	}
+	// Round-trip correctness through a reshaped tensor.
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense(12, 16)
+	d.Randomize(rng, 5)
+	a := EnsureActs(&buf, 12, 16, 4, 4)
+	a.PackFrom(d)
+	if MaxAbsDiff(d, a.Unpack()) != 0 {
+		t.Fatal("reshaped Acts round-trip diverges")
+	}
+}
