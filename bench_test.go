@@ -286,6 +286,27 @@ func BenchmarkFig9Strong64RServing(b *testing.B) {
 	}
 }
 
+// BenchmarkFig9Strong64RChurn runs the elastic driver through one full
+// fail/recover cycle at the Fig. 9 cluster shape: rank 13 dies after
+// iteration 4 of 8 under a 3-iteration checkpoint cadence, survivors
+// restore from the newest durable shard checkpoint and replay. Effective
+// virtual ms/iter — recovery overhead amortized over productive iterations
+// — rides along so the benchdiff gate flags drift in the
+// detect/restore/replay cost model (fixture shared with dlrmbench
+// -benchjson).
+func BenchmarkFig9Strong64RChurn(b *testing.B) {
+	ec, done := experiments.Fig9ChurnCase()
+	defer done()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunElastic(ec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EffectiveIterSeconds()*1e3, "virtual-ms/iter")
+	}
+}
+
 // BenchmarkLoaderShardedNext measures steady-state per-rank batch
 // production by the sharded streaming loader (fixture shared with
 // dlrmbench -benchjson); -benchmem documents the zero-allocation property.

@@ -223,6 +223,26 @@ func writeBenchJSON(path, filter string) error {
 		done()
 	}
 
+	// Elastic training under churn at the Fig. 9 cluster shape: host wall
+	// time of one full fail/recover cycle (rank 13 dies mid-run, survivors
+	// restore from the newest durable shard checkpoint and replay), with the
+	// effective virtual ms/iter — recovery overhead amortized over the
+	// productive iterations — riding along so the gate flags drift in the
+	// detect/restore/replay cost model.
+	if match("Fig9Strong64RChurn") {
+		ec, done := experiments.Fig9ChurnCase()
+		runBench(report, "Fig9Strong64RChurn", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunElastic(ec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.EffectiveIterSeconds()*1e3, "virtual-ms/iter")
+			}
+		})
+		done()
+	}
+
 	// Sharded streaming loader: host wall time to produce one per-rank
 	// batch (N/R sample slice + owned-table columns), steady state.
 	if match("LoaderShardedNext") {

@@ -132,6 +132,16 @@ func experimentTable() []experiment {
 			}
 			return experiments.RunServing(opts)
 		}},
+		{"churn", "elastic training under churn: recovery time and throughput vs checkpoint interval and failure rate", func(o expOpts) fmt.Stringer {
+			opts := experiments.DefaultChurnFigOpts()
+			if o.quick {
+				opts = experiments.QuickChurnFigOpts()
+			}
+			if o.iters > 0 {
+				opts.Iters = o.iters
+			}
+			return experiments.RunChurn(opts)
+		}},
 		{"ablation-allreduce", "allreduce algorithm sweep vs gradient volume", func(o expOpts) fmt.Stringer {
 			return experiments.AblationAllreduce()
 		}},

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -38,6 +40,10 @@ func main() {
 	ranks := flag.Int("ranks", 8, "simulated rank count (with -dist)")
 	loaderName := flag.String("loader", "sharded", "data pipeline (with -dist): none, global, sharded")
 	tune := flag.Bool("autotune", false, "with -dist: autotune the communication schedule before running")
+	ckptEvery := flag.Int("checkpoint-every", 0, "save a checkpoint every N steps (0 = off)")
+	ckptPath := flag.String("checkpoint", "dlrm.ckpt", "checkpoint file (with -checkpoint-every / -resume)")
+	resume := flag.Bool("resume", false, "resume training from -checkpoint")
+	churn := flag.Bool("churn", false, "with -dist: inject a mid-run rank failure and recover elastically")
 	flag.Parse()
 
 	cfg, ok := map[string]core.Config{
@@ -64,7 +70,7 @@ func main() {
 		if !ok {
 			log.Fatalf("unknown loader %q", *loaderName)
 		}
-		runDistributed(cfg, *ranks, *iters, mode, *tune)
+		runDistributed(cfg, *ranks, *iters, mode, *tune, *churn)
 		return
 	}
 
@@ -95,10 +101,26 @@ func main() {
 	if batch == 0 {
 		batch = 512
 	}
-	ds := data.NewClickLog(7, scaled.DenseIn, scaled.Rows, scaled.Lookups)
+	const dataSeed = 7
+	ds := data.NewClickLog(dataSeed, scaled.DenseIn, scaled.Rows, scaled.Lookups)
 	model := core.NewModel(scaled, 16, 1)
 	tr := core.NewTrainer(model, par.Default, strat, float32(*lr), prec)
 	eval := ds.Batch(1<<20, 4096)
+
+	startIter := 0
+	if *resume {
+		st, err := loadCheckpoint(model, *ckptPath)
+		if err != nil {
+			log.Fatalf("resume from %s: %v", *ckptPath, err)
+		}
+		if st != nil {
+			startIter = int(st.Iter)
+			if st.LR > 0 {
+				tr.LR = st.LR
+			}
+		}
+		fmt.Printf("resumed from %s at step %d (lr=%g)\n", *ckptPath, startIter, tr.LR)
+	}
 
 	fmt.Printf("training %s (rows x%.3g), MB=%d, %s, %s, lr=%g\n",
 		scaled.Name, *rowScale, batch, strat, prec, *lr)
@@ -106,20 +128,34 @@ func main() {
 	// The run owns its streaming loader (RunOpts.Dataset): batch i+1 is
 	// prefetched on its own goroutine while Step trains on batch i,
 	// staging into two reused buffers — the single-socket form of the
-	// sharded pipeline.
-	err := tr.Run(core.RunOpts{
+	// sharded pipeline. Start places a resumed run at the checkpoint's
+	// batch index, so it trains the exact stream the original would have.
+	o := core.RunOpts{
 		Dataset: ds,
 		Batch:   batch,
+		Start:   startIter,
 		Iters:   *iters,
 		Each: func(i int, l float64) {
 			if *evalEvery > 0 && (i+1)%*evalEvery == 0 {
-				fmt.Printf("iter %4d  loss %.4f  auc %.4f\n", i+1, l, tr.EvalAUC(eval))
+				fmt.Printf("iter %4d  loss %.4f  auc %.4f\n", startIter+i+1, l, tr.EvalAUC(eval))
 			} else if (i+1)%10 == 0 {
-				fmt.Printf("iter %4d  loss %.4f\n", i+1, l)
+				fmt.Printf("iter %4d  loss %.4f\n", startIter+i+1, l)
 			}
 		},
-	})
-	if err != nil {
+	}
+	if *ckptEvery > 0 {
+		o.CheckpointEvery = *ckptEvery
+		o.Checkpoint = func(step int, m *core.Model) error {
+			if err := saveCheckpoint(m, *ckptPath, core.TrainerState{
+				Iter: int64(step), Seed: dataSeed, LR: tr.LR,
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("iter %4d  checkpoint -> %s\n", step, *ckptPath)
+			return nil
+		}
+	}
+	if err := tr.Run(o); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -128,7 +164,41 @@ func main() {
 		elapsed.Seconds()*1e3/float64(*iters), tr.EvalAUC(eval))
 }
 
-func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode, tune bool) {
+// saveCheckpoint writes the model + trainer state atomically: a temp file
+// in the target's directory, synced, then renamed over the destination — a
+// crash mid-write can never leave a torn checkpoint behind.
+func saveCheckpoint(m *core.Model, path string, st core.TrainerState) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := m.SaveWithState(tmp, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadCheckpoint restores model weights and returns the trainer state (nil
+// for a v0 weights-only file).
+func loadCheckpoint(m *core.Model, path string) (*core.TrainerState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return m.LoadWithState(f)
+}
+
+func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode, tune, churn bool) {
 	if ranks > cfg.MaxRanks() {
 		log.Fatalf("%s supports at most %d ranks (one table per rank minimum)", cfg.Name, cfg.MaxRanks())
 	}
@@ -145,6 +215,10 @@ func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode, tun
 		Socket:  perfmodel.CLX8280,
 		Loader:  mode,
 		// Schedule knobs at their zero values: bucketed+overlapped default.
+	}
+	if churn {
+		runChurn(dc)
+		return
 	}
 	if tune {
 		var rep *core.AutotuneReport
@@ -168,4 +242,43 @@ func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode, tun
 		fmt.Printf("  %s: busy %.2f ms, exposed %.2f ms (%.0f%% hidden)\n",
 			e.Label, e.Busy*1e3, e.Exposed*1e3, e.HiddenShare()*100)
 	}
+}
+
+// runChurn is the -churn demo: kill a rank halfway through the run and let
+// the elastic driver recover — detect, restore from the newest durable
+// shard checkpoint, replay, continue at R-1 ranks.
+func runChurn(dc core.DistConfig) {
+	every := dc.Iters / 5
+	if every < 1 {
+		every = 1
+	}
+	failAt := dc.Iters / 2
+	if failAt < 1 {
+		failAt = 1
+	}
+	ec := core.ElasticConfig{
+		Base: dc,
+		Plan: &cluster.FaultPlan{Events: []cluster.FaultEvent{
+			{Kind: cluster.RankFail, Iter: failAt, Rank: dc.Ranks / 2},
+		}},
+		CheckpointEvery: every,
+	}
+	fmt.Printf("churn: checkpoint every %d iters; rank %d fails after iter %d\n",
+		every, dc.Ranks/2, failAt-1)
+	res, err := core.RunElastic(ec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, seg := range res.Segments {
+		fmt.Printf("  segment @%d: %d iters on %d ranks, %.2f virtual-ms/iter (%s)\n",
+			seg.StartIter, seg.Iters, seg.Ranks, seg.Res.IterSeconds*1e3, seg.Schedule)
+	}
+	for _, rec := range res.Recoveries {
+		fmt.Printf("  %s at iter %d: %d->%d ranks, restored from ckpt %d, replayed %d iters\n",
+			rec.Kind, rec.Iter, rec.OldRanks, rec.NewRanks, rec.CkptIter, rec.ReplayIters)
+		fmt.Printf("    time-to-recover %.2f ms (detect %.2f + restore %.2f + replay %.2f)\n",
+			rec.TimeToRecover()*1e3, rec.DetectSeconds*1e3, rec.RestoreSeconds*1e3, rec.ReplaySeconds*1e3)
+	}
+	fmt.Printf("effective virtual time per iteration under churn: %.2f ms (%.1f%% overhead)\n",
+		res.EffectiveIterSeconds()*1e3, res.OverheadSeconds/res.TotalSeconds*100)
 }

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The deterministic failure injector. A FaultPlan scripts which ranks die
+// (or how the fleet rescales) during a simulated run; the elastic driver in
+// core replays the plan against the virtual clock. Failures take effect at
+// iteration boundaries: a rank that dies mid-iteration is only *noticed*
+// when the survivors next rendezvous with it — a collective that times out
+// after DefaultDetectSeconds — so the boundary is where the cluster's state
+// forks. Events are either pinned to an iteration directly (Iter) or to a
+// virtual time (At), which the driver resolves onto the boundary following
+// that instant using the measured iteration time.
+
+// FaultKind classifies a fault-plan event.
+type FaultKind int
+
+const (
+	// RankFail kills one rank: survivors detect the death at their next
+	// collective (a modeled timeout), roll back to the latest durable
+	// checkpoint, take over the dead rank's table and data shards, and
+	// replay the lost iterations at the surviving shape.
+	RankFail FaultKind = iota
+	// Rescale is a *graceful* shape change R → R′ at an iteration boundary:
+	// the fleet drains a synchronous checkpoint, re-shards, and continues —
+	// no detection timeout and no replay.
+	Rescale
+)
+
+// String returns the event-kind label used in figures and logs.
+func (k FaultKind) String() string {
+	switch k {
+	case RankFail:
+		return "rank-fail"
+	case Rescale:
+		return "rescale"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// DefaultDetectSeconds is the modeled failure-detection latency: how long
+// the survivors' next collective blocks before the runtime declares the
+// missing rank dead (the MPI/CCL watchdog timeout). Charged once per
+// RankFail on top of restore and replay.
+const DefaultDetectSeconds = 1.0
+
+// FaultEvent is one scripted fault. Exactly one of Iter (≥ 1, the global
+// iteration at whose start the event takes effect) and At (> 0, a virtual
+// time resolved onto the following iteration boundary) must be set.
+type FaultEvent struct {
+	Iter int
+	At   float64
+	Kind FaultKind
+	// Rank is the rank id that dies (RankFail), under the shape in effect
+	// when the event fires.
+	Rank int
+	// NewRanks is the target rank count (Rescale).
+	NewRanks int
+}
+
+// String renders the event for logs and figure notes.
+func (ev FaultEvent) String() string {
+	when := fmt.Sprintf("iter %d", ev.Iter)
+	if ev.Iter == 0 {
+		when = fmt.Sprintf("t=%.3fs", ev.At)
+	}
+	if ev.Kind == Rescale {
+		return fmt.Sprintf("%s: rescale to %d ranks", when, ev.NewRanks)
+	}
+	return fmt.Sprintf("%s: rank %d fails", when, ev.Rank)
+}
+
+// FaultPlan is a deterministic schedule of fault events for one run.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// Validate checks every event for internal coherence (shape-dependent
+// checks — rank ids against the live rank count, divisibility — are the
+// driver's, which knows the evolving shape).
+func (p *FaultPlan) Validate() error {
+	for i, ev := range p.Events {
+		if ev.Kind != RankFail && ev.Kind != Rescale {
+			return fmt.Errorf("cluster: fault event %d: unknown kind %d", i, int(ev.Kind))
+		}
+		if ev.Iter < 0 {
+			return fmt.Errorf("cluster: fault event %d: Iter=%d, want >= 1 (or 0 with At set)", i, ev.Iter)
+		}
+		if ev.Iter == 0 && ev.At <= 0 {
+			return fmt.Errorf("cluster: fault event %d: needs Iter >= 1 or At > 0", i)
+		}
+		if ev.Iter > 0 && ev.At != 0 {
+			return fmt.Errorf("cluster: fault event %d: Iter and At both set; pick one", i)
+		}
+		if ev.Kind == RankFail && ev.Rank < 0 {
+			return fmt.Errorf("cluster: fault event %d: Rank=%d, want >= 0", i, ev.Rank)
+		}
+		if ev.Kind == Rescale && ev.NewRanks < 1 {
+			return fmt.Errorf("cluster: fault event %d: NewRanks=%d, want >= 1", i, ev.NewRanks)
+		}
+	}
+	return nil
+}
+
+// NeedsTime reports whether any event is pinned to a virtual time rather
+// than an iteration — in which case Resolved needs a measured per-iteration
+// time to place it.
+func (p *FaultPlan) NeedsTime() bool {
+	for _, ev := range p.Events {
+		if ev.Iter == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolved validates the plan and returns its events normalized for a run
+// of `iters` iterations: time-based events are mapped onto the iteration
+// boundary following their instant (a rank dying at virtual time t inside
+// iteration i takes effect at boundary i+1), events at or past the run's
+// end are dropped (they never fire), and the rest are sorted by iteration.
+// Two events on one boundary are rejected — the recovery protocol handles
+// one shape change per boundary.
+func (p *FaultPlan) Resolved(iterSeconds float64, iters int) ([]FaultEvent, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]FaultEvent, 0, len(p.Events))
+	for _, ev := range p.Events {
+		if ev.Iter == 0 {
+			if iterSeconds <= 0 {
+				return nil, fmt.Errorf("cluster: time-based fault event (%s) needs a positive iteration time", ev)
+			}
+			ev.Iter = int(ev.At/iterSeconds) + 1
+			ev.At = 0
+		}
+		if ev.Iter >= iters {
+			continue
+		}
+		out = append(out, ev)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Iter < out[j].Iter })
+	for i := 1; i < len(out); i++ {
+		if out[i].Iter == out[i-1].Iter {
+			return nil, fmt.Errorf("cluster: two fault events at iteration %d; one shape change per boundary", out[i].Iter)
+		}
+	}
+	return out, nil
+}
+
+// splitmix64 is the same counter-based generator the data streams use
+// (internal/data): tiny state, cheap seeding, no allocation — so a churn
+// schedule, like a minibatch, is a pure function of its coordinates.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// RandomChurn builds a deterministic randomized churn schedule: at every
+// iteration boundary, with probability rate, one uniformly-chosen live rank
+// fails — until only minRanks survive. The draws for boundary i derive
+// purely from (seed, i), so the schedule is reproducible, two plans with
+// equal arguments are identical, and changing iters does not perturb the
+// draws of earlier boundaries.
+func RandomChurn(seed uint64, ranks, minRanks, iters int, rate float64) *FaultPlan {
+	if minRanks < 1 {
+		minRanks = 1
+	}
+	p := &FaultPlan{}
+	live := ranks
+	for it := 1; it < iters; it++ {
+		if live <= minRanks {
+			break
+		}
+		s := seed ^ uint64(it)*0x5851F42D4C957F2D
+		splitmix64(&s)
+		if float64(splitmix64(&s)>>11)/(1<<53) >= rate {
+			continue
+		}
+		p.Events = append(p.Events, FaultEvent{
+			Iter: it,
+			Kind: RankFail,
+			Rank: int(splitmix64(&s) % uint64(live)),
+		})
+		live--
+	}
+	return p
+}

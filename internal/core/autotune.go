@@ -176,6 +176,9 @@ func AutotuneDistConfig(dc DistConfig, opts AutotuneOpts) (DistConfig, *Autotune
 
 	probeCfg := dc
 	probeCfg.RunCfg, probeCfg.Dataset = nil, nil
+	// The functional checkpoint hooks ride with RunCfg; a timing probe has
+	// no models to snapshot or restore.
+	probeCfg.CheckpointSink, probeCfg.Restore = nil, nil
 	if probeCfg.Pools == nil {
 		pools := cluster.NewPools()
 		defer pools.Close()

@@ -172,6 +172,38 @@ type DistConfig struct {
 	// CCL.
 	Interference float64
 
+	// StartIter places this run inside a longer training timeline: the
+	// functional loaders start at this global batch index and the
+	// checkpoint cadence counts global iterations (StartIter+i), so a run
+	// split into segments — the elastic driver's resume after a failure —
+	// trains on exactly the batches the unsegmented run would (the
+	// counter-based data streams make any batch index re-materializable).
+	// Zero for a standalone run.
+	StartIter int
+	// CheckpointEvery takes a periodic shard checkpoint every N global
+	// iterations: each rank snapshots its MLP replica plus owned tables and
+	// drains the write on its background stream (cluster.Rank.Async) at
+	// CheckpointBW, so the write is exposed — a "checkpoint" stall — only
+	// when it outlasts the following iterations' compute. At most one write
+	// is in flight per rank: the next snapshot waits for the previous
+	// drain. 0 disables checkpointing (the default; the committed virtual
+	// baselines carry no checkpoint charge).
+	CheckpointEvery int
+	// CheckpointBW is the modeled per-rank drain bandwidth to durable
+	// storage in bytes/s (0 = DefaultCheckpointBW). Only meaningful with
+	// CheckpointEvery.
+	CheckpointBW float64
+	// CheckpointSink, in functional mode, receives each rank's model at
+	// every checkpoint boundary (iter = the global iteration count just
+	// completed). The sink must serialize synchronously before returning —
+	// the rank keeps training afterwards — and must be safe for concurrent
+	// calls from different rank goroutines. Requires RunCfg.
+	CheckpointSink func(rank, iter int, m *Model)
+	// Restore, in functional mode, is invoked on each rank's freshly
+	// initialized shard model before training starts — the elastic driver
+	// loads the durable shard checkpoints here. Requires RunCfg.
+	Restore func(rank int, m *Model)
+
 	// Functional execution: when RunCfg is non-nil, every rank instantiates
 	// a scaled model shard and really trains on Dataset (used by the
 	// equivalence tests). Timing-only runs leave it nil.
@@ -197,6 +229,38 @@ type DistConfig struct {
 // (Large's 4096-wide top layers land one per bucket, MLPerf's whole MLPs
 // fold into one).
 const DefaultBucketBytes = 64 << 20
+
+// DefaultCheckpointBW is the modeled per-rank checkpoint drain bandwidth
+// when DistConfig.CheckpointBW is zero — 2 GB/s, a burst-buffer/local-NVMe
+// figure for the CLX-era clusters of the paper.
+const DefaultCheckpointBW = 2e9
+
+// shardCheckpointBytes is the serialized size of rank r's shard checkpoint
+// at paper scale: its full MLP replica plus the embedding tables it owns
+// under TableOwner. (Format framing — lengths, header, CRC — is noise at
+// these volumes and is not charged.)
+func shardCheckpointBytes(cfg Config, rank, ranks int) float64 {
+	n := mlpParamBytes(cfg.BotSizes()) + mlpParamBytes(cfg.TopSizes())
+	for t := 0; t < cfg.Tables; t++ {
+		if TableOwner(t, ranks) == rank {
+			n += float64(cfg.Rows[t]) * float64(cfg.EmbDim) * 4
+		}
+	}
+	return n
+}
+
+// maxShardCheckpointBytes is the largest per-rank shard checkpoint at the
+// given rank count — the volume that bounds restore time, since survivors
+// re-read every shard blob in parallel and the slowest read gates restart.
+func maxShardCheckpointBytes(cfg Config, ranks int) float64 {
+	var m float64
+	for r := 0; r < ranks; r++ {
+		if b := shardCheckpointBytes(cfg, r, ranks); b > m {
+			m = b
+		}
+	}
+	return m
+}
 
 // FlatBuckets disables gradient-allreduce bucketing: one flat allreduce per
 // MLP under the single "allreduce" label, the paper-reproduction schedule
@@ -235,6 +299,26 @@ type DistResult struct {
 	Stats  []cluster.Stats
 	Models []*Model    // rank models (functional mode only)
 	Losses [][]float64 // [rank][iter] local losses (functional mode only)
+}
+
+// MeanLosses reduces the per-rank loss curves to one loss per iteration —
+// the mean over ranks, which (with the 1/globalN gradient scaling) is the
+// global-batch loss an equivalent single-socket run reports. Nil in
+// timing-only mode.
+func (r *DistResult) MeanLosses() []float64 {
+	if len(r.Losses) == 0 || r.Losses[0] == nil {
+		return nil
+	}
+	out := make([]float64, len(r.Losses[0]))
+	for _, ls := range r.Losses {
+		for i, l := range ls {
+			out[i] += l
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(r.Losses))
+	}
+	return out
 }
 
 // TotalCommPerIter returns the exposed communication time per iteration.
@@ -402,6 +486,9 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 			shardN: shardN,
 		}
 		ws.bindGrads(m)
+		if dc.Restore != nil {
+			dc.Restore(r.ID, m)
+		}
 		res.Models[r.ID] = m
 		// Every rank owns a data loader over its slice of the dataset. The
 		// staging buffers live in the rank's workspace, so successive runs
@@ -412,6 +499,7 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		lc := data.LoaderConfig{
 			DS: dc.Dataset, GlobalN: dc.GlobalN,
 			Rank: r.ID, Ranks: ranks, Owned: locT,
+			Start:   dc.StartIter,
 			Buffers: &ws.loaderBufs,
 		}
 		if dc.Loader == LoaderGlobalMB {
@@ -466,6 +554,21 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 	bucketed := dc.EffectiveBucketBytes() > 0
 	if bucketed {
 		dc.prepareBuckets(cm, ws, fn, cores, shardN, 2*topFwd, 2*botFwd)
+	}
+
+	// Periodic shard checkpoints: each boundary snapshots this rank's MLP
+	// replica plus owned tables and drains the write on the background
+	// stream at CheckpointBW. The Wait on the previous drain's handle keeps
+	// at most one write in flight (a zero Handle's Wait is free), so an
+	// interval shorter than the drain surfaces as a "checkpoint" stall.
+	var ckptH cluster.Handle
+	var ckptCost float64
+	if dc.CheckpointEvery > 0 {
+		bw := dc.CheckpointBW
+		if bw == 0 {
+			bw = DefaultCheckpointBW
+		}
+		ckptCost = shardCheckpointBytes(cfg, r.ID, ranks) / bw
 	}
 
 	// In the overlapped pipeline the loader is the real double-buffered
@@ -615,6 +718,15 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 				unflattenGradsAndStep(fn.model.Top, ws.topGrad, dc.LR)
 				unflattenGradsAndStep(fn.model.Bot, ws.botGrad, dc.LR)
 			}
+		}
+
+		// (10) Periodic shard checkpoint at global-iteration boundaries.
+		if dc.CheckpointEvery > 0 && (dc.StartIter+it+1)%dc.CheckpointEvery == 0 {
+			r.Wait(ckptH)
+			if fn != nil && dc.CheckpointSink != nil {
+				dc.CheckpointSink(r.ID, dc.StartIter+it+1, fn.model)
+			}
+			ckptH = r.Async("checkpoint", ckptCost)
 		}
 	}
 	if bucketed {

@@ -218,3 +218,38 @@ func TestDistWorkspaceKeyedReuse(t *testing.T) {
 		t.Errorf("alternating shapes regrow buffers: %v/%v then %v/%v", a1, b1, a2, b2)
 	}
 }
+
+// TestDistributedStepZeroAllocsCheckpointed extends the invariant to the
+// shard-checkpoint cadence: in timing mode a checkpoint is one wait on the
+// previous drain plus one Async charge on the rank's background stream per
+// cadence, both of which must recycle through the per-rank pools — a
+// checkpoint every iteration adds no steady-state allocations under either
+// schedule.
+func TestDistributedStepZeroAllocsCheckpointed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	v := Variant{Strategy: Alltoall, Backend: cluster.CCLBackend}
+	for _, overlap := range []bool{false, true} {
+		pools := cluster.NewPools()
+		wss := NewDistWorkspaces()
+		const ranks = 4
+		run := func(iters int) func() {
+			dc := distTestConfig(Small, ranks, Small.GlobalMB, iters, v, false)
+			dc.Pools = pools
+			dc.Workspaces = wss
+			dc.Sync = !overlap
+			dc.BucketBytes = FlatBuckets
+			dc.CheckpointEvery = 1
+			return func() { RunDistributed(dc) }
+		}
+		const short, long = 2, 12
+		run(long)() // warmup: sizes workspaces, fills slot/sudog pools
+		aShort := testing.AllocsPerRun(5, run(short))
+		aLong := testing.AllocsPerRun(5, run(long))
+		if got := (aLong - aShort) / float64(long-short); got != 0 {
+			t.Errorf("overlap=%v checkpointed: %v allocs per steady-state iteration, want 0", overlap, got)
+		}
+		pools.Close()
+	}
+}

@@ -282,6 +282,13 @@ type RunOpts struct {
 	Iters int
 	// Each, when non-nil, observes every iteration's loss.
 	Each func(it int, loss float64)
+	// CheckpointEvery, with Checkpoint, saves the model every N global
+	// steps — at step counts (Start+i+1) divisible by N, so a resumed run
+	// keeps the original cadence. Both must be set together.
+	CheckpointEvery int
+	// Checkpoint persists the model at a checkpoint boundary; step is the
+	// global step count just completed. A returned error aborts the run.
+	Checkpoint func(step int, m *Model) error
 }
 
 // Run consumes o.Iters batches from the configured source and steps the
@@ -291,6 +298,12 @@ type RunOpts struct {
 func (tr *Trainer) Run(o RunOpts) error {
 	if o.Iters < 1 {
 		return fmt.Errorf("core: Iters=%d, want >= 1", o.Iters)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("core: CheckpointEvery=%d, want >= 0", o.CheckpointEvery)
+	}
+	if (o.CheckpointEvery > 0) != (o.Checkpoint != nil) {
+		return fmt.Errorf("core: RunOpts needs CheckpointEvery and Checkpoint together")
 	}
 	ld := o.Loader
 	switch {
@@ -314,6 +327,11 @@ func (tr *Trainer) Run(o RunOpts) error {
 		l := tr.Step(ld.Next().Local)
 		if o.Each != nil {
 			o.Each(i, l)
+		}
+		if o.CheckpointEvery > 0 && (o.Start+i+1)%o.CheckpointEvery == 0 {
+			if err := o.Checkpoint(o.Start+i+1, tr.M); err != nil {
+				return fmt.Errorf("core: checkpoint at step %d: %w", o.Start+i+1, err)
+			}
 		}
 	}
 	return nil

@@ -79,6 +79,34 @@ func (dc *DistConfig) Validate() error {
 			}
 		}
 	}
+	if dc.StartIter < 0 {
+		return fmt.Errorf("core: StartIter=%d, want >= 0", dc.StartIter)
+	}
+	if dc.CheckpointEvery < 0 {
+		return fmt.Errorf("core: CheckpointEvery=%d, want >= 0", dc.CheckpointEvery)
+	}
+	if dc.CheckpointBW < 0 {
+		return fmt.Errorf("core: CheckpointBW=%v, want >= 0", dc.CheckpointBW)
+	}
+	if dc.CheckpointEvery == 0 {
+		// Without a cadence the rest of the checkpoint knobs are inert —
+		// reject rather than silently ignore.
+		if dc.CheckpointBW != 0 {
+			return fmt.Errorf("core: CheckpointBW set without CheckpointEvery — no checkpoints to drain")
+		}
+		if dc.CheckpointSink != nil {
+			return fmt.Errorf("core: CheckpointSink set without CheckpointEvery — it would never be called")
+		}
+	}
+	if dc.RunCfg == nil {
+		// The functional hooks only fire where real models exist.
+		if dc.CheckpointSink != nil {
+			return fmt.Errorf("core: CheckpointSink set without RunCfg — timing-only runs have no models to snapshot")
+		}
+		if dc.Restore != nil {
+			return fmt.Errorf("core: Restore set without RunCfg — timing-only runs have no models to restore")
+		}
+	}
 	if dc.RunCfg != nil {
 		if err := dc.RunCfg.Validate(); err != nil {
 			return fmt.Errorf("core: functional RunCfg: %w", err)

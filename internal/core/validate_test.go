@@ -77,6 +77,26 @@ func TestValidateRejections(t *testing.T) {
 			dc.BucketBytes = 0
 			dc.BucketChannels = []int{0, 4}
 		}, "out of range"},
+		{"negative start iter", func(dc *DistConfig) { dc.StartIter = -1 }, "StartIter=-1"},
+		{"negative checkpoint cadence", func(dc *DistConfig) { dc.CheckpointEvery = -2 }, "CheckpointEvery=-2"},
+		{"negative checkpoint bw", func(dc *DistConfig) {
+			dc.CheckpointEvery = 2
+			dc.CheckpointBW = -1
+		}, "CheckpointBW"},
+		{"checkpoint bw without cadence", func(dc *DistConfig) { dc.CheckpointBW = 1e9 }, "without CheckpointEvery"},
+		{"sink without cadence", func(dc *DistConfig) {
+			run := dc.Cfg
+			dc.RunCfg = &run
+			dc.Dataset = data.NewClickLog(1, run.DenseIn, run.Rows, run.Lookups)
+			dc.CheckpointSink = func(int, int, *Model) {}
+		}, "without CheckpointEvery"},
+		{"sink without models", func(dc *DistConfig) {
+			dc.CheckpointEvery = 2
+			dc.CheckpointSink = func(int, int, *Model) {}
+		}, "without RunCfg"},
+		{"restore without models", func(dc *DistConfig) {
+			dc.Restore = func(int, *Model) {}
+		}, "without RunCfg"},
 		{"functional without dataset", func(dc *DistConfig) {
 			run := dc.Cfg
 			dc.RunCfg = &run

@@ -279,8 +279,7 @@ func (c *ClickLog) FillTableColumn(i, n, t, lo, hi int, b *embedding.Batch) {
 // reusing out's buffers. Sparse offsets are rebased so each shard batch
 // stands on its own, including ragged and empty bags.
 func (mb *MiniBatch) ShardInto(r, R int, out *MiniBatch) {
-	lo := mb.N * r / R
-	hi := mb.N * (r + 1) / R
+	lo, hi := ShardRange(mb.N, r, R)
 	n := hi - lo
 	out.Reset(n, mb.Dense.Cols, len(mb.Sparse))
 	copy(out.Dense.Data, mb.Dense.Data[lo*mb.Dense.Cols:hi*mb.Dense.Cols])

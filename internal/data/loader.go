@@ -58,6 +58,16 @@ type LoaderConfig struct {
 	Buffers *LoaderBuffers
 }
 
+// ShardRange returns the half-open sample range [lo, hi) of the global
+// minibatch that rank `rank` of `ranks` reads — the sharding contract the
+// sharded loader, MiniBatch.ShardInto, and the elastic resharding checks
+// all share. For any rank count the ranges are contiguous, non-overlapping,
+// and exactly partition [0, globalN), so after a failure redistributes data
+// shards (R → R−1) the survivors' slices still cover every sample once.
+func ShardRange(globalN, rank, ranks int) (lo, hi int) {
+	return globalN * rank / ranks, globalN * (rank + 1) / ranks
+}
+
 func (c *LoaderConfig) normalize() {
 	if c.Ranks == 0 {
 		c.Ranks = 1
@@ -157,8 +167,7 @@ func NewShardedLoader(c LoaderConfig) *ShardedLoader {
 func (l *ShardedLoader) produce() {
 	defer close(l.done)
 	c := &l.cfg
-	lo := c.GlobalN * c.Rank / c.Ranks
-	hi := c.GlobalN * (c.Rank + 1) / c.Ranks
+	lo, hi := ShardRange(c.GlobalN, c.Rank, c.Ranks)
 	for it := c.Start; ; it++ {
 		var rb *RankBatch
 		select {

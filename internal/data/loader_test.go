@@ -249,3 +249,28 @@ func TestShardIntoRaggedAndEmptyBags(t *testing.T) {
 		}
 	}
 }
+
+func TestShardRangePartitions(t *testing.T) {
+	// The sharding contract the elastic layer leans on: for every rank
+	// count (including the R-1 shapes a failure rescales to, and globalN
+	// not divisible by ranks), the per-rank ranges are contiguous,
+	// non-overlapping, and exactly cover [0, globalN).
+	for _, globalN := range []int{1, 7, 48, 64, 840, 2048} {
+		for ranks := 1; ranks <= 9 && ranks <= globalN; ranks++ {
+			next := 0
+			for r := 0; r < ranks; r++ {
+				lo, hi := ShardRange(globalN, r, ranks)
+				if lo != next {
+					t.Fatalf("N=%d R=%d: rank %d starts at %d, want %d", globalN, ranks, r, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("N=%d R=%d: rank %d has negative range [%d,%d)", globalN, ranks, r, lo, hi)
+				}
+				next = hi
+			}
+			if next != globalN {
+				t.Fatalf("N=%d R=%d: ranges end at %d, want %d", globalN, ranks, next, globalN)
+			}
+		}
+	}
+}

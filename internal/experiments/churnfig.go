@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/perfmodel"
+)
+
+// ChurnFigOpts sizes the elastic-training figure.
+type ChurnFigOpts struct {
+	// Iters is the productive iteration count of every run.
+	Iters int
+	// Intervals are the checkpoint cadences swept (iterations between
+	// shard checkpoints).
+	Intervals []int
+	// Rates are the per-boundary failure probabilities of the randomized
+	// churn schedules.
+	Rates []float64
+	// Seed drives the counter-based churn schedules (deterministic:
+	// the same seed always injects the same failures).
+	Seed uint64
+	// Fig9Only drops the weak-scaling scale (CI smoke budget).
+	Fig9Only bool
+}
+
+// DefaultChurnFigOpts returns the full-depth figure budget.
+func DefaultChurnFigOpts() ChurnFigOpts {
+	return ChurnFigOpts{Iters: 40, Intervals: []int{2, 5, 10}, Rates: []float64{0.05, 0.10}, Seed: 1}
+}
+
+// QuickChurnFigOpts is the CI smoke budget.
+func QuickChurnFigOpts() ChurnFigOpts {
+	return ChurnFigOpts{Iters: 12, Intervals: []int{3}, Rates: []float64{0.05}, Seed: 1, Fig9Only: true}
+}
+
+// churnScale is one cluster shape of the sweep — the Fig. 9 strong-scaling
+// and Fig. 12 weak-scaling shapes, under churn.
+type churnScale struct {
+	name    string
+	globalN int
+}
+
+// mustRunElastic panics on a driver error (the sweeps construct known-valid
+// configurations).
+func mustRunElastic(ec core.ElasticConfig) *core.ElasticResult {
+	res, err := core.RunElastic(ec)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunChurn is the elastic-training figure: time-to-recover and
+// throughput-under-churn versus checkpoint interval and failure rate at the
+// Fig. 9/12 cluster shapes. Three case families per scale: the fault-free
+// baseline (with and without the checkpoint cadence, isolating the pure
+// checkpointing tax), a single mid-run rank failure per cadence (the
+// recovery breakdown: detect + restore + replay), and a randomized churn
+// schedule per cadence × rate (survival under repeated failures, down to
+// MinRanks).
+func RunChurn(o ChurnFigOpts) *Table {
+	const ranks = 64
+	t := &Table{
+		Title: "Elastic training under churn: recovery time and effective throughput " +
+			"(Large, 64 ranks, OPA cluster, CCL Alltoall, bucketed+overlapped)",
+		Headers: []string{"scale", "case", "ckpt", "fails", "final R",
+			"TTR ms", "detect/restore/replay ms", "eff ms/iter", "overhead"},
+	}
+	scales := []churnScale{{"Fig9 strong (GN=2048)", core.Large.GlobalMB}}
+	if !o.Fig9Only {
+		scales = append(scales, churnScale{"Fig12 weak (LN=32)", core.Large.LocalMB * ranks})
+	}
+	for _, sc := range scales {
+		pools := cluster.NewPools()
+		wss := core.NewDistWorkspaces()
+		base := core.DistConfig{
+			Cfg:        core.Large,
+			Ranks:      ranks,
+			GlobalN:    sc.globalN,
+			Iters:      o.Iters,
+			Variant:    ccl64,
+			Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
+			Socket:     perfmodel.CLX8280,
+			Pools:      pools,
+			Workspaces: wss,
+		}
+		addRow := func(label string, every int, res *core.ElasticResult, baseline float64) {
+			var ttr, det, rst, rep float64
+			for _, r := range res.Recoveries {
+				ttr += r.TimeToRecover()
+				det += r.DetectSeconds
+				rst += r.DrainSeconds + r.RestoreSeconds
+				rep += r.ReplaySeconds
+			}
+			eff := res.EffectiveIterSeconds()
+			over := "-"
+			if baseline > 0 {
+				over = pct(eff/baseline - 1)
+			}
+			ck := "off"
+			if every > 0 {
+				ck = fmt.Sprint(every)
+			}
+			t.AddRow(sc.name, label, ck, fmt.Sprint(len(res.Recoveries)),
+				fmt.Sprint(res.FinalRanks), ms(ttr),
+				fmt.Sprintf("%s/%s/%s", ms(det), ms(rst), ms(rep)),
+				ms(eff), over)
+		}
+
+		faultFree := mustRunElastic(core.ElasticConfig{Base: base})
+		baseline := faultFree.EffectiveIterSeconds()
+		addRow("fault-free", 0, faultFree, baseline)
+		for _, every := range o.Intervals {
+			res := mustRunElastic(core.ElasticConfig{Base: base, CheckpointEvery: every})
+			addRow("fault-free", every, res, baseline)
+		}
+		for _, every := range o.Intervals {
+			res := mustRunElastic(core.ElasticConfig{
+				Base: base,
+				Plan: &cluster.FaultPlan{Events: []cluster.FaultEvent{
+					{Kind: cluster.RankFail, Iter: o.Iters / 2, Rank: 13},
+				}},
+				CheckpointEvery: every,
+			})
+			addRow("1 failure", every, res, baseline)
+		}
+		for _, every := range o.Intervals {
+			for _, rate := range o.Rates {
+				plan := cluster.RandomChurn(o.Seed, ranks, ranks/2, o.Iters, rate)
+				res := mustRunElastic(core.ElasticConfig{
+					Base: base, Plan: plan,
+					CheckpointEvery: every,
+					MinRanks:        ranks / 2,
+				})
+				addRow(fmt.Sprintf("churn %.0f%%", rate*100), every, res, baseline)
+			}
+		}
+		pools.Close()
+	}
+	t.AddNote("TTR sums detect (collective timeout, %.1fs) + checkpoint restore + replay over all failures", cluster.DefaultDetectSeconds)
+	t.AddNote("overhead is effective ms/iter vs the fault-free, checkpoint-off baseline at the same scale")
+	t.AddNote("churn rows inject failures at per-boundary rate from a counter-based schedule (seed %d), floored at %d ranks", o.Seed, ranks/2)
+	return t
+}
+
+// Fig9ChurnCase returns the warmed-up elastic benchmark fixture behind the
+// Fig9Strong64RChurn entries of the root benchmarks and dlrmbench
+// -benchjson: the Fig. 9 shape losing rank 13 after iteration 4 of 8, with
+// a 3-iteration checkpoint cadence — one full detect/restore/replay cycle
+// per measured op. The returned cleanup closes the rank pools.
+func Fig9ChurnCase() (core.ElasticConfig, func()) {
+	pools := cluster.NewPools()
+	ec := core.ElasticConfig{
+		Base: core.DistConfig{
+			Cfg:        core.Large,
+			Ranks:      64,
+			GlobalN:    core.Large.GlobalMB,
+			Iters:      8,
+			Variant:    ccl64,
+			Topo:       fabric.NewPrunedFatTree(64, 12.5e9),
+			Socket:     perfmodel.CLX8280,
+			Pools:      pools,
+			Workspaces: core.NewDistWorkspaces(),
+		},
+		Plan: &cluster.FaultPlan{Events: []cluster.FaultEvent{
+			{Kind: cluster.RankFail, Iter: 5, Rank: 13},
+		}},
+		CheckpointEvery: 3,
+	}
+	mustRunElastic(ec) // warmup: size workspaces at both shapes, fill slot pools
+	return ec, pools.Close
+}

@@ -529,3 +529,43 @@ func TestServingFigShape(t *testing.T) {
 		t.Error("serving figure is not deterministic across reruns")
 	}
 }
+
+func TestChurnFigShape(t *testing.T) {
+	opts := ChurnFigOpts{Iters: 8, Intervals: []int{2}, Rates: []float64{0.05}, Seed: 1, Fig9Only: true}
+	tab := RunChurn(opts)
+	// Checkpoint-off baseline + fault-free per interval + 1-failure per
+	// interval + churn per interval x rate.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows, want 4:\n%s", len(tab.Rows), tab)
+	}
+	if len(tab.Headers) != 9 {
+		t.Fatalf("%d headers, want 9", len(tab.Headers))
+	}
+	const (
+		colFails, colFinalR, colTTR, colOver = 3, 4, 5, 8
+	)
+	// The checkpoint-off baseline defines 0% overhead and recovers nothing.
+	if tab.Rows[0][colOver] != "0%" || tab.Rows[0][colFails] != "0" {
+		t.Errorf("bad baseline row: %v", tab.Rows[0])
+	}
+	// The checkpointing tax alone must not beat the checkpoint-off baseline.
+	if strings.HasPrefix(tab.Rows[1][colOver], "-") {
+		t.Errorf("fault-free checkpointing beat the no-checkpoint baseline: %v", tab.Rows[1])
+	}
+	// The single mid-run failure loses exactly one of 64 ranks and pays a
+	// positive time-to-recover.
+	if tab.Rows[2][colFails] != "1" || tab.Rows[2][colFinalR] != "63" {
+		t.Errorf("bad single-failure row: %v", tab.Rows[2])
+	}
+	if ttr, err := strconv.ParseFloat(tab.Rows[2][colTTR], 64); err != nil || ttr <= 0 {
+		t.Errorf("single-failure TTR not positive: %v", tab.Rows[2])
+	}
+	// The churn schedule never drops below the floor of 32 ranks.
+	if r, err := strconv.Atoi(tab.Rows[3][colFinalR]); err != nil || r < 32 || r > 64 {
+		t.Errorf("churn final ranks out of [32,64]: %v", tab.Rows[3])
+	}
+	// Deterministic: a rerun renders bit-identically.
+	if again := RunChurn(opts); again.String() != tab.String() {
+		t.Error("churn figure is not deterministic across reruns")
+	}
+}
