@@ -268,6 +268,15 @@ func BenchmarkFig12Weak64RContention(b *testing.B) {
 	benchDistFixture(b, experiments.Fig12DistContentionCase)
 }
 
+// BenchmarkFig9Strong64REmbStore is the headline strong-scaling run with a
+// 256 MiB per-rank hot-row cache over the default cold tier: the coldtier
+// fetch/write-back charges ride the virtual clock, and the benchdiff gate
+// keeps the tiered schedule's host-side dispatch allocation-free (fixture
+// shared with dlrmbench -benchjson).
+func BenchmarkFig9Strong64REmbStore(b *testing.B) {
+	benchDistFixture(b, experiments.Fig9DistEmbStoreCase)
+}
+
 // BenchmarkFig9Strong64RServing replays the serving tier at the Fig. 9
 // cluster shape (Large over 64 sockets, SLO policy, 1.5x capacity);
 // virtual-p99 rides along as the virtual-ms/iter metric, so the benchdiff

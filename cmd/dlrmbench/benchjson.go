@@ -191,6 +191,11 @@ func writeBenchJSON(path, filter string) error {
 		// honest-sharing cost; the contention-off cases stay bit-identical.
 		{"Fig9Strong64RContention", experiments.Fig9DistContentionCase},
 		{"Fig12Weak64RContention", experiments.Fig12DistContentionCase},
+		// Tiered embedding store: the headline run with a 256 MiB per-rank
+		// hot-row cache over the default cold tier — the gap vs Fig9Strong64R
+		// is the modeled miss cost, and the gate keeps the tiered schedule's
+		// host-side dispatch allocation-free.
+		{"Fig9Strong64REmbStore", experiments.Fig9DistEmbStoreCase},
 	} {
 		if !match(c.name) {
 			continue

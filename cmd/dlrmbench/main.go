@@ -132,6 +132,16 @@ func experimentTable() []experiment {
 			}
 			return experiments.RunServing(opts)
 		}},
+		{"embstore", "tiered embedding store: Fig. 9 virtual ms/iter vs hot-cache budget × row skew", func(o expOpts) fmt.Stringer {
+			opts := experiments.DefaultEmbStoreFigOpts()
+			if o.quick {
+				opts = experiments.QuickEmbStoreFigOpts()
+			}
+			if o.iters > 0 {
+				opts.Iters = o.iters
+			}
+			return experiments.RunEmbStore(opts)
+		}},
 		{"churn", "elastic training under churn: recovery time and throughput vs checkpoint interval and failure rate", func(o expOpts) fmt.Stringer {
 			opts := experiments.DefaultChurnFigOpts()
 			if o.quick {

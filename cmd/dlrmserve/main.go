@@ -46,6 +46,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "arrival-stream (and functional model) seed")
 	functional := flag.Bool("functional", false, "execute a scaled model for real and report predictions")
 	rowScale := flag.Float64("rowscale", 1.0/64, "embedding row scaling for -functional")
+	embCache := flag.Int("emb-cache-bytes", 0, "hot-row cache budget per replica; 0 keeps shards in RAM")
+	coldBW := flag.Float64("cold-bw", 0, "cold-tier bandwidth in B/s (required with -emb-cache-bytes)")
 	flag.Parse()
 
 	cfg, ok := map[string]core.Config{
@@ -77,13 +79,18 @@ func main() {
 		OfferedQPS: 1, // placeholder until the sweep sets the real rate
 		Workspaces: serve.NewWorkspaces(),
 	}
+	if *embCache > 0 {
+		base.EmbCacheBytes = *embCache
+		base.ColdTierBW = *coldBW
+	}
 	if *functional {
 		// The functional model is the priced config scaled to host memory;
-		// its ClickLog dataset draws each table's bags from a Zipf
-		// distribution over the rows — the skewed traffic being replayed.
+		// its RequestLog dataset keys each request to a Zipf-drawn entity
+		// whose table rows are a pure function of the entity — hot requests
+		// recur with identical row sets, the reuse a tiered store exploits.
 		run := cfg.Scaled(*rowScale)
 		base.RunCfg = &run
-		base.Dataset = data.NewClickLog(*seed+9, run.DenseIn, run.Rows, run.Lookups)
+		base.Dataset = data.NewRequestLog(*seed+9, run.DenseIn, run.Rows, run.Lookups)
 		base.Pools = cluster.NewPools()
 		defer base.Pools.Close()
 	}

@@ -44,6 +44,8 @@ func main() {
 	ckptPath := flag.String("checkpoint", "dlrm.ckpt", "checkpoint file (with -checkpoint-every / -resume)")
 	resume := flag.Bool("resume", false, "resume training from -checkpoint")
 	churn := flag.Bool("churn", false, "with -dist: inject a mid-run rank failure and recover elastically")
+	embCache := flag.Int("emb-cache-bytes", 0, "with -dist: per-rank hot-row cache budget; 0 keeps shards in RAM")
+	coldBW := flag.Float64("cold-bw", 0, "with -dist: cold-tier bandwidth in B/s (required with -emb-cache-bytes)")
 	flag.Parse()
 
 	cfg, ok := map[string]core.Config{
@@ -70,7 +72,7 @@ func main() {
 		if !ok {
 			log.Fatalf("unknown loader %q", *loaderName)
 		}
-		runDistributed(cfg, *ranks, *iters, mode, *tune, *churn)
+		runDistributed(cfg, *ranks, *iters, mode, *tune, *churn, *embCache, *coldBW)
 		return
 	}
 
@@ -198,7 +200,7 @@ func loadCheckpoint(m *core.Model, path string) (*core.TrainerState, error) {
 	return m.LoadWithState(f)
 }
 
-func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode, tune, churn bool) {
+func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode, tune, churn bool, embCache int, coldBW float64) {
 	if ranks > cfg.MaxRanks() {
 		log.Fatalf("%s supports at most %d ranks (one table per rank minimum)", cfg.Name, cfg.MaxRanks())
 	}
@@ -215,6 +217,12 @@ func runDistributed(cfg core.Config, ranks, iters int, mode core.LoaderMode, tun
 		Socket:  perfmodel.CLX8280,
 		Loader:  mode,
 		// Schedule knobs at their zero values: bucketed+overlapped default.
+	}
+	if embCache > 0 {
+		dc.EmbCacheBytes = embCache
+		dc.ColdTierBW = coldBW
+		fmt.Printf("tiered embedding store: %d MiB hot cache, cold tier %.1f GB/s\n",
+			embCache>>20, coldBW/1e9)
 	}
 	if churn {
 		runChurn(dc)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/embedding"
+	"repro/internal/embstore"
 	"repro/internal/fabric"
 	"repro/internal/loss"
 	"repro/internal/par"
@@ -172,6 +173,33 @@ type DistConfig struct {
 	// CCL.
 	Interference float64
 
+	// EmbCacheBytes enables the tiered embedding parameter store
+	// (internal/embstore): each rank fronts its owned table shard with a
+	// hot-row cache of this many bytes while cold rows live behind a
+	// modeled slower tier, opening the larger-than-memory table scenario.
+	// Timing mode charges the analytic miss traffic — Zipf head mass of
+	// the per-rank cache via embstore.HitRate — as a synchronous
+	// "coldtier" fetch before the embedding forward and an asynchronous
+	// "coldtier-wb" dirty write-back drained on the rank's background
+	// stream (the CheckpointBW pattern); functional mode routes the
+	// embedding forward and SGD write-back through a real embstore.Store,
+	// bit-identical to the in-RAM path. 0 disables tiering entirely —
+	// today's all-in-RAM behavior, bit-identical to the committed virtual
+	// baselines. When set, ColdTierBW must be set too.
+	EmbCacheBytes int
+	// ColdTierBW is the modeled cold-tier streaming bandwidth in bytes/s
+	// (DefaultColdTierBW is the conventional value; there is no implicit
+	// default — a tiered run must state its cold tier). Only meaningful
+	// with EmbCacheBytes.
+	ColdTierBW float64
+	// ColdTierLat is the modeled per-iteration cold-tier access latency in
+	// seconds (0 = DefaultColdTierLat). Only meaningful with EmbCacheBytes.
+	ColdTierLat float64
+	// EmbSkew is the Zipf exponent the cold-tier charge assumes for lookup
+	// traffic (0 = DefaultEmbSkew, the Criteo-like 1.05). Only meaningful
+	// with EmbCacheBytes.
+	EmbSkew float64
+
 	// StartIter places this run inside a longer training timeline: the
 	// functional loaders start at this global batch index and the
 	// checkpoint cadence counts global iterations (StartIter+i), so a run
@@ -234,6 +262,22 @@ const DefaultBucketBytes = 64 << 20
 // when DistConfig.CheckpointBW is zero — 2 GB/s, a burst-buffer/local-NVMe
 // figure for the CLX-era clusters of the paper.
 const DefaultCheckpointBW = 2e9
+
+// DefaultColdTierBW is the conventional cold-tier streaming bandwidth the
+// flag defaults and figure fixtures use — 8 GB/s, a PMEM/NVMe-over-fabric
+// figure for the CLX era. DistConfig has no implicit fallback: a tiered run
+// must set ColdTierBW explicitly (Validate rejects EmbCacheBytes without
+// it), so configs state the tier they are pricing.
+const DefaultColdTierBW = 8e9
+
+// DefaultColdTierLat is the per-iteration cold-tier access latency when
+// DistConfig.ColdTierLat is zero — 20 µs, one round of batched misses.
+const DefaultColdTierLat = 20e-6
+
+// DefaultEmbSkew is the Zipf exponent the cold-tier charge assumes when
+// DistConfig.EmbSkew is zero — 1.05, the Criteo-like skew of the MLPerf
+// logs (data.NewClickLog's default).
+const DefaultEmbSkew = 1.05
 
 // shardCheckpointBytes is the serialized size of rank r's shard checkpoint
 // at paper scale: its full MLP replica plus the embedding tables it owns
@@ -571,6 +615,48 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		ckptCost = shardCheckpointBytes(cfg, r.ID, ranks) / bw
 	}
 
+	// Tiered embedding parameter store (ROADMAP direction 2): with a cache
+	// budget set, the Zipf tail of each iteration's lookups misses the
+	// hot-row cache and goes to the modeled cold tier — a synchronous
+	// "coldtier" fetch of the analytic miss volume before the embedding
+	// forward, and a "coldtier-wb" dirty write-back of the same volume
+	// drained on the background stream after the update (at most one in
+	// flight: the checkpoint pattern). Functional mode routes table access
+	// through a real embstore.Store whose cached path is bit-identical to
+	// the in-RAM one, so the loss curve is unchanged.
+	tiered := dc.EmbCacheBytes > 0 && len(locT) > 0
+	var coldCost float64
+	var coldWBH cluster.Handle
+	var st *embstore.Store
+	if tiered {
+		lat := dc.ColdTierLat
+		if lat == 0 {
+			lat = DefaultColdTierLat
+		}
+		skew := dc.EmbSkew
+		if skew == 0 {
+			skew = DefaultEmbSkew
+		}
+		rows := make([]int, len(locT))
+		for li, t := range locT {
+			rows[li] = cfg.Rows[t]
+		}
+		hit := embstore.HitRate(dc.EmbCacheBytes, cfg.EmbDim, rows, skew)
+		missBytes := (1 - hit) * float64(dc.GlobalN) * float64(cfg.Lookups) *
+			float64(len(locT)) * float64(cfg.EmbDim) * 4
+		coldCost = lat + missBytes/dc.ColdTierBW
+		if fn != nil {
+			owned := make([]*embedding.Table, len(locT))
+			for li, t := range locT {
+				owned[li] = fn.model.Tables[t]
+			}
+			var err error
+			if st, err = embstore.New(dc.EmbCacheBytes, owned); err != nil {
+				panic(err) // unreachable: a config has one EmbDim
+			}
+		}
+	}
+
 	// In the overlapped pipeline the loader is the real double-buffered
 	// prefetch goroutine: batch 0's fetch starts at t=0 and is exposed once
 	// (cold start); every later batch is fetched on the background stream
@@ -602,11 +688,19 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		}
 
 		// (1) Embedding forward for LOCAL tables over the GLOBAL minibatch
-		// (model parallelism), into the workspace's per-table buffers.
+		// (model parallelism), into the workspace's per-table buffers. Under
+		// the tiered store the cold tail is fetched first.
+		if tiered {
+			r.Prep("coldtier", coldCost)
+		}
 		r.Compute(embFwd)
 		if fn != nil {
 			for li, t := range locT {
-				fn.model.Tables[t].Forward(fn.pool, rb.Owned[li], ws.embFull[li])
+				if st != nil {
+					st.Forward(li, rb.Owned[li], ws.embFull[li])
+				} else {
+					fn.model.Tables[t].Forward(fn.pool, rb.Owned[li], ws.embFull[li])
+				}
 			}
 		}
 
@@ -701,8 +795,19 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 				ob := rb.Owned[li]
 				dW := ensureF32(&ws.dW[li], ob.NumLookups()*tab.E)
 				tab.Backward(fn.pool, ob, ws.dOutFull[li], dW)
-				tab.Update(fn.pool, embedding.RaceFree, ob, dW, dc.LR)
+				if st != nil {
+					st.Update(li, ob, dW, dc.LR)
+				} else {
+					tab.Update(fn.pool, embedding.RaceFree, ob, dW, dc.LR)
+				}
 			}
+		}
+		if tiered {
+			// Drain the dirty rows the update left behind to the cold tier
+			// on the background stream; the previous iteration's drain must
+			// finish first (one write in flight per rank).
+			r.Wait(coldWBH)
+			coldWBH = r.Async("coldtier-wb", coldCost)
 		}
 
 		// (9) Wait for the gradient allreduces and run the MLP SGD — bucket
@@ -724,10 +829,20 @@ func (dc DistConfig) rankBody(r *cluster.Rank, ws *DistWorkspace, res *DistResul
 		if dc.CheckpointEvery > 0 && (dc.StartIter+it+1)%dc.CheckpointEvery == 0 {
 			r.Wait(ckptH)
 			if fn != nil && dc.CheckpointSink != nil {
+				if st != nil {
+					// The cached copies are authoritative; flush so the
+					// checkpointed tables hold the untiered values.
+					st.Flush()
+				}
 				dc.CheckpointSink(r.ID, dc.StartIter+it+1, fn.model)
 			}
 			ckptH = r.Async("checkpoint", ckptCost)
 		}
+	}
+	if st != nil {
+		// Settle the tables before the run's models are inspected: after
+		// the flush they hold exactly the values the untiered path trains.
+		st.Flush()
 	}
 	if bucketed {
 		// Drop the rank/comm references the issue states captured: the

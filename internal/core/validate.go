@@ -98,6 +98,36 @@ func (dc *DistConfig) Validate() error {
 			return fmt.Errorf("core: CheckpointSink set without CheckpointEvery — it would never be called")
 		}
 	}
+	if dc.EmbCacheBytes < 0 {
+		return fmt.Errorf("core: EmbCacheBytes=%d, want >= 0", dc.EmbCacheBytes)
+	}
+	if dc.ColdTierBW < 0 {
+		return fmt.Errorf("core: ColdTierBW=%v, want >= 0", dc.ColdTierBW)
+	}
+	if dc.ColdTierLat < 0 {
+		return fmt.Errorf("core: ColdTierLat=%v, want >= 0", dc.ColdTierLat)
+	}
+	if dc.EmbSkew < 0 {
+		return fmt.Errorf("core: EmbSkew=%v, want >= 0", dc.EmbSkew)
+	}
+	if dc.EmbCacheBytes > 0 && dc.ColdTierBW == 0 {
+		// A tiered run must state its cold tier: an implicit bandwidth here
+		// would silently set the miss penalty the figure measures.
+		return fmt.Errorf("core: EmbCacheBytes set without ColdTierBW — a tiered store needs a cold-tier bandwidth (DefaultColdTierBW is the conventional value)")
+	}
+	if dc.EmbCacheBytes == 0 {
+		// Without a cache budget the rest of the tier knobs are inert —
+		// reject rather than silently ignore.
+		if dc.ColdTierBW != 0 {
+			return fmt.Errorf("core: ColdTierBW set without EmbCacheBytes — no tiered store to charge")
+		}
+		if dc.ColdTierLat != 0 {
+			return fmt.Errorf("core: ColdTierLat set without EmbCacheBytes — no tiered store to charge")
+		}
+		if dc.EmbSkew != 0 {
+			return fmt.Errorf("core: EmbSkew set without EmbCacheBytes — no tiered store to model")
+		}
+	}
 	if dc.RunCfg == nil {
 		// The functional hooks only fire where real models exist.
 		if dc.CheckpointSink != nil {

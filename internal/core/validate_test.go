@@ -77,6 +77,25 @@ func TestValidateRejections(t *testing.T) {
 			dc.BucketBytes = 0
 			dc.BucketChannels = []int{0, 4}
 		}, "out of range"},
+		{"negative emb cache", func(dc *DistConfig) { dc.EmbCacheBytes = -64 }, "EmbCacheBytes=-64"},
+		{"negative cold bw", func(dc *DistConfig) {
+			dc.EmbCacheBytes = 64 << 20
+			dc.ColdTierBW = -1
+		}, "ColdTierBW"},
+		{"negative cold latency", func(dc *DistConfig) {
+			dc.EmbCacheBytes = 64 << 20
+			dc.ColdTierBW = DefaultColdTierBW
+			dc.ColdTierLat = -1e-6
+		}, "ColdTierLat"},
+		{"negative emb skew", func(dc *DistConfig) {
+			dc.EmbCacheBytes = 64 << 20
+			dc.ColdTierBW = DefaultColdTierBW
+			dc.EmbSkew = -0.5
+		}, "EmbSkew"},
+		{"cache without cold bw", func(dc *DistConfig) { dc.EmbCacheBytes = 64 << 20 }, "without ColdTierBW"},
+		{"cold bw without cache", func(dc *DistConfig) { dc.ColdTierBW = DefaultColdTierBW }, "without EmbCacheBytes"},
+		{"cold latency without cache", func(dc *DistConfig) { dc.ColdTierLat = 20e-6 }, "without EmbCacheBytes"},
+		{"emb skew without cache", func(dc *DistConfig) { dc.EmbSkew = 1.05 }, "without EmbCacheBytes"},
 		{"negative start iter", func(dc *DistConfig) { dc.StartIter = -1 }, "StartIter=-1"},
 		{"negative checkpoint cadence", func(dc *DistConfig) { dc.CheckpointEvery = -2 }, "CheckpointEvery=-2"},
 		{"negative checkpoint bw", func(dc *DistConfig) {

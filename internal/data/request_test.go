@@ -1,0 +1,130 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/embedding"
+)
+
+func testRequestLog() *RequestLog {
+	return NewRequestLog(7, 8, []int{200, 300, 100, 250}, 3)
+}
+
+// TestRequestLogEntityRowReuse is the dataset's reason to exist: two
+// requests that draw the same entity must present bit-identical sparse
+// rows in every table — that recurrence is what a hot-row cache exploits.
+func TestRequestLogEntityRowReuse(t *testing.T) {
+	rl := testRequestLog()
+	const n = 256
+	// Find two distinct (batch, sample) coordinates sharing an entity.
+	type coord struct{ i, s int }
+	seen := map[int32]coord{}
+	var a, b coord
+	found := false
+	for i := 0; i < 8 && !found; i++ {
+		for s := 0; s < n; s++ {
+			e := rl.Entity(i, s)
+			if prev, ok := seen[e]; ok && (prev.i != i || prev.s != s) {
+				a, b, found = prev, coord{i, s}, true
+				break
+			}
+			seen[e] = coord{i, s}
+		}
+	}
+	if !found {
+		t.Fatal("no repeated entity in 8×256 requests — skew defaults broken")
+	}
+	bag := func(b *embedding.Batch, s int) []int32 {
+		return b.Indices[b.Offsets[s]:b.Offsets[s+1]]
+	}
+	ma := rl.Batch(a.i, n)
+	mb := rl.Batch(b.i, n)
+	for tb := range rl.Rows {
+		ra := bag(ma.Sparse[tb], a.s)
+		rb := bag(mb.Sparse[tb], b.s)
+		if len(ra) != rl.Lookups {
+			t.Fatalf("table %d: %d lookups, want %d", tb, len(ra), rl.Lookups)
+		}
+		for l := range ra {
+			if ra[l] != rb[l] {
+				t.Fatalf("table %d lookup %d: same entity, rows %d vs %d",
+					tb, l, ra[l], rb[l])
+			}
+		}
+	}
+}
+
+// TestRequestLogEntitySkew checks the entity draws actually follow the
+// configured Zipf: the measured head mass over the top-k entities must
+// track the analytic CDF.
+func TestRequestLogEntitySkew(t *testing.T) {
+	rl := testRequestLog()
+	const n = 50_000
+	hits := 0
+	const head = 1000
+	for s := 0; s < n; s++ {
+		if int(rl.Entity(0, s)) < head {
+			hits++
+		}
+	}
+	want := embedding.Zipf{S: rl.EntitySkew}.HeadMass(head, rl.Universe)
+	got := float64(hits) / n
+	if d := got - want; d < -0.03 || d > 0.03 {
+		t.Errorf("top-%d entity mass %.4f, analytic %.4f", head, got, want)
+	}
+}
+
+// TestRequestLogColumnMatchesRange: the random-access column fill must
+// agree bit-for-bit with the full-range fill — the model-parallel loader
+// contract every dataset honors.
+func TestRequestLogColumnMatchesRange(t *testing.T) {
+	rl := testRequestLog()
+	const n = 64
+	mb := &MiniBatch{}
+	rl.FillRange(3, n, 0, n, mb)
+	var col embedding.Batch
+	for tb := range rl.Rows {
+		rl.FillTableColumn(3, n, tb, 0, n, &col)
+		if len(col.Indices) != len(mb.Sparse[tb].Indices) {
+			t.Fatalf("table %d: column %d indices, range %d",
+				tb, len(col.Indices), len(mb.Sparse[tb].Indices))
+		}
+		for i := range col.Indices {
+			if col.Indices[i] != mb.Sparse[tb].Indices[i] {
+				t.Fatalf("table %d index %d: column %d, range %d",
+					tb, i, col.Indices[i], mb.Sparse[tb].Indices[i])
+			}
+		}
+	}
+}
+
+// TestRequestLogDeterministic: repeated materialization of the same batch
+// is bit-identical, and the batch passes the structural validator.
+func TestRequestLogDeterministic(t *testing.T) {
+	rl := testRequestLog()
+	const n = 64
+	a := rl.Batch(5, n)
+	b := rl.Batch(5, n)
+	if err := a.Validate(rl.Rows); err != nil {
+		t.Fatalf("batch invalid: %v", err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("label %d differs across fills", i)
+		}
+	}
+	for i := range a.Dense.Data {
+		if a.Dense.Data[i] != b.Dense.Data[i] {
+			t.Fatalf("dense %d differs across fills", i)
+		}
+	}
+	ones := 0
+	for _, l := range a.Labels {
+		if l == 1 {
+			ones++
+		}
+	}
+	if ones == 0 || ones == n {
+		t.Errorf("degenerate labels: %d/%d positive", ones, n)
+	}
+}

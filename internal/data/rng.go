@@ -61,6 +61,9 @@ const (
 	randomTag   = 0x52414E44 // "RAND"
 	clickTag    = 0x434C4943 // "CLIC"
 	clickLblTag = 0x4C41424C // "LABL"
+	reqTag      = 0x52455155 // "REQU" — request→entity draws
+	reqProfTag  = 0x50524F46 // "PROF" — entity profiles (rows, dense)
+	reqLblTag   = 0x524C424C // "RLBL" — request label draws
 )
 
 // u64 returns the next raw 64-bit value.

@@ -79,6 +79,31 @@ func (z Zipf) DrawU(u float64, m int) int32 {
 // Name implements IndexDist.
 func (z Zipf) Name() string { return "zipf" }
 
+// HeadMass returns the probability that DrawU lands in the head [0, k) of a
+// table with m rows — the analytic hit rate of a cache holding the k
+// hottest rows under this skew. It is the CDF of the same continuous
+// analogue DrawU inverts (p(x) ∝ x^-s on [1, m+1)), so empirical head
+// frequencies converge to it; the tiered-store cost model and the draw-skew
+// statistical test both consume it.
+func (z Zipf) HeadMass(k, m int) float64 {
+	if m <= 0 || k <= 0 {
+		return 0
+	}
+	if k >= m {
+		return 1
+	}
+	s := z.S
+	if s <= 0 {
+		s = 1
+	}
+	// P(row < k) = F(k+1) with F the CDF of p(x) ∝ x^-s on [1, m+1).
+	if s == 1 {
+		return math.Log(float64(k)+1) / math.Log(float64(m)+1)
+	}
+	hi := math.Pow(float64(m)+1, 1-s)
+	return (math.Pow(float64(k)+1, 1-s) - 1) / (hi - 1)
+}
+
 // MakeBatch draws a batch of n bags with exactly perBag lookups each from
 // dist over a table of m rows. perBag is the paper's P ("average look-ups
 // per table", Table I).

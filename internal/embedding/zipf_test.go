@@ -1,0 +1,102 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+)
+
+// zipfTestU is a tiny counter-based uniform stream (splitmix64 finalizer on
+// the draw counter) so the statistical test below is deterministic: same
+// draws every run, no rand.Rand state to seed or share.
+func zipfTestU(i uint64) float64 {
+	i += 0x9E3779B97F4A7C15
+	z := i
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// TestZipfDrawSkewMatchesAnalyticCDF checks the generator is actually
+// skewed the way the tiered-store cost model assumes: the empirical mass
+// DrawU places on the head [0, k) must match Zipf.HeadMass — the CDF of
+// the continuous analogue DrawU inverts — within a tolerance a few times
+// the binomial standard error. The embstore figure's hit-rate axis and the
+// cold-tier timing charge both ride on this.
+func TestZipfDrawSkewMatchesAnalyticCDF(t *testing.T) {
+	const (
+		m = 100_000
+		n = 200_000
+	)
+	var ctr uint64
+	for _, s := range []float64{0.8, 1.0, 1.05, 1.2} {
+		z := Zipf{S: s}
+		heads := []int{10, 100, 1_000, 10_000}
+		counts := make([]int, len(heads))
+		for i := 0; i < n; i++ {
+			r := int(z.DrawU(zipfTestU(ctr), m))
+			ctr++
+			for j, k := range heads {
+				if r < k {
+					counts[j]++
+				}
+			}
+		}
+		for j, k := range heads {
+			emp := float64(counts[j]) / n
+			ana := z.HeadMass(k, m)
+			// DrawU floors the continuous draw, so the discrete head mass
+			// sits slightly above F(k+1); allow 5σ plus that bias margin.
+			tol := 5*math.Sqrt(ana*(1-ana)/n) + 0.004
+			if math.Abs(emp-ana) > tol {
+				t.Errorf("s=%.2f head %d/%d: empirical mass %.4f vs analytic %.4f (tol %.4f)",
+					s, k, m, emp, ana, tol)
+			}
+		}
+	}
+}
+
+// TestZipfHeadMassProperties pins the CDF's edge cases and shape: bounds at
+// the extremes, monotone in the head size, and — for any fixed small head —
+// monotone in the skew (hotter traffic concentrates more mass), which is
+// what makes the embstore figure's skew axis move.
+func TestZipfHeadMassProperties(t *testing.T) {
+	const m = 50_000
+	for _, s := range []float64{0.5, 0.8, 1.0, 1.05, 1.2, 2.0} {
+		z := Zipf{S: s}
+		if got := z.HeadMass(0, m); got != 0 {
+			t.Errorf("s=%v: HeadMass(0) = %v, want 0", s, got)
+		}
+		if got := z.HeadMass(-3, m); got != 0 {
+			t.Errorf("s=%v: HeadMass(-3) = %v, want 0", s, got)
+		}
+		if got := z.HeadMass(m, m); got != 1 {
+			t.Errorf("s=%v: HeadMass(m) = %v, want 1", s, got)
+		}
+		if got := z.HeadMass(m+10, m); got != 1 {
+			t.Errorf("s=%v: HeadMass(m+10) = %v, want 1", s, got)
+		}
+		prev := 0.0
+		for _, k := range []int{1, 10, 100, 1_000, 10_000, m} {
+			h := z.HeadMass(k, m)
+			if h < prev {
+				t.Errorf("s=%v: HeadMass not monotone at k=%d: %v < %v", s, k, h, prev)
+			}
+			prev = h
+		}
+	}
+	for _, k := range []int{10, 100, 1_000} {
+		prev := 0.0
+		for _, s := range []float64{0.5, 0.8, 1.0, 1.05, 1.2, 2.0} {
+			h := Zipf{S: s}.HeadMass(k, m)
+			if h <= prev {
+				t.Errorf("k=%d: HeadMass not increasing in skew at s=%v: %v <= %v", k, s, h, prev)
+			}
+			prev = h
+		}
+	}
+	// s <= 0 falls back to s = 1, matching DrawU's fallback.
+	if a, b := (Zipf{S: 0}).HeadMass(100, m), (Zipf{S: 1}).HeadMass(100, m); a != b {
+		t.Errorf("s=0 fallback: %v != s=1 mass %v", a, b)
+	}
+}

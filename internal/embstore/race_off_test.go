@@ -1,0 +1,6 @@
+//go:build !race
+
+package embstore
+
+// raceEnabled mirrors race_on_test.go for plain builds.
+const raceEnabled = false

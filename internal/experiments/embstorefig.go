@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/embstore"
+	"repro/internal/fabric"
+	"repro/internal/perfmodel"
+)
+
+// EmbStoreFigOpts sizes the tiered-embedding-store figure.
+type EmbStoreFigOpts struct {
+	// Iters per run; the virtual ms/iter column is the mean.
+	Iters int
+	// Budgets are the hot-cache byte budgets swept (0 is added implicitly
+	// as the in-RAM baseline row).
+	Budgets []int
+	// Skews are the Zipf exponents of the modeled row traffic.
+	Skews []float64
+}
+
+// DefaultEmbStoreFigOpts returns the full-depth figure budget.
+func DefaultEmbStoreFigOpts() EmbStoreFigOpts {
+	return EmbStoreFigOpts{
+		Iters:   4,
+		Budgets: []int{4 << 10, 64 << 20, 256 << 20, 1 << 30},
+		Skews:   []float64{0.8, 1.05, 1.2},
+	}
+}
+
+// QuickEmbStoreFigOpts is the CI smoke budget: same sweep shape, fewer
+// iterations.
+func QuickEmbStoreFigOpts() EmbStoreFigOpts {
+	o := DefaultEmbStoreFigOpts()
+	o.Iters = 1
+	return o
+}
+
+// rank0Rows returns the row counts of the tables rank 0 owns at the given
+// scale — the shard the figure's analytic hit-rate column describes (the
+// round-robin layout makes every rank's shard statistically identical).
+func rank0Rows(cfg core.Config, ranks int) []int {
+	var rows []int
+	for t := 0; t < cfg.Tables; t++ {
+		if core.TableOwner(t, ranks) == 0 {
+			rows = append(rows, cfg.Rows[t])
+		}
+	}
+	return rows
+}
+
+// RunEmbStore is the tiered-parameter-store figure: virtual time per
+// iteration of the Fig. 9 strong-scaling run (Large over 64 ranks, CCL
+// alltoall, default bucketed+overlapped schedule) as the per-rank hot-row
+// cache budget and the traffic skew sweep. The in-RAM row (budget 0) is the
+// PR 9 baseline; every tiered row pays the cold tier for its miss mass, so
+// a hot budget at high skew approaches — never beats — in-RAM, while a
+// starved budget degenerates to streaming every batch's rows from the cold
+// tier.
+func RunEmbStore(o EmbStoreFigOpts) *Table {
+	const ranks = 64
+	cfg := core.Large
+	t := &Table{
+		Title: "Tiered embedding store: Fig. 9 strong scaling vs hot-cache budget x row skew " +
+			"(Large, 64 ranks, CCL alltoall, cold tier " +
+			fmt.Sprintf("%.0f GB/s + %.0f us)", core.DefaultColdTierBW/1e9, core.DefaultColdTierLat*1e6),
+		Headers: []string{"budget", "skew", "model hit", "cold fetch ms", "cold wb ms",
+			"virtual ms/iter", "vs in-RAM"},
+	}
+	pools := cluster.NewPools()
+	defer pools.Close()
+	wss := core.NewDistWorkspaces()
+	run := func(budget int, skew float64) *core.DistResult {
+		dc := core.DistConfig{
+			Cfg:        cfg,
+			Ranks:      ranks,
+			GlobalN:    cfg.GlobalMB,
+			Iters:      o.Iters,
+			Variant:    ccl64,
+			Topo:       fabric.NewPrunedFatTree(ranks, 12.5e9),
+			Socket:     perfmodel.CLX8280,
+			Pools:      pools,
+			Workspaces: wss,
+		}
+		if budget > 0 {
+			dc.EmbCacheBytes = budget
+			dc.ColdTierBW = core.DefaultColdTierBW
+			dc.EmbSkew = skew
+		}
+		return mustRun(dc)
+	}
+	humanBytes := func(b int) string {
+		switch {
+		case b >= 1<<30:
+			return fmt.Sprintf("%d GiB", b>>30)
+		case b >= 1<<20:
+			return fmt.Sprintf("%d MiB", b>>20)
+		default:
+			return fmt.Sprintf("%d KiB", b>>10)
+		}
+	}
+	inRAM := run(0, 0)
+	t.AddRow("in-RAM", "-", "100%", "-", "-",
+		fmt.Sprintf("%.2f", inRAM.IterSeconds*1e3), "1.00x")
+	shard := rank0Rows(cfg, ranks)
+	for _, skew := range o.Skews {
+		for _, budget := range o.Budgets {
+			res := run(budget, skew)
+			hit := embstore.HitRate(budget, cfg.EmbDim, shard, skew)
+			t.AddRow(humanBytes(budget), fmt.Sprintf("%.2f", skew),
+				fmt.Sprintf("%.1f%%", hit*100),
+				fmt.Sprintf("%.3f", res.PrepPerIter["coldtier"]*1e3),
+				fmt.Sprintf("%.3f", res.BusyPerIter["coldtier-wb"]*1e3),
+				fmt.Sprintf("%.2f", res.IterSeconds*1e3),
+				fmt.Sprintf("%.2fx", res.IterSeconds/inRAM.IterSeconds))
+		}
+	}
+	t.AddNote("model hit is the analytic Zipf head mass of a rank's shard at that budget; " +
+		"cold fetch is charged before the embedding forward, the write-back drains in the background")
+	t.AddNote("budget 0 (in-RAM) is bit-identical to the untiered PR 9 baseline; " +
+		"the functional store's loss parity is pinned by core's TestEmbStoreLossParity")
+	return t
+}
+
+// Fig9DistEmbStoreCase returns the strong-scaling headline run with a
+// 256 MiB per-rank hot-row cache over the default cold tier — the workload
+// behind the Fig9Strong64REmbStore benchmarks and the regression gate's
+// tiered-store entry.
+func Fig9DistEmbStoreCase() (core.DistConfig, func()) {
+	dc, cleanup := Fig9DistCase()
+	dc.EmbCacheBytes = 256 << 20
+	dc.ColdTierBW = core.DefaultColdTierBW
+	mustRun(dc) // re-warm: the tiered schedule adds a background write-back
+	return dc, cleanup
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/embstore"
 	"repro/internal/fabric"
 	"repro/internal/perfmodel"
 )
@@ -97,6 +98,25 @@ type Config struct {
 	// and results are bit-reproducible run to run regardless of what else
 	// the engine carried.
 	Contention bool
+	// EmbCacheBytes prices each replica's shard pulls through the tiered
+	// embedding parameter store (internal/embstore): the Zipf head of the
+	// lookup volume — the analytic hit rate of a per-replica cache this
+	// many bytes large — streams at socket speed, the cold tail pays the
+	// cold tier's latency and bandwidth. The same knob set as
+	// core.DistConfig; 0 keeps today's all-in-RAM pricing, bit-identical.
+	// When set, ColdTierBW must be set too.
+	EmbCacheBytes int
+	// ColdTierBW is the modeled cold-tier streaming bandwidth in bytes/s.
+	// Only meaningful with EmbCacheBytes (core.DefaultColdTierBW is the
+	// conventional value).
+	ColdTierBW float64
+	// ColdTierLat is the per-batch cold-tier access latency in seconds
+	// (0 = core.DefaultColdTierLat). Only meaningful with EmbCacheBytes.
+	ColdTierLat float64
+	// EmbSkew is the Zipf exponent of the request traffic the hit rate is
+	// computed under (0 = core.DefaultEmbSkew). Only meaningful with
+	// EmbCacheBytes.
+	EmbSkew float64
 
 	// Policy is the dispatcher's batching rule.
 	Policy Policy
@@ -159,6 +179,32 @@ func (c Config) Validate() error {
 	}
 	if c.CallOverhead < 0 {
 		return fmt.Errorf("serve: negative CallOverhead %g", c.CallOverhead)
+	}
+	if c.EmbCacheBytes < 0 {
+		return fmt.Errorf("serve: EmbCacheBytes=%d, want >= 0", c.EmbCacheBytes)
+	}
+	if c.ColdTierBW < 0 {
+		return fmt.Errorf("serve: ColdTierBW=%v, want >= 0", c.ColdTierBW)
+	}
+	if c.ColdTierLat < 0 {
+		return fmt.Errorf("serve: ColdTierLat=%v, want >= 0", c.ColdTierLat)
+	}
+	if c.EmbSkew < 0 {
+		return fmt.Errorf("serve: EmbSkew=%v, want >= 0", c.EmbSkew)
+	}
+	if c.EmbCacheBytes > 0 && c.ColdTierBW == 0 {
+		return fmt.Errorf("serve: EmbCacheBytes set without ColdTierBW — a tiered store needs a cold-tier bandwidth")
+	}
+	if c.EmbCacheBytes == 0 {
+		if c.ColdTierBW != 0 {
+			return fmt.Errorf("serve: ColdTierBW set without EmbCacheBytes — no tiered store to price")
+		}
+		if c.ColdTierLat != 0 {
+			return fmt.Errorf("serve: ColdTierLat set without EmbCacheBytes — no tiered store to price")
+		}
+		if c.EmbSkew != 0 {
+			return fmt.Errorf("serve: EmbSkew set without EmbCacheBytes — no tiered store to model")
+		}
 	}
 	if c.Policy.MaxBatch < 1 {
 		return fmt.Errorf("serve: Policy.MaxBatch %d, need at least 1", c.Policy.MaxBatch)
@@ -231,6 +277,14 @@ type costModel struct {
 	embDim   int
 	owned    []int // tables owned per replica (round-robin)
 	maxOwned int
+
+	// Tiered embedding store pricing (Config.EmbCacheBytes): the hit
+	// fraction of the busiest owner's lookup volume streams at socket
+	// speed, the rest pays the cold tier.
+	tiered  bool
+	hit     float64
+	coldBW  float64
+	coldLat float64
 }
 
 func (c Config) newCostModel() costModel {
@@ -257,14 +311,49 @@ func (c Config) newCostModel() costModel {
 			cm.maxOwned = n
 		}
 	}
+	if c.EmbCacheBytes > 0 {
+		cm.tiered = true
+		cm.coldBW = c.ColdTierBW
+		cm.coldLat = c.ColdTierLat
+		if cm.coldLat == 0 {
+			cm.coldLat = core.DefaultColdTierLat
+		}
+		skew := c.EmbSkew
+		if skew == 0 {
+			skew = core.DefaultEmbSkew
+		}
+		// The busiest owner paces the lookup phase; its tables' head mass
+		// under the per-replica budget is the hit rate the split prices.
+		busiest := 0
+		for o, n := range cm.owned {
+			if n == cm.maxOwned {
+				busiest = o
+				break
+			}
+		}
+		var rows []int
+		for t := 0; t < c.Cfg.Tables; t++ {
+			if core.TableOwner(t, c.Replicas) == busiest {
+				rows = append(rows, c.Cfg.Rows[t])
+			}
+		}
+		cm.hit = embstore.HitRate(c.EmbCacheBytes, c.Cfg.EmbDim, rows, skew)
+	}
 	return cm
 }
 
 // lookupTime is the shard-owner phase: the busiest owner streams its bag
 // lookups for b samples (owners work concurrently, so the max paces it).
+// Under the tiered store the Zipf head streams from the hot cache at
+// socket speed while the cold tail pays the cold tier's latency and
+// bandwidth — cache hits vs cold-tier misses, priced per batch.
 func (cm *costModel) lookupTime(b int) float64 {
-	return cm.cc.Socket.StreamTime(
-		perfmodel.EmbeddingFwdBytes(cm.maxOwned, b, cm.lookups, cm.embDim), cm.cores)
+	bytes := perfmodel.EmbeddingFwdBytes(cm.maxOwned, b, cm.lookups, cm.embDim)
+	if !cm.tiered {
+		return cm.cc.Socket.StreamTime(bytes, cm.cores)
+	}
+	return cm.cc.Socket.StreamTime(bytes*cm.hit, cm.cores) +
+		cm.coldLat + bytes*(1-cm.hit)/cm.coldBW
 }
 
 // mlpTime is the dense forward on the serving replica: bottom MLP,
